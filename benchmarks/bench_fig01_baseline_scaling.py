@@ -1,0 +1,24 @@
+"""Paper Fig. 1: HotStuff and BFT-SMaRt throughput vs n (128 B / 1024 B).
+
+Expected shape: both baselines peak at small scales and decline steeply as
+n grows; the 1024-byte-payload curves sit well below the 128-byte ones.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import fig1_baseline_scaling
+
+
+def test_fig1_baseline_scaling(benchmark, render):
+    result = render(benchmark, fig1_baseline_scaling)
+    by_key = {(r[0], r[1], r[2]): r[3] for r in result.rows}
+    # Declining in n for each (protocol, payload) series.
+    for protocol in ("hotstuff", "bft-smart"):
+        for payload in (128, 1024):
+            series = sorted(
+                (n, rps) for (p, pl, n), rps in by_key.items()
+                if p == protocol and pl == payload)
+            assert series[0][1] > series[-1][1], \
+                f"{protocol}/{payload} should decline with n"
+    # Larger payloads mean fewer requests/second at the same scale.
+    assert by_key[("hotstuff", 1024, 64)] < by_key[("hotstuff", 128, 64)]

@@ -1,0 +1,22 @@
+"""Paper Fig. 2: HotStuff throughput vs the leader's bandwidth utilization.
+
+Expected shape: as n grows the throughput falls while the leader's NIC
+utilization climbs toward saturation — the leader bottleneck that motivates
+Leopard (§I).
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import fig2_leader_bottleneck
+
+
+def test_fig2_leader_bottleneck(benchmark, render):
+    result = render(benchmark, fig2_leader_bottleneck)
+    rows = sorted(result.rows)
+    throughputs = [row[1] for row in rows]
+    bandwidths = [row[2] for row in rows]
+    assert throughputs[0] > throughputs[-1]
+    assert bandwidths[-1] > bandwidths[0]
+    # The leader ends up pushing multiple Gbps while confirming fewer
+    # requests: the core pathology of Fig. 2.
+    assert bandwidths[-1] > 1.0

@@ -1,0 +1,24 @@
+"""Paper Fig. 6: HotStuff throughput on varying batch sizes.
+
+Expected shape: throughput rises with the batch size and then flattens
+once the leader's NIC/CPU ceiling is reached.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import fig6_hotstuff_batch
+
+
+def test_fig6_hotstuff_batch(benchmark, render):
+    result = render(benchmark, fig6_hotstuff_batch)
+    by_n: dict[int, list[tuple[int, float]]] = {}
+    for n, batch, rps in result.rows:
+        by_n.setdefault(n, []).append((batch, rps))
+    for n, series in by_n.items():
+        series.sort()
+        smallest_batch_rps = series[0][1]
+        best_rps = max(rps for _, rps in series)
+        assert best_rps >= smallest_batch_rps, \
+            f"larger batches should not hurt at n={n}"
+        # The curve flattens: the last doubling gains little.
+        assert series[-1][1] >= 0.7 * best_rps

@@ -1,0 +1,23 @@
+"""Paper Fig. 7: Leopard throughput on varying BFTblock sizes (τ).
+
+Expected shape: throughput climbs as more datablock links are batched per
+BFTblock (amortizing vote processing) and stabilizes; larger scales need
+larger batches.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import fig7_bftblock_batch
+
+
+def test_fig7_bftblock_batch(benchmark, render):
+    result = render(benchmark, fig7_bftblock_batch)
+    by_n: dict[int, list[tuple[int, float]]] = {}
+    for n, links, rps in result.rows:
+        by_n.setdefault(n, []).append((links, rps))
+    for n, series in by_n.items():
+        series.sort()
+        assert max(rps for _, rps in series) >= series[0][1], \
+            f"batching should help at n={n}"
+        # Stabilized at the large end.
+        assert series[-1][1] >= 0.7 * max(rps for _, rps in series)

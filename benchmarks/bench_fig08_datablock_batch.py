@@ -1,0 +1,21 @@
+"""Paper Fig. 8: Leopard throughput on varying datablock sizes (α).
+
+Expected shape: throughput rises with the datablock size (amortizing the
+per-datablock ready/header overhead) and gradually stabilizes, for both
+BFTblock sizes.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import fig8_datablock_batch
+
+
+def test_fig8_datablock_batch(benchmark, render):
+    result = render(benchmark, fig8_datablock_batch)
+    series: dict[tuple[int, int], list[tuple[int, float]]] = {}
+    for links, n, size, rps in result.rows:
+        series.setdefault((links, n), []).append((size, rps))
+    for (links, n), points in series.items():
+        points.sort()
+        assert max(rps for _, rps in points) >= points[0][1], \
+            f"bigger datablocks should help at n={n}, links={links}"

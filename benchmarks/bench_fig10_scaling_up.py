@@ -1,0 +1,32 @@
+"""Paper Fig. 10: effectiveness of scaling up (20-200 Mbps per replica).
+
+Expected shape: goodput grows linearly with the provisioned bandwidth in
+both systems; Leopard converts ~half the added capacity into throughput at
+every scale (γ -> 1/2, Eq. (4)) while HotStuff's slope collapses as
+1/(n-1); Leopard's latency sits above HotStuff's and narrows as bandwidth
+grows.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import fig10_scaling_up
+
+
+def test_fig10_scaling_up(benchmark, render):
+    result = render(benchmark, fig10_scaling_up)
+    series: dict[tuple[str, int], dict[float, tuple[float, float]]] = {}
+    for protocol, n, bw, goodput, latency in result.rows:
+        series.setdefault((protocol, n), {})[bw] = (goodput, latency)
+    for (protocol, n), points in series.items():
+        bws = sorted(points)
+        # Linear growth: 10x bandwidth -> at least 4x goodput.
+        assert points[bws[-1]][0] > 4 * points[bws[0]][0], \
+            f"{protocol} n={n} goodput should grow with bandwidth"
+    # Leopard's γ ~ 1/2 at every n; HotStuff's collapses with n.
+    for (protocol, n), points in series.items():
+        top_bw = max(points)
+        gamma = points[top_bw][0] / top_bw
+        if protocol == "leopard":
+            assert gamma > 0.25, f"Leopard γ at n={n} too low: {gamma}"
+        elif n >= 16:
+            assert gamma < 0.25, f"HotStuff γ at n={n} too high: {gamma}"

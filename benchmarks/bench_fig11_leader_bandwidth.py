@@ -1,0 +1,21 @@
+"""Paper Fig. 11: leader bandwidth usage in Leopard vs HotStuff.
+
+Expected shape: HotStuff's leader climbs into the Gbps range as n grows;
+Leopard's leader stays under ~0.5 Gbps at every scale.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import fig11_leader_bandwidth
+
+
+def test_fig11_leader_bandwidth(benchmark, render):
+    result = render(benchmark, fig11_leader_bandwidth)
+    leopard = {n: mbps for proto, n, mbps in result.rows
+               if proto == "leopard"}
+    hotstuff = {n: mbps for proto, n, mbps in result.rows
+                if proto == "hotstuff"}
+    assert max(leopard.values()) < 500.0  # < 0.5 Gbps at all scales
+    top_n = max(hotstuff)
+    assert hotstuff[top_n] > 1000.0  # > 1 Gbps once n is large
+    assert hotstuff[top_n] > 3 * leopard[max(leopard)]

@@ -1,0 +1,31 @@
+"""Paper Fig. 12 + Table V: datablock-retrieval cost and time.
+
+Expected shape: the cost of recovering a 2000-request datablock stays
+roughly flat as n grows (≈ the datablock size, 325→356 KB in the paper),
+while the per-responder cost collapses (163→8 KB) thanks to the (f+1, n)
+erasure code; the time cost stays in the tens-to-hundreds of milliseconds.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.harness.experiments import fig12_retrieval
+
+
+def test_fig12_retrieval(benchmark, render):
+    result = render(benchmark, fig12_retrieval)
+    rows = {n: (recover, respond, time_ms)
+            for n, recover, respond, time_ms in result.rows
+            if not math.isnan(recover)}
+    assert len(rows) >= 3
+    ns = sorted(rows)
+    datablock_kb = 2000 * 128 / 1e3
+    smallest, largest = ns[0], ns[-1]
+    # Recovering costs about one datablock regardless of n.
+    assert rows[largest][0] < 2.5 * datablock_kb
+    assert rows[largest][0] > 0.5 * datablock_kb
+    # Responding cost collapses as f grows.
+    assert rows[largest][1] < 0.5 * rows[smallest][1]
+    # Time cost stays sub-second.
+    assert all(time_ms < 1000.0 for _, _, time_ms in rows.values())

@@ -1,0 +1,30 @@
+"""Paper Fig. 13: view-change time and communication cost.
+
+Expected shape: both grow with n, but the time stays in (low) seconds even
+at hundreds of replicas, and the total communication is dominated by the
+new leader's O(n) new-view multicast.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.harness.experiments import fig13_viewchange
+
+
+def test_fig13_viewchange(benchmark, render):
+    result = render(benchmark, fig13_viewchange)
+    rows = {row[0]: row for row in result.rows
+            if not math.isnan(row[1])}
+    assert len(rows) >= 3
+    ns = sorted(rows)
+    largest = ns[-1]
+    # Seconds-scale view-change even at the largest tested n.
+    assert all(rows[n][1] < 8.0 for n in ns)
+    # Communication grows with scale...
+    assert rows[largest][2] > rows[ns[0]][2]
+    # ...and the new leader's send dominates the per-replica costs.
+    _, _, total_mb, leader_send_mb, _, replica_send_kb, _ = rows[largest]
+    assert leader_send_mb * 1e3 > replica_send_kb
+    # The paper's n=400 bound: total < 100 MB (we check our largest n).
+    assert total_mb < 100.0

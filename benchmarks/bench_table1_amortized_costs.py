@@ -1,0 +1,19 @@
+"""Paper Table I: amortized communication complexity and scaling factors.
+
+Regenerated from the closed-form model (§V-B): Leopard is the only
+protocol with O(1) leader communication and an O(1) scaling factor.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import table1_amortized_costs
+
+
+def test_table1_amortized_costs(benchmark, render):
+    result = render(benchmark, table1_amortized_costs)
+    rows = {row[0]: row for row in result.rows}
+    assert rows["Leopard"][1] == "O(1)"
+    assert rows["Leopard"][3] == "O(1)"
+    for baseline in ("PBFT", "SBFT", "HotStuff"):
+        assert rows[baseline][1] == "O(n)"
+        assert rows[baseline][3] == "O(n)"

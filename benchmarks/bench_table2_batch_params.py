@@ -1,0 +1,13 @@
+"""Paper Table II: the batch sizes used for the headline comparison."""
+
+from __future__ import annotations
+
+from repro.harness.experiments import table2_batch_parameters
+
+
+def test_table2_batch_parameters(benchmark, render):
+    result = render(benchmark, table2_batch_parameters)
+    rows = {row[0]: row for row in result.rows}
+    assert rows[32][1:3] == (2000, 100)
+    assert rows[600][1:3] == (4000, 400)
+    assert rows[600][3] == "-"  # HotStuff could not run beyond n = 300

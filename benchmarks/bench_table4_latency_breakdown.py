@@ -1,0 +1,21 @@
+"""Paper Table IV: latency breakdown of Leopard (n = 32).
+
+Expected shape: datablock preparation (generation + dissemination)
+dominates end-to-end latency — dissemination alone was ~50% in the paper —
+while responding to the client is well under a few percent.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import table4_latency_breakdown
+
+
+def test_table4_latency_breakdown(benchmark, render):
+    result = render(benchmark, table4_latency_breakdown)
+    shares = {phase: pct for phase, pct in result.rows}
+    preparation = shares["generation"] + shares["dissemination"]
+    assert preparation > shares["agreement"] * 0.8
+    assert shares["dissemination"] > 20.0
+    assert shares["response"] < 10.0
+    total = sum(shares.values())
+    assert 99.0 < total < 101.0

@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and prints
+the rows (set ``REPRO_FULL=1`` for the paper-scale grids).  Wall-clock
+timings reported by pytest-benchmark measure the full experiment sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_and_render(benchmark, experiment, capsys):
+    """Run ``experiment`` once under the benchmark timer and print it."""
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.render())
+    assert result.rows, f"experiment {result.name} produced no rows"
+    return result
+
+
+@pytest.fixture
+def render(capsys):
+    def _render(benchmark, experiment):
+        return run_and_render(benchmark, experiment, capsys)
+    return _render

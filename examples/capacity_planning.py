@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Capacity planning with the §V-B cost model — a downstream-user utility.
+
+Given a target request rate, a payload size and a replica count, this
+script answers the questions an operator would ask before deploying
+Leopard: how much per-replica bandwidth is needed, how should the batch
+parameters α and τ be set (the Table II rule α = λ(n-1)), and what would
+the same hardware yield under a leader-disseminating protocol.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import scaling_factor as sf
+
+
+DEPLOYMENTS = [
+    # (name, replicas, target requests/s, payload bytes)
+    ("regional consortium", 31, 50_000, 256),
+    ("national settlement network", 130, 100_000, 128),
+    ("global committee (PoS-style)", 601, 80_000, 128),
+]
+
+
+def plan(name: str, n: int, target_rps: float, payload: int) -> None:
+    # Batch sizing per the paper's rule: α = λ(n-1), λ ≈ one request.
+    lam_bits = payload * 8.0 * 8  # ~8 requests per replica-slot of α
+    alpha_bits = sf.alpha_for_constant_sf(n, lam_bits)
+    datablock_requests = max(1, int(alpha_bits / (payload * 8)))
+    links = max(10, min(400, n))
+    params = sf.LeopardParameters(
+        n=n, payload=payload, datablock_requests=datablock_requests,
+        bftblock_links=links)
+
+    leopard_sf = sf.leopard_scaling_factor(params)
+    leader_sf = sf.leader_based_scaling_factor(n)
+    payload_bits = payload * 8.0
+    required_capacity = target_rps * payload_bits * leopard_sf
+    leader_based_capacity = target_rps * payload_bits * leader_sf
+
+    print(f"— {name}: n={n}, target {target_rps:,.0f} req/s, "
+          f"{payload} B payloads")
+    print(f"   datablock size α: {datablock_requests:,} requests "
+          f"({alpha_bits / 8 / 1e3:.0f} KB); BFTblock links τ: {links}")
+    print(f"   Leopard scaling factor: {leopard_sf:.3f} "
+          f"(leader-based: {leader_sf:.0f})")
+    print(f"   required per-replica capacity: "
+          f"{required_capacity / 1e6:,.0f} Mbps total (in+out)")
+    print(f"   same target on a leader-based protocol would need "
+          f"{leader_based_capacity / 1e9:,.1f} Gbps at the leader")
+    gamma = sf.leopard_scaling_up_gamma(params)
+    print(f"   scaling up: each added Mbps of capacity buys "
+          f"{gamma / payload_bits * 1e6:,.0f} extra req/s "
+          f"(γ = {gamma:.2f})")
+    retrieval = sf.selective_attack_overhead(params)
+    print(f"   worst-case selective-attack overhead: "
+          f"{100 * (retrieval):.0f}% extra per-replica traffic\n")
+
+
+def main() -> None:
+    print("Leopard capacity planning (cost model of paper §V-B)\n")
+    for deployment in DEPLOYMENTS:
+        plan(*deployment)
+    print("note: CPU ceilings depend on the execution workload; see")
+    print("repro.analysis.calibration for the simulator's CPU model.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Leopard vs HotStuff as the cluster grows — the paper's headline claim.
+
+Runs both systems back-to-back on the identical simulated substrate at a
+few scales (simulated), extends the curves with the calibrated analytical
+model up to n = 600, and prints the scaling-factor arithmetic from §V-B
+that explains the shapes.
+
+Run:  python examples/scaling_comparison.py          (a few minutes)
+"""
+
+from __future__ import annotations
+
+from repro.analysis import scaling_factor as sf
+from repro.core.config import LeopardConfig, table2_parameters
+from repro.harness import build_hotstuff_cluster, build_leopard_cluster
+from repro.harness.experiments import hotstuff_model_rps, leopard_model_rps
+
+
+SIM_SCALES = (16, 32)
+MODEL_SCALES = (64, 128, 300, 600)
+
+
+def run_leopard(n: int) -> float:
+    datablock, links = table2_parameters(n)
+    config = LeopardConfig(
+        n=n, datablock_size=datablock, bftblock_max_links=links)
+    cluster = build_leopard_cluster(n=n, seed=1, config=config)
+    cluster.run(cluster.warmup + 3.0)
+    return cluster.throughput()
+
+
+def run_hotstuff(n: int) -> float:
+    cluster = build_hotstuff_cluster(n=n, seed=1)
+    cluster.run(cluster.warmup + 3.0)
+    return cluster.throughput()
+
+
+def main() -> None:
+    print(f"{'n':>5} {'Leopard (rps)':>16} {'HotStuff (rps)':>16} "
+          f"{'ratio':>7}  source")
+    for n in SIM_SCALES:
+        leopard = run_leopard(n)
+        hotstuff = run_hotstuff(n)
+        print(f"{n:>5} {leopard:>16,.0f} {hotstuff:>16,.0f} "
+              f"{leopard / hotstuff:>7.2f}  simulated")
+    for n in MODEL_SCALES:
+        leopard = leopard_model_rps(n)
+        hotstuff = hotstuff_model_rps(n)
+        print(f"{n:>5} {leopard:>16,.0f} {hotstuff:>16,.0f} "
+              f"{leopard / hotstuff:>7.2f}  model")
+
+    print("\nwhy (paper §V-B): bits moved per confirmed request bit")
+    print(f"{'n':>5} {'SF Leopard':>12} {'SF leader-based':>16} "
+          f"{'gamma L':>8} {'gamma HS':>9}")
+    for n in (16, 64, 300, 600):
+        datablock, links = table2_parameters(n)
+        params = sf.LeopardParameters(
+            n=n, datablock_requests=datablock, bftblock_links=links)
+        print(f"{n:>5} {sf.leopard_scaling_factor(params):>12.3f} "
+              f"{sf.leader_based_scaling_factor(n):>16.0f} "
+              f"{sf.leopard_scaling_up_gamma(params):>8.3f} "
+              f"{sf.leader_based_scaling_up_gamma(n):>9.4f}")
+    print("\nLeopard's scaling factor is a small constant (~2), so its")
+    print("throughput is scale-independent; a leader-based protocol's is")
+    print("O(n), so its throughput decays as the cluster grows (Eq. (1)).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro — a reproduction of "Leopard: Towards High Throughput-Preserving
+BFT for Large-scale Systems" (Hu et al., ICDCS 2022).
+
+Public API
+----------
+* :mod:`repro.core` — the Leopard protocol (replica, client, config).
+* :mod:`repro.baselines` — HotStuff and PBFT baselines on the same substrate.
+* :mod:`repro.sim` — the discrete-event network/CPU simulator.
+* :mod:`repro.crypto` — threshold signatures, Reed--Solomon, Merkle trees.
+* :mod:`repro.analysis` — the paper's closed-form cost/scaling-factor model.
+* :mod:`repro.harness` — cluster builders and the per-figure experiments.
+
+Quickstart::
+
+    from repro.harness import build_leopard_cluster, saturated_workload
+    cluster = build_leopard_cluster(n=4, seed=7)
+    saturated_workload(cluster)
+    cluster.run(seconds=3.0)
+    print(cluster.throughput())
+"""
+
+from repro.core import LeopardClient, LeopardConfig, LeopardReplica
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LeopardClient",
+    "LeopardConfig",
+    "LeopardReplica",
+    "__version__",
+]

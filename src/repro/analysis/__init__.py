@@ -1,0 +1,19 @@
+"""Closed-form cost analysis and CPU/NIC calibration (paper §V-B)."""
+
+from repro.analysis.calibration import (
+    CostModel,
+    DEFAULT_COSTS,
+    client_cpu_model,
+    hotstuff_cpu_model,
+    leopard_cpu_model,
+    pbft_cpu_model,
+)
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COSTS",
+    "client_cpu_model",
+    "hotstuff_cpu_model",
+    "leopard_cpu_model",
+    "pbft_cpu_model",
+]

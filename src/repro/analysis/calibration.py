@@ -1,0 +1,173 @@
+"""CPU cost calibration: the stand-in for the paper's c5.xlarge vCPUs.
+
+The paper's throughput numbers are jointly bandwidth- and CPU-bound.  The
+network side is modelled by :mod:`repro.sim.network` (6 Gbps effective
+shared NIC per node, DESIGN.md §2); this module models the compute side as
+per-message costs charged by :class:`repro.sim.node.SimNode`.
+
+Calibration targets (all shapes from the paper, magnitudes within its
+regime):
+
+* Leopard saturates around 10^5 requests/s at every scale — dominated by
+  the per-request datablock verify+execute path (§VI-A, Figs. 7-9);
+* HotStuff is leader-bound: per-copy block serialization makes leader CPU
+  and NIC costs grow with (n-1), reproducing Figs. 1/2/6/9;
+* threshold-BLS share verification is expensive (hundreds of µs), which is
+  exactly why batching (τ, Fig. 7) and vote aggregation matter;
+* BFT-SMaRt (PBFT baseline) carries a higher per-request software overhead
+  and quadratic vote traffic, reproducing its Fig. 1 profile.
+
+Every constant is a plain dataclass field: ablation benches perturb them to
+show which resource binds where.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.interfaces import Message
+from repro.messages.leopard import ROUND_PREPARE
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation CPU costs in seconds."""
+
+    #: Fixed cost to receive and dispatch any message.
+    per_message: float = 2e-6
+    #: Fixed cost to enqueue one outgoing message copy.
+    per_send_message: float = 5e-7
+    #: Serialization/kernel cost per byte sent (per copy).
+    per_send_byte: float = 0.6e-9
+
+    # -- Leopard ------------------------------------------------------
+    #: Datablock receive: deserialize + hash + validity checks + (folded)
+    #: eventual execution of each contained request.
+    leopard_verify_exec_per_request: float = 9.5e-6
+    #: Client request ingest at the receiving replica: mempool insert +
+    #: datablock packing + (folded) execution of own requests.
+    leopard_ingest_per_request: float = 4.5e-6
+
+    # -- Threshold BLS (Leopard votes/proofs, §VI prototype) -----------
+    share_sign: float = 3e-4
+    share_verify: float = 5e-4
+    combine: float = 1e-3
+    proof_verify: float = 3e-4
+
+    # -- HotStuff (libhotstuff uses fast ECDSA votes) -------------------
+    hotstuff_ingest_per_request: float = 1e-6
+    hotstuff_exec_per_request: float = 2e-6
+    ecdsa_verify: float = 5e-5
+    ecdsa_sign: float = 5e-5
+
+    # -- PBFT / BFT-SMaRt ----------------------------------------------
+    pbft_ingest_per_request: float = 1.2e-5
+    pbft_exec_per_request: float = 2e-6
+    mac_verify: float = 2e-6
+
+    #: Erasure-coding throughput for retrieval responses (bytes/second).
+    erasure_bytes_per_second: float = 4e8
+
+
+DEFAULT_COSTS = CostModel()
+
+
+def leopard_cpu_model(costs: CostModel = DEFAULT_COSTS):
+    """CPU model for a Leopard replica (leader or non-leader)."""
+
+    def model(msg: Message, receiving: bool) -> float:
+        if not receiving:
+            return (costs.per_send_message
+                    + costs.per_send_byte * msg.size_bytes())
+        cls = msg.msg_class
+        if cls == "datablock":
+            return (costs.per_message
+                    + costs.leopard_verify_exec_per_request
+                    * msg.request_count)
+        if cls == "client":
+            return (costs.per_message
+                    + costs.leopard_ingest_per_request * msg.count)
+        if cls == "vote":
+            return costs.per_message + costs.share_verify
+        if cls == "proof":
+            cost = costs.per_message + costs.proof_verify
+            if getattr(msg, "round", 0) == ROUND_PREPARE:
+                cost += costs.share_sign  # the round-2 vote it triggers
+            return cost
+        if cls == "bftblock":
+            return (costs.per_message + costs.share_verify
+                    + costs.share_sign)
+        if cls == "resp":
+            return (costs.per_message
+                    + len(msg.chunk_data) / costs.erasure_bytes_per_second)
+        if cls == "query":
+            return costs.per_message
+        if cls == "checkpoint":
+            return costs.per_message + costs.share_verify
+        if cls == "viewchange":
+            # Timeout/view-change/new-view validation: signature checks
+            # plus per-entry notarization verification, approximated as a
+            # per-byte sweep over the (potentially large) message.
+            return (costs.per_message + costs.ecdsa_verify
+                    + msg.size_bytes() * 2e-9)
+        return costs.per_message
+
+    return model
+
+
+def hotstuff_cpu_model(costs: CostModel = DEFAULT_COSTS):
+    """CPU model for a HotStuff replica."""
+
+    def model(msg: Message, receiving: bool) -> float:
+        if not receiving:
+            return (costs.per_send_message
+                    + costs.per_send_byte * msg.size_bytes())
+        cls = msg.msg_class
+        if cls == "client":
+            return (costs.per_message
+                    + costs.hotstuff_ingest_per_request * msg.count)
+        if cls == "block":
+            justify = getattr(msg, "justify", None)
+            qc_cost = (costs.ecdsa_verify * min(
+                3, justify.signer_count) if justify is not None else 0.0)
+            # Batch QC verification: libhotstuff checks a sampled subset /
+            # aggregate rather than all 2f+1 signatures on the hot path.
+            return (costs.per_message + qc_cost + costs.ecdsa_sign
+                    + costs.hotstuff_exec_per_request * msg.request_count)
+        if cls == "vote":
+            return costs.per_message + costs.ecdsa_verify
+        return costs.per_message
+
+    return model
+
+
+def pbft_cpu_model(costs: CostModel = DEFAULT_COSTS):
+    """CPU model for a PBFT / BFT-SMaRt replica."""
+
+    def model(msg: Message, receiving: bool) -> float:
+        if not receiving:
+            return (costs.per_send_message
+                    + costs.per_send_byte * msg.size_bytes())
+        cls = msg.msg_class
+        if cls == "client":
+            return (costs.per_message
+                    + costs.pbft_ingest_per_request * msg.count)
+        if cls == "block":
+            return (costs.per_message + costs.mac_verify
+                    + costs.pbft_exec_per_request * msg.request_count)
+        if cls == "vote":
+            return costs.per_message + costs.mac_verify
+        return costs.per_message
+
+    return model
+
+
+def client_cpu_model(costs: CostModel = DEFAULT_COSTS):
+    """CPU model for client nodes (negligible work)."""
+
+    def model(msg: Message, receiving: bool) -> float:
+        if receiving:
+            return costs.per_message
+        return costs.per_send_message + costs.per_send_byte * msg.size_bytes()
+
+    return model

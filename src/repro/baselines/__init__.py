@@ -1,0 +1,15 @@
+"""Baseline protocols the paper compares against (HotStuff, BFT-SMaRt)."""
+
+from repro.baselines.client import BaselineClient
+from repro.baselines.hotstuff.config import HotStuffConfig
+from repro.baselines.hotstuff.replica import HotStuffReplica
+from repro.baselines.pbft.config import PbftConfig
+from repro.baselines.pbft.replica import PbftReplica
+
+__all__ = [
+    "BaselineClient",
+    "HotStuffConfig",
+    "HotStuffReplica",
+    "PbftConfig",
+    "PbftReplica",
+]

@@ -1,0 +1,61 @@
+"""Client for the leader-based baselines: submits straight to the leader.
+
+In HotStuff and PBFT (as deployed by the paper's evaluation) the leader is
+the request entry point — which is precisely what concentrates the O(n)
+dissemination cost there (Eq. (1)).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.interfaces import Effect, Send, SetTimer, Trace
+from repro.messages.client import Ack, RequestBundle
+
+
+class BaselineClient:
+    """A load generator aimed at a fixed target replica (the leader)."""
+
+    def __init__(self, node_id: int, target: int, rate: float,
+                 payload_size: int = 128, bundle_size: int = 500,
+                 stop_at: float = 0.0) -> None:
+        if rate <= 0:
+            raise ValueError("client rate must be positive")
+        self.node_id = node_id
+        self.target = target
+        self.rate = rate
+        self.payload_size = payload_size
+        self.bundle_size = bundle_size
+        self.stop_at = stop_at
+        self.submit_interval = bundle_size / rate
+        self.next_bundle_id = 1
+        self.submitted_requests = 0
+        self.acked_requests = 0
+
+    def start(self, now: float) -> list[Effect]:
+        """Begin the periodic submission loop."""
+        return [SetTimer("submit", self.submit_interval)]
+
+    def on_timer(self, key: Hashable, now: float) -> list[Effect]:
+        """Submit one bundle per tick."""
+        if key != "submit":
+            return []
+        if self.stop_at and now >= self.stop_at:
+            return []
+        bundle = RequestBundle(
+            self.node_id, self.next_bundle_id, self.bundle_size,
+            self.payload_size, now)
+        self.next_bundle_id += 1
+        self.submitted_requests += self.bundle_size
+        return [
+            SetTimer("submit", self.submit_interval),
+            Send(self.target, bundle),
+        ]
+
+    def on_message(self, sender: int, msg, now: float) -> list[Effect]:
+        """Absorb acknowledgements."""
+        if not isinstance(msg, Ack):
+            return []
+        self.acked_requests += msg.count
+        return [Trace("ack", {
+            "submitted_at": msg.submitted_at, "count": msg.count})]

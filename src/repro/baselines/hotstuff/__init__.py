@@ -1,0 +1,6 @@
+"""Chained HotStuff baseline (paper [30], libhotstuff cost profile)."""
+
+from repro.baselines.hotstuff.config import HotStuffConfig
+from repro.baselines.hotstuff.replica import HotStuffReplica
+
+__all__ = ["HotStuffConfig", "HotStuffReplica"]

@@ -1,0 +1,6 @@
+"""PBFT / BFT-SMaRt baseline (paper [4], [8])."""
+
+from repro.baselines.pbft.config import PbftConfig
+from repro.baselines.pbft.replica import PbftReplica
+
+__all__ = ["PbftConfig", "PbftReplica"]

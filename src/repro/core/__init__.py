@@ -1,0 +1,13 @@
+"""Leopard: the paper's primary contribution (see DESIGN.md §3)."""
+
+from repro.core.client import LeopardClient, assign_replica
+from repro.core.config import LeopardConfig, table2_parameters
+from repro.core.replica import LeopardReplica
+
+__all__ = [
+    "LeopardClient",
+    "LeopardConfig",
+    "LeopardReplica",
+    "assign_replica",
+    "table2_parameters",
+]

@@ -1,0 +1,150 @@
+"""Leopard clients (paper §IV-A1).
+
+A client submits pending requests to one designated non-leader replica —
+the deterministic assignment µ(req) of §IV-A1 is realised by
+:func:`assign_replica` — and waits for acknowledgements of confirmation.
+If no acknowledgement arrives before ``client_timeout``, it re-submits the
+requests to the next responsible replica with the time-out tag that can
+ultimately trigger a view-change (Appendix A); after at most f re-routes an
+honest replica is reached.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.config import LeopardConfig
+from repro.interfaces import Effect, Send, SetTimer, Trace
+from repro.messages.client import Ack, RequestBundle
+
+
+def assign_replica(key: int, n: int, leader: int, attempt: int = 0) -> int:
+    """µ(req): deterministic, leader-avoiding replica assignment.
+
+    Args:
+        key: client identity (or request hash) driving the assignment.
+        n: number of replicas.
+        leader: current leader id, skipped by the assignment.
+        attempt: re-submission attempt number (rotates the target).
+    """
+    candidates = [replica for replica in range(n) if replica != leader]
+    return candidates[(key + attempt) % len(candidates)]
+
+
+class LeopardClient:
+    """A load-generating client submitting request bundles to one replica.
+
+    Args:
+        node_id: this client's node id (above the replica id range).
+        config: the cluster's protocol configuration.
+        rate: request submission rate in requests/second.
+        bundle_size: requests per submitted bundle.
+        stop_at: stop submitting at this simulated time (0 = never).
+        resubmit: enable time-out driven re-submission (off for saturated
+            throughput runs, where duplicates would skew accounting).
+        fanout: submit each bundle to this many distinct replicas (up to
+            f+1 per §IV-A1 — "more replicas lower latency whereas fewer
+            replicas increase throughput", since other replicas cannot
+            de-duplicate each other's copies).
+        client_timeout: how long to wait for an ack before re-submitting.
+        trace_phases: emit the Table IV "response to the client" phase.
+    """
+
+    def __init__(self, node_id: int, config: LeopardConfig, rate: float,
+                 bundle_size: int = 500, stop_at: float = 0.0,
+                 resubmit: bool = False, client_timeout: float = 4.0,
+                 trace_phases: bool = False, fanout: int = 1) -> None:
+        if rate <= 0:
+            raise ValueError("client rate must be positive")
+        if not 1 <= fanout <= config.f + 1:
+            raise ValueError("fanout must be in [1, f+1] (paper §IV-A1)")
+        self.node_id = node_id
+        self.config = config
+        self.rate = rate
+        self.bundle_size = bundle_size
+        self.stop_at = stop_at
+        self.resubmit = resubmit
+        self.client_timeout = client_timeout
+        self.trace_phases = trace_phases
+        self.fanout = fanout
+        self.submit_interval = bundle_size / rate
+        self.next_bundle_id = 1
+        self.acked_requests = 0
+        self.submitted_requests = 0
+        self.resubmissions = 0
+        #: bundle_id -> (unacked count, submitted_at, attempt)
+        self._outstanding: dict[int, list] = {}
+        self._view_leader_guess = 1 % config.n
+
+    @property
+    def primary(self) -> int:
+        """The replica this client currently submits to."""
+        return assign_replica(
+            self.node_id, self.config.n, self._view_leader_guess)
+
+    def start(self, now: float) -> list[Effect]:
+        """Begin the periodic submission loop."""
+        return [SetTimer("submit", self.submit_interval)]
+
+    def on_timer(self, key: Hashable, now: float) -> list[Effect]:
+        """Submit on schedule; re-submit timed-out bundles."""
+        if key == "submit":
+            return self._submit(now)
+        if isinstance(key, tuple) and key[0] == "timeout":
+            return self._resubmit(key[1], now)
+        return []
+
+    def _submit(self, now: float) -> list[Effect]:
+        effects: list[Effect] = []
+        if not self.stop_at or now < self.stop_at:
+            effects.append(SetTimer("submit", self.submit_interval))
+            bundle = RequestBundle(
+                self.node_id, self.next_bundle_id, self.bundle_size,
+                self.config.payload_size, now)
+            for attempt in range(self.fanout):
+                target = assign_replica(
+                    self.node_id, self.config.n,
+                    self._view_leader_guess, attempt)
+                effects.append(Send(target, bundle))
+            self.submitted_requests += self.bundle_size
+            if self.resubmit:
+                self._outstanding[self.next_bundle_id] = [
+                    self.bundle_size, now, 0]
+                effects.append(SetTimer(
+                    ("timeout", self.next_bundle_id), self.client_timeout))
+            self.next_bundle_id += 1
+        return effects
+
+    def _resubmit(self, bundle_id: int, now: float) -> list[Effect]:
+        entry = self._outstanding.get(bundle_id)
+        if entry is None or entry[0] <= 0:
+            return []
+        remaining, submitted_at, attempt = entry
+        attempt += 1
+        entry[2] = attempt
+        self.resubmissions += 1
+        target = assign_replica(
+            self.node_id, self.config.n, self._view_leader_guess, attempt)
+        bundle = RequestBundle(
+            self.node_id, bundle_id, remaining, self.config.payload_size,
+            submitted_at, timeout_flagged=True)
+        return [
+            Send(target, bundle),
+            SetTimer(("timeout", bundle_id), self.client_timeout),
+        ]
+
+    def on_message(self, sender: int, msg, now: float) -> list[Effect]:
+        """Absorb acknowledgements."""
+        if not isinstance(msg, Ack):
+            return []
+        self.acked_requests += msg.count
+        effects: list[Effect] = [Trace("ack", {
+            "submitted_at": msg.submitted_at, "count": msg.count})]
+        if self.trace_phases:
+            effects.append(Trace("phase", {
+                "phase": "response",
+                "duration": max(0.0, now - msg.executed_at)}))
+        entry = self._outstanding.get(msg.bundle_id)
+        if entry is not None:
+            entry[0] -= msg.count
+        return effects

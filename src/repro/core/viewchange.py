@@ -1,0 +1,199 @@
+"""View-change: trigger, leader rotation, state synchronization (Appendix A).
+
+The trigger is progress-based: a replica that sees no confirmation progress
+while work is pending multicasts a signed ⟨timeout, v⟩; receiving f+1 such
+timeouts joins the trigger (amplification).  A triggered replica stops the
+normal-case mode and sends the incoming leader a view-change message
+carrying its latest stable checkpoint plus every notarized-or-confirmed
+BFTblock above the watermark.  The new leader aggregates 2f+1 of those into
+a new-view message whose *redo schedule* re-runs agreement for every
+notarized block (preserving Lemma 2 safety) and plugs gaps with dummy
+BFTblocks.
+"""
+
+from __future__ import annotations
+
+from repro.core.agreement import AgreementInstance
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.threshold import ThresholdScheme
+from repro.messages.leopard import (
+    BFTblock,
+    CheckpointProof,
+    NewViewMsg,
+    NotarizedEntry,
+    TimeoutMsg,
+    ViewChangeMsg,
+)
+
+
+def timeout_payload(view: int) -> bytes:
+    """The byte string a ⟨timeout, v⟩ message signs."""
+    return b"timeout" + view.to_bytes(8, "big")
+
+
+class ViewChangeManager:
+    """One replica's view-change state machine."""
+
+    def __init__(self, n: int, f: int, replica_id: int,
+                 registry: KeyRegistry, scheme: ThresholdScheme) -> None:
+        self.n = n
+        self.f = f
+        self.replica_id = replica_id
+        self.registry = registry
+        self.scheme = scheme
+        self.in_viewchange = False
+        self.target_view: int | None = None
+        self._timeout_senders: dict[int, set[int]] = {}
+        self._sent_timeout: set[int] = set()
+        self._vc_msgs: dict[int, dict[int, ViewChangeMsg]] = {}
+        self._new_view_built: set[int] = set()
+        self.completed_viewchanges = 0
+
+    # ------------------------------------------------------------------
+    # Trigger side
+    # ------------------------------------------------------------------
+
+    def make_timeout(self, view: int) -> TimeoutMsg:
+        """Build this replica's signed ⟨timeout, v⟩ message."""
+        self._sent_timeout.add(view)
+        signature = self.registry.plain_sign(
+            self.replica_id, timeout_payload(view))
+        return TimeoutMsg(view, signature)
+
+    def already_timed_out(self, view: int) -> bool:
+        """Whether this replica has already multicast a timeout for ``view``."""
+        return view in self._sent_timeout
+
+    def on_timeout(self, sender: int, msg: TimeoutMsg) -> bool:
+        """Record a peer timeout; True when f+1 distinct senders reached
+        (the amplification rule) for the first time."""
+        if not self.registry.plain_verify(
+                msg.signature, timeout_payload(msg.view)):
+            return False
+        if msg.signature.signer != sender:
+            return False
+        senders = self._timeout_senders.setdefault(msg.view, set())
+        before = len(senders)
+        senders.add(sender)
+        return before < self.f + 1 <= len(senders)
+
+    # ------------------------------------------------------------------
+    # View-change message construction / collection
+    # ------------------------------------------------------------------
+
+    def make_viewchange_msg(self, new_view: int,
+                            checkpoint: CheckpointProof | None,
+                            instances: list[AgreementInstance]
+                            ) -> ViewChangeMsg:
+        """Package this replica's notarized state for the incoming leader."""
+        entries = tuple(
+            NotarizedEntry(instance.block, instance.notarization)
+            for instance in sorted(instances, key=lambda i: i.sn)
+            if instance.notarization is not None)
+        unsigned = ViewChangeMsg(new_view, checkpoint, entries,
+                                 signature=self.registry.plain_sign(
+                                     self.replica_id, b""))
+        signature = self.registry.plain_sign(
+            self.replica_id, unsigned.canonical_bytes())
+        return ViewChangeMsg(new_view, checkpoint, entries, signature)
+
+    def validate_viewchange(self, sender: int, msg: ViewChangeMsg) -> bool:
+        """Check signature and every entry's notarization proof."""
+        if msg.signature.signer != sender:
+            return False
+        probe = ViewChangeMsg(msg.new_view, msg.checkpoint, msg.entries,
+                              signature=msg.signature)
+        if not self.registry.plain_verify(
+                msg.signature, probe.canonical_bytes()):
+            return False
+        for entry in msg.entries:
+            if not self.scheme.verify(
+                    entry.notarization, entry.block.digest()):
+                return False
+        return True
+
+    def collect_viewchange(self, sender: int, msg: ViewChangeMsg
+                           ) -> list[ViewChangeMsg] | None:
+        """Store a valid view-change message (at the incoming leader).
+
+        Returns the 2f+1 message set exactly once, when the quorum first
+        completes for ``msg.new_view``.
+        """
+        if not self.validate_viewchange(sender, msg):
+            return None
+        if msg.new_view in self._new_view_built:
+            return None
+        bucket = self._vc_msgs.setdefault(msg.new_view, {})
+        bucket[sender] = msg
+        if len(bucket) < 2 * self.f + 1:
+            return None
+        self._new_view_built.add(msg.new_view)
+        return list(bucket.values())
+
+    # ------------------------------------------------------------------
+    # New-view construction / validation
+    # ------------------------------------------------------------------
+
+    def build_new_view(self, new_view: int,
+                       view_changes: list[ViewChangeMsg]) -> NewViewMsg:
+        """Derive the redo schedule and sign the new-view message.
+
+        For every serial number above the highest stable checkpoint in the
+        set, the highest-view notarized block is re-run; gaps become dummy
+        blocks with empty content (Appendix A).
+        """
+        base = 0
+        for vc in view_changes:
+            if vc.checkpoint is not None and vc.checkpoint.sn > base:
+                base = vc.checkpoint.sn
+        best: dict[int, NotarizedEntry] = {}
+        for vc in view_changes:
+            for entry in vc.entries:
+                if entry.block.sn <= base:
+                    continue
+                current = best.get(entry.block.sn)
+                if current is None or entry.block.view > current.block.view:
+                    best[entry.block.sn] = entry
+        max_sn = max(best, default=base)
+        redo = []
+        for sn in range(base + 1, max_sn + 1):
+            entry = best.get(sn)
+            if entry is not None:
+                redo.append(entry.block)
+            else:
+                redo.append(BFTblock(new_view, sn, ()))
+        unsigned = NewViewMsg(new_view, tuple(view_changes), tuple(redo),
+                              signature=self.registry.plain_sign(
+                                  self.replica_id, b""))
+        signature = self.registry.plain_sign(
+            self.replica_id, unsigned.canonical_bytes())
+        return NewViewMsg(new_view, tuple(view_changes), tuple(redo),
+                          signature)
+
+    def validate_new_view(self, sender: int, msg: NewViewMsg,
+                          expected_leader: int) -> bool:
+        """Check the new-view message from the claimed incoming leader."""
+        if sender != expected_leader:
+            return False
+        if msg.signature.signer != sender:
+            return False
+        probe = NewViewMsg(msg.new_view, msg.view_changes, msg.redo,
+                           signature=msg.signature)
+        if not self.registry.plain_verify(
+                msg.signature, probe.canonical_bytes()):
+            return False
+        if len({vc.signature.signer for vc in msg.view_changes}) \
+                < 2 * self.f + 1:
+            return False
+        for vc in msg.view_changes:
+            if not self.validate_viewchange(vc.signature.signer, vc):
+                return False
+        return True
+
+    def reset_for_view(self, view: int) -> None:
+        """Clear trigger state after entering ``view``."""
+        self.in_viewchange = False
+        self.target_view = None
+        self._timeout_senders = {
+            v: s for v, s in self._timeout_senders.items() if v >= view}
+        self.completed_viewchanges += 1

@@ -1,0 +1,30 @@
+"""Cryptographic substrates: hashing, Merkle trees, Shamir, threshold
+signatures and Reed--Solomon erasure codes (see DESIGN.md §3)."""
+
+from repro.crypto.hashing import DIGEST_SIZE, digest, digest_hex
+from repro.crypto.merkle import MerkleProof, MerkleTree, verify_proof
+from repro.crypto.reed_solomon import Chunk, ReedSolomonCode, leopard_code
+from repro.crypto.threshold import (
+    SIGNATURE_SIZE,
+    SignatureShare,
+    ThresholdScheme,
+    ThresholdSignature,
+    generate,
+)
+
+__all__ = [
+    "DIGEST_SIZE",
+    "SIGNATURE_SIZE",
+    "Chunk",
+    "MerkleProof",
+    "MerkleTree",
+    "ReedSolomonCode",
+    "SignatureShare",
+    "ThresholdScheme",
+    "ThresholdSignature",
+    "digest",
+    "digest_hex",
+    "generate",
+    "leopard_code",
+    "verify_proof",
+]

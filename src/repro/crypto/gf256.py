@@ -1,0 +1,194 @@
+"""Arithmetic over the finite field GF(2^8).
+
+The Reed--Solomon erasure code used by Leopard's datablock retrieval
+mechanism (paper, Algorithm 3) operates over GF(2^8), the same field used by
+the ``klauspost/reedsolomon`` Go library that the authors' prototype links
+against.  This module provides:
+
+* scalar field operations (``add``, ``mul``, ``div``, ``inv``, ``pow``),
+* vectorized numpy operations used by the encoder on whole chunks,
+* matrix algebra over the field (multiplication and Gaussian-elimination
+  inversion) used by the decoder.
+
+The field is realised as GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1), i.e. the
+primitive polynomial ``0x11d`` conventionally used by RS implementations.
+Addition is XOR; multiplication uses log/antilog tables with generator 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The primitive (reducing) polynomial x^8 + x^4 + x^3 + x^2 + 1.
+PRIMITIVE_POLY = 0x11D
+
+#: Order of the multiplicative group.
+GROUP_ORDER = 255
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    """Build exp/log tables for the field generator ``2``.
+
+    ``exp`` has length 512 so that products of logs (< 510) can be looked up
+    without a modulo reduction.
+    """
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    value = 1
+    for power in range(GROUP_ORDER):
+        exp[power] = value
+        log[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= PRIMITIVE_POLY
+    for power in range(GROUP_ORDER, 512):
+        exp[power] = exp[power - GROUP_ORDER]
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+
+def _build_mul_table() -> np.ndarray:
+    """Full 256x256 product table for vectorized gather-multiply."""
+    table = np.zeros((256, 256), dtype=np.uint8)
+    for a in range(1, 256):
+        log_a = int(_LOG[a])
+        table[a, 1:] = _EXP[log_a + _LOG[np.arange(1, 256)]]
+    return table
+
+
+_MUL_TABLE = _build_mul_table()
+
+
+def add(a: int, b: int) -> int:
+    """Field addition (XOR; identical to subtraction)."""
+    return a ^ b
+
+
+def sub(a: int, b: int) -> int:
+    """Field subtraction (XOR; identical to addition)."""
+    return a ^ b
+
+
+def mul(a: int, b: int) -> int:
+    """Field multiplication via log/antilog tables."""
+    if a == 0 or b == 0:
+        return 0
+    return int(_EXP[int(_LOG[a]) + int(_LOG[b])])
+
+
+def div(a: int, b: int) -> int:
+    """Field division ``a / b``.
+
+    Raises:
+        ZeroDivisionError: if ``b`` is zero.
+    """
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return int(_EXP[(int(_LOG[a]) - int(_LOG[b])) % GROUP_ORDER])
+
+
+def inv(a: int) -> int:
+    """Multiplicative inverse of ``a``.
+
+    Raises:
+        ZeroDivisionError: if ``a`` is zero.
+    """
+    if a == 0:
+        raise ZeroDivisionError("zero has no inverse in GF(256)")
+    return int(_EXP[GROUP_ORDER - int(_LOG[a])])
+
+
+def power(a: int, e: int) -> int:
+    """Raise ``a`` to the integer exponent ``e`` (``e`` may be negative)."""
+    if a == 0:
+        if e == 0:
+            return 1
+        if e < 0:
+            raise ZeroDivisionError("zero has no inverse in GF(256)")
+        return 0
+    return int(_EXP[(int(_LOG[a]) * e) % GROUP_ORDER])
+
+
+def mul_vector(scalar: int, vec: np.ndarray) -> np.ndarray:
+    """Multiply every byte of ``vec`` by ``scalar`` (vectorized).
+
+    Args:
+        scalar: field element in [0, 255].
+        vec: uint8 array.
+
+    Returns:
+        A new uint8 array of the same shape.
+    """
+    if scalar == 0:
+        return np.zeros_like(vec)
+    if scalar == 1:
+        return vec.copy()
+    return _MUL_TABLE[scalar][vec]
+
+
+def addmul_vector(acc: np.ndarray, scalar: int, vec: np.ndarray) -> None:
+    """In-place ``acc ^= scalar * vec`` — the encoder/decoder inner loop."""
+    if scalar == 0:
+        return
+    if scalar == 1:
+        np.bitwise_xor(acc, vec, out=acc)
+        return
+    np.bitwise_xor(acc, _MUL_TABLE[scalar][vec], out=acc)
+
+
+def matrix_mul(a: list[list[int]], b: list[list[int]]) -> list[list[int]]:
+    """Multiply two matrices over GF(256) (row-major lists of lists)."""
+    rows, inner, cols = len(a), len(b), len(b[0])
+    if len(a[0]) != inner:
+        raise ValueError("matrix dimension mismatch")
+    out = [[0] * cols for _ in range(rows)]
+    for i in range(rows):
+        row_a = a[i]
+        row_out = out[i]
+        for k in range(inner):
+            coeff = row_a[k]
+            if coeff == 0:
+                continue
+            row_b = b[k]
+            for j in range(cols):
+                if row_b[j]:
+                    row_out[j] ^= mul(coeff, row_b[j])
+    return out
+
+
+def matrix_invert(matrix: list[list[int]]) -> list[list[int]]:
+    """Invert a square matrix over GF(256) by Gauss--Jordan elimination.
+
+    Raises:
+        ValueError: if the matrix is singular.
+    """
+    size = len(matrix)
+    work = [list(row) + [1 if i == j else 0 for j in range(size)]
+            for i, row in enumerate(matrix)]
+    for col in range(size):
+        pivot_row = next(
+            (r for r in range(col, size) if work[r][col] != 0), None)
+        if pivot_row is None:
+            raise ValueError("singular matrix over GF(256)")
+        work[col], work[pivot_row] = work[pivot_row], work[col]
+        pivot_inv = inv(work[col][col])
+        work[col] = [mul(pivot_inv, x) for x in work[col]]
+        for r in range(size):
+            if r == col or work[r][col] == 0:
+                continue
+            factor = work[r][col]
+            work[r] = [x ^ mul(factor, y) for x, y in zip(work[r], work[col])]
+    return [row[size:] for row in work]
+
+
+def vandermonde(rows: int, cols: int) -> list[list[int]]:
+    """Build a ``rows x cols`` Vandermonde matrix with evaluation points 0..rows-1.
+
+    Row ``i`` is ``[i^0, i^1, ..., i^(cols-1)]``; any ``cols`` distinct rows
+    are linearly independent, which is what makes the erasure code MDS.
+    """
+    return [[power(i, j) for j in range(cols)] for i in range(rows)]

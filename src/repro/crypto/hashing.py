@@ -1,0 +1,47 @@
+"""Hashing primitives.
+
+The paper (§III-B) writes ``H(m)`` for a collision-resistant hash and uses
+SHA-256 (β = 32 bytes) in its evaluation; we do the same.  ``digest`` accepts
+either raw bytes or any object exposing ``canonical_bytes()`` so protocol
+messages can be hashed without a separate serialization call site.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Protocol, runtime_checkable
+
+#: β in the paper's cost model: size of one hash/digest in bytes.
+DIGEST_SIZE = 32
+
+
+@runtime_checkable
+class Hashable(Protocol):
+    """Anything that can provide a canonical byte encoding of itself."""
+
+    def canonical_bytes(self) -> bytes:
+        """Return a deterministic encoding used for hashing/signing."""
+        ...
+
+
+def digest(data: bytes | Hashable) -> bytes:
+    """SHA-256 digest of raw bytes or of an object's canonical encoding."""
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        payload = bytes(data)
+    else:
+        payload = data.canonical_bytes()
+    return hashlib.sha256(payload).digest()
+
+
+def digest_hex(data: bytes | Hashable) -> str:
+    """Hex form of :func:`digest`, for logs and debugging."""
+    return digest(data).hex()
+
+
+def combine(*parts: bytes) -> bytes:
+    """Hash a sequence of byte strings with unambiguous length framing."""
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(len(part).to_bytes(8, "big"))
+        hasher.update(part)
+    return hasher.digest()

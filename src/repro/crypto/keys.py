@@ -1,0 +1,63 @@
+"""Key material for a replica group.
+
+The paper's model (§III-A): each replica holds a threshold-signature key pair
+``(tpk_i, tsk_i)`` and the master public key ``mpk``; identities and public
+keys are known to all.  ``KeyRegistry`` packages exactly that for a cluster,
+plus plain (non-threshold) per-replica signing used by view-change and
+timeout messages, modelled as fixed-size authenticators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto import threshold
+from repro.crypto.hashing import combine
+
+#: Wire size of a plain (non-threshold) replica signature, e.g. Ed25519.
+PLAIN_SIGNATURE_SIZE = 64
+
+
+@dataclass(frozen=True)
+class PlainSignature:
+    """An ordinary signature by one replica (view-change, timeout messages)."""
+
+    signer: int
+    tag: bytes
+
+    def size_bytes(self) -> int:
+        """Wire size of the signature."""
+        return PLAIN_SIGNATURE_SIZE
+
+
+class KeyRegistry:
+    """All key material for an ``n = 3f + 1`` replica group.
+
+    Args:
+        n: number of replicas.
+        f: fault bound; the threshold scheme is dealt as (2f+1, n).
+        seed: determinism seed.
+    """
+
+    def __init__(self, n: int, f: int, seed: int | None = None) -> None:
+        if n < 3 * f + 1:
+            raise ValueError("n must be at least 3f + 1")
+        self.n = n
+        self.f = f
+        self.scheme, self._signers = threshold.generate(2 * f + 1, n, seed)
+        self._secret = (seed or 0).to_bytes(8, "big")
+
+    def signer(self, replica_id: int) -> threshold.Signer:
+        """The threshold signing handle for ``replica_id``."""
+        return self._signers[replica_id]
+
+    def plain_sign(self, replica_id: int, message: bytes) -> PlainSignature:
+        """Deterministic per-replica authenticator over ``message``."""
+        tag = combine(self._secret, replica_id.to_bytes(4, "big"), message)
+        return PlainSignature(replica_id, tag)
+
+    def plain_verify(self, signature: PlainSignature, message: bytes) -> bool:
+        """Check an authenticator produced by :meth:`plain_sign`."""
+        expected = combine(
+            self._secret, signature.signer.to_bytes(4, "big"), message)
+        return signature.tag == expected

@@ -1,0 +1,107 @@
+"""SHA-256 Merkle trees with inclusion proofs.
+
+Used by Leopard's retrieval mechanism (paper, Algorithm 3): a replica
+answering a datablock query erasure-codes the datablock into ``n`` chunks,
+builds a Merkle tree over the chunks, and ships one chunk together with its
+Merkle proof; the querier accepts a chunk only if the proof verifies against
+the root, and reconstructs from ``f+1`` chunks that share a root.
+
+Construction: leaves are ``H(0x00 || leaf)``, interior nodes are
+``H(0x01 || left || right)``; domain separation prevents second-preimage
+tricks between leaf and interior layers.  Odd nodes are promoted (not
+duplicated), so proofs have at most ``ceil(log2(n))`` siblings — matching the
+``β·log n`` proof-size term in the paper's §V-B cost analysis.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+def _leaf_hash(data: bytes) -> bytes:
+    return hashlib.sha256(_LEAF_PREFIX + data).digest()
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(_NODE_PREFIX + left + right).digest()
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Inclusion proof for one leaf.
+
+    Attributes:
+        leaf_index: position of the proved leaf.
+        siblings: bottom-up list of ``(is_right, hash)`` pairs, where
+            ``is_right`` says the sibling sits to the right of the running
+            hash.
+    """
+
+    leaf_index: int
+    siblings: tuple[tuple[bool, bytes], ...]
+
+    def size_bytes(self) -> int:
+        """Wire size: 4-byte index plus 33 bytes per sibling entry."""
+        return 4 + 33 * len(self.siblings)
+
+
+class MerkleTree:
+    """A Merkle tree over a fixed list of byte-string leaves."""
+
+    def __init__(self, leaves: list[bytes]) -> None:
+        if not leaves:
+            raise ValueError("Merkle tree requires at least one leaf")
+        self._levels: list[list[bytes]] = [[_leaf_hash(x) for x in leaves]]
+        while len(self._levels[-1]) > 1:
+            prev = self._levels[-1]
+            level = []
+            for i in range(0, len(prev) - 1, 2):
+                level.append(_node_hash(prev[i], prev[i + 1]))
+            if len(prev) % 2 == 1:
+                level.append(prev[-1])
+            self._levels.append(level)
+
+    @property
+    def root(self) -> bytes:
+        """The 32-byte Merkle root."""
+        return self._levels[-1][0]
+
+    @property
+    def leaf_count(self) -> int:
+        """Number of leaves the tree was built over."""
+        return len(self._levels[0])
+
+    def proof(self, index: int) -> MerkleProof:
+        """Build the inclusion proof for leaf ``index``.
+
+        Raises:
+            IndexError: if ``index`` is out of range.
+        """
+        if not 0 <= index < self.leaf_count:
+            raise IndexError(f"leaf index {index} out of range")
+        siblings: list[tuple[bool, bytes]] = []
+        position = index
+        for level in self._levels[:-1]:
+            if position % 2 == 0:
+                if position + 1 < len(level):
+                    siblings.append((True, level[position + 1]))
+                    # An odd promoted node has no sibling at this level.
+            else:
+                siblings.append((False, level[position - 1]))
+            position //= 2
+        return MerkleProof(index, tuple(siblings))
+
+
+def verify_proof(root: bytes, leaf: bytes, proof: MerkleProof) -> bool:
+    """Check that ``leaf`` is included under ``root`` via ``proof``."""
+    running = _leaf_hash(leaf)
+    for is_right, sibling in proof.siblings:
+        if is_right:
+            running = _node_hash(running, sibling)
+        else:
+            running = _node_hash(sibling, running)
+    return running == root

@@ -1,0 +1,143 @@
+"""(k, n) Reed--Solomon erasure coding over GF(2^8).
+
+Leopard's datablock retrieval (paper, Algorithm 3 and §III-B) uses an
+``(f+1, n)``-erasure code: a datablock is encoded into ``n`` chunks such that
+*any* ``f+1`` valid chunks reconstruct it.  The authors' prototype uses the
+``klauspost/reedsolomon`` Go library; this module is a from-scratch Python
+equivalent with the same systematic-Vandermonde construction:
+
+* The encoding matrix is the ``n x k`` matrix obtained by taking a
+  ``(n+k) x k`` Vandermonde matrix and normalising its top ``k x k`` block to
+  the identity, so the first ``k`` chunks are the original data (systematic).
+* Decoding selects the rows of the encoding matrix for the ``k`` available
+  chunks, inverts that ``k x k`` submatrix over GF(256), and multiplies.
+
+Chunk payloads are numpy ``uint8`` arrays so encode/decode run at practical
+speed even for multi-hundred-KB datablocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crypto import gf256
+
+
+class ReedSolomonError(ValueError):
+    """Raised on invalid parameters or unrecoverable chunk sets."""
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One erasure-code chunk.
+
+    Attributes:
+        index: position of the chunk in [0, n); determines its coding row.
+        data: chunk payload (``shard_size`` bytes).
+    """
+
+    index: int
+    data: bytes
+
+
+class ReedSolomonCode:
+    """A systematic (data_shards, total_shards) MDS erasure code.
+
+    Args:
+        data_shards: k — number of chunks sufficient for reconstruction
+            (``f + 1`` in Leopard).
+        total_shards: n — total number of chunks produced (one per replica).
+    """
+
+    def __init__(self, data_shards: int, total_shards: int) -> None:
+        if data_shards < 1:
+            raise ReedSolomonError("data_shards must be >= 1")
+        if total_shards < data_shards:
+            raise ReedSolomonError("total_shards must be >= data_shards")
+        if total_shards > 256:
+            raise ReedSolomonError(
+                "GF(256) Reed-Solomon supports at most 256 shards")
+        self.data_shards = data_shards
+        self.total_shards = total_shards
+        self._matrix = self._build_matrix(data_shards, total_shards)
+
+    @staticmethod
+    def _build_matrix(k: int, n: int) -> list[list[int]]:
+        """Systematic encoding matrix: top k rows are the identity."""
+        vand = gf256.vandermonde(n, k)
+        top = [row[:] for row in vand[:k]]
+        top_inv = gf256.matrix_invert(top)
+        return gf256.matrix_mul(vand, top_inv)
+
+    @property
+    def parity_shards(self) -> int:
+        """Number of redundant chunks."""
+        return self.total_shards - self.data_shards
+
+    def shard_size(self, message_length: int) -> int:
+        """Bytes per chunk for a message of ``message_length`` bytes."""
+        if message_length < 0:
+            raise ReedSolomonError("message length must be non-negative")
+        return -(-max(message_length, 1) // self.data_shards)
+
+    def encode(self, message: bytes) -> list[Chunk]:
+        """Encode ``message`` into ``total_shards`` chunks.
+
+        The message is length-prefixed (4 bytes, big endian) before padding
+        so that :meth:`decode` can strip the padding unambiguously.
+        """
+        framed = len(message).to_bytes(4, "big") + message
+        size = self.shard_size(len(framed))
+        padded = framed + b"\x00" * (size * self.data_shards - len(framed))
+        data = np.frombuffer(padded, dtype=np.uint8).reshape(
+            self.data_shards, size)
+        chunks = [Chunk(i, data[i].tobytes()) for i in range(self.data_shards)]
+        for row_index in range(self.data_shards, self.total_shards):
+            row = self._matrix[row_index]
+            acc = np.zeros(size, dtype=np.uint8)
+            for col, coeff in enumerate(row):
+                gf256.addmul_vector(acc, coeff, data[col])
+            chunks.append(Chunk(row_index, acc.tobytes()))
+        return chunks
+
+    def decode(self, chunks: list[Chunk]) -> bytes:
+        """Reconstruct the original message from any ``data_shards`` chunks.
+
+        Raises:
+            ReedSolomonError: on too few chunks, duplicate or out-of-range
+                indices, or inconsistent chunk sizes.
+        """
+        unique: dict[int, Chunk] = {}
+        for chunk in chunks:
+            if not 0 <= chunk.index < self.total_shards:
+                raise ReedSolomonError(f"chunk index {chunk.index} out of range")
+            unique.setdefault(chunk.index, chunk)
+        if len(unique) < self.data_shards:
+            raise ReedSolomonError(
+                f"need {self.data_shards} distinct chunks, got {len(unique)}")
+        selected = sorted(unique.values(), key=lambda c: c.index)[
+            : self.data_shards]
+        size = len(selected[0].data)
+        if any(len(c.data) != size for c in selected):
+            raise ReedSolomonError("inconsistent chunk sizes")
+        submatrix = [self._matrix[c.index] for c in selected]
+        inverse = gf256.matrix_invert(submatrix)
+        rows = [np.frombuffer(c.data, dtype=np.uint8) for c in selected]
+        out = np.empty(self.data_shards * size, dtype=np.uint8)
+        for i in range(self.data_shards):
+            acc = np.zeros(size, dtype=np.uint8)
+            for j, coeff in enumerate(inverse[i]):
+                gf256.addmul_vector(acc, coeff, rows[j])
+            out[i * size: (i + 1) * size] = acc
+        framed = out.tobytes()
+        length = int.from_bytes(framed[:4], "big")
+        if length > len(framed) - 4:
+            raise ReedSolomonError("corrupt length prefix after decode")
+        return framed[4: 4 + length]
+
+
+def leopard_code(faults: int, replicas: int) -> ReedSolomonCode:
+    """The (f+1, n) code the paper prescribes for datablock retrieval."""
+    return ReedSolomonCode(faults + 1, replicas)

@@ -1,0 +1,105 @@
+"""Shamir secret sharing over a 256-bit prime field.
+
+This is the combinatorial engine behind the threshold signature scheme in
+:mod:`repro.crypto.threshold`.  A dealer samples a degree ``t-1`` polynomial
+``p`` with ``p(0) = secret`` and hands replica ``i`` the share ``p(i)``; any
+``t`` shares reconstruct ``p(0)`` by Lagrange interpolation, and ``t-1``
+shares reveal nothing (information-theoretically).
+
+The field is the integers modulo the secp256k1 group order, a convenient
+well-known 256-bit prime.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: A 256-bit prime (the secp256k1 group order).
+PRIME = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141
+
+
+class ShamirError(ValueError):
+    """Raised on invalid sharing parameters or share sets."""
+
+
+@dataclass(frozen=True)
+class Share:
+    """One point ``(x, y)`` on the dealer's polynomial; ``x`` is 1-based."""
+
+    x: int
+    y: int
+
+
+def _eval_poly(coefficients: list[int], x: int) -> int:
+    """Horner evaluation of the polynomial at ``x`` modulo :data:`PRIME`."""
+    acc = 0
+    for coeff in reversed(coefficients):
+        acc = (acc * x + coeff) % PRIME
+    return acc
+
+
+def split(secret: int, threshold: int, shares: int,
+          rng: random.Random | None = None) -> list[Share]:
+    """Split ``secret`` into ``shares`` shares with reconstruction threshold.
+
+    Args:
+        secret: the value to share, in ``[0, PRIME)``.
+        threshold: minimum number of shares needed to reconstruct (t).
+        shares: total number of shares to produce (n).
+        rng: randomness source; defaults to a fresh ``random.Random()``.
+
+    Raises:
+        ShamirError: if parameters are out of range.
+    """
+    if not 0 <= secret < PRIME:
+        raise ShamirError("secret out of field range")
+    if threshold < 1:
+        raise ShamirError("threshold must be >= 1")
+    if shares < threshold:
+        raise ShamirError("cannot issue fewer shares than the threshold")
+    rng = rng or random.Random()
+    coefficients = [secret] + [rng.randrange(PRIME)
+                               for _ in range(threshold - 1)]
+    return [Share(x, _eval_poly(coefficients, x))
+            for x in range(1, shares + 1)]
+
+
+def lagrange_coefficients_at_zero(xs: list[int]) -> list[int]:
+    """Lagrange basis coefficients ``l_i(0)`` for interpolation points ``xs``.
+
+    Raises:
+        ShamirError: if points are not distinct or include zero.
+    """
+    if len(set(xs)) != len(xs):
+        raise ShamirError("interpolation points must be distinct")
+    if any(x == 0 for x in xs):
+        raise ShamirError("x = 0 is reserved for the secret")
+    coefficients = []
+    for i, x_i in enumerate(xs):
+        numerator, denominator = 1, 1
+        for j, x_j in enumerate(xs):
+            if i == j:
+                continue
+            numerator = (numerator * (-x_j)) % PRIME
+            denominator = (denominator * (x_i - x_j)) % PRIME
+        coefficients.append(
+            (numerator * pow(denominator, -1, PRIME)) % PRIME)
+    return coefficients
+
+
+def reconstruct(shares: list[Share], threshold: int) -> int:
+    """Reconstruct the secret from at least ``threshold`` distinct shares.
+
+    Raises:
+        ShamirError: on fewer than ``threshold`` distinct shares.
+    """
+    unique: dict[int, Share] = {}
+    for share in shares:
+        unique.setdefault(share.x, share)
+    if len(unique) < threshold:
+        raise ShamirError(
+            f"need {threshold} distinct shares, got {len(unique)}")
+    selected = sorted(unique.values(), key=lambda s: s.x)[:threshold]
+    coefficients = lagrange_coefficients_at_zero([s.x for s in selected])
+    return sum(c * s.y for c, s in zip(coefficients, selected)) % PRIME

@@ -1,0 +1,57 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.harness.cli              # list available experiments
+    python -m repro.harness.cli fig9 table3  # run selected experiments
+    python -m repro.harness.cli all          # run everything (slow)
+
+Set ``REPRO_FULL=1`` for the paper-scale grids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.experiments import ALL_EXPERIMENTS, full_scale
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested experiments and print their tables."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the Leopard paper's tables and figures.")
+    parser.add_argument(
+        "experiments", nargs="*",
+        help="experiment ids (e.g. fig9 table3), or 'all'")
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        print("available experiments:")
+        for name in ALL_EXPERIMENTS:
+            print(f"  {name}")
+        print(f"\npaper-scale grids: {'ON' if full_scale() else 'off'} "
+              f"(set REPRO_FULL=1 to enable)")
+        return 0
+
+    selected = (list(ALL_EXPERIMENTS) if args.experiments == ["all"]
+                else args.experiments)
+    unknown = [name for name in selected if name not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    for name in selected:
+        started = time.time()
+        result = ALL_EXPERIMENTS[name]()
+        print(result.render())
+        print(f"  [{name} took {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

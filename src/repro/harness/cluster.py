@@ -1,0 +1,333 @@
+"""Cluster builders: assemble simulated Leopard/HotStuff/PBFT deployments.
+
+A :class:`Cluster` bundles the simulation, the replica cores, the client
+cores and the measurement conventions shared by every experiment:
+
+* node ids ``0..n-1`` are replicas, ``n..n+m-1`` are clients;
+* throughput is measured server-side at an honest non-leader replica over
+  the post-warmup window (paper §VI);
+* latency is measured client-side from acknowledgements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace as dc_replace
+
+from repro.analysis.calibration import (
+    CostModel,
+    DEFAULT_COSTS,
+    client_cpu_model,
+    hotstuff_cpu_model,
+    leopard_cpu_model,
+    pbft_cpu_model,
+)
+from repro.core.client import LeopardClient
+from repro.core.config import LeopardConfig
+from repro.core.replica import LeopardReplica
+from repro.crypto.keys import KeyRegistry
+from repro.errors import ConfigError
+from repro.sim.faults import HONEST, FaultBehavior
+from repro.sim.metrics import MetricsCollector, node_bandwidth_bps
+from repro.sim.network import DEFAULT_BANDWIDTH_BPS, Network
+from repro.sim.runner import Simulation
+
+
+@dataclass
+class Cluster:
+    """A ready-to-run simulated deployment."""
+
+    sim: Simulation
+    protocol: str
+    n: int
+    replicas: list
+    clients: list
+    measure_replica: int
+    warmup: float
+    leader: int
+    run_seconds: float = 0.0
+    faults: dict[int, FaultBehavior] = field(default_factory=dict)
+
+    @property
+    def metrics(self) -> MetricsCollector:
+        """The shared metrics sink."""
+        return self.sim.metrics
+
+    @property
+    def network(self) -> Network:
+        """The shared network model."""
+        return self.sim.network
+
+    def run(self, seconds: float) -> None:
+        """Advance the simulation by ``seconds`` of virtual time."""
+        self.sim.run(seconds)
+        self.run_seconds = self.sim.now
+
+    def measurement_window(self) -> float:
+        """Seconds of post-warmup time the metrics cover."""
+        return max(self.run_seconds - self.warmup, 0.0)
+
+    def throughput(self) -> float:
+        """Requests/second executed at the measurement replica."""
+        return self.metrics.throughput(
+            self.measure_replica, self.measurement_window())
+
+    def throughput_bps(self) -> float:
+        """Goodput in payload bits/second (Fig. 10's unit)."""
+        payload = self.replicas[0].config.payload_size \
+            if self.protocol == "leopard" \
+            else self.replicas[0].payload_size
+        return self.throughput() * payload * 8.0
+
+    def mean_latency(self) -> float:
+        """Mean client-observed latency in seconds."""
+        return self.metrics.mean_latency()
+
+    def leader_bandwidth_bps(self) -> float:
+        """The leader's total (send+receive) bandwidth utilization."""
+        return node_bandwidth_bps(
+            self.network, self.leader, self.run_seconds)
+
+
+def _pick_measure_replica(n: int, leader: int, faulty: set[int]) -> int:
+    for candidate in range(n):
+        if candidate != leader and candidate not in faulty:
+            return candidate
+    raise ConfigError("no honest non-leader replica available to measure")
+
+
+def build_leopard_cluster(
+        n: int,
+        seed: int = 0,
+        config: LeopardConfig | None = None,
+        costs: CostModel = DEFAULT_COSTS,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+        total_rate: float | None = None,
+        clients_per_replica: int = 1,
+        bundle_size: int = 500,
+        warmup: float | None = None,
+        faults: dict[int, FaultBehavior] | None = None,
+        resubmit: bool = False,
+        trace_phases: bool = False,
+        gst: float = 0.0,
+) -> Cluster:
+    """Build a Leopard deployment of ``n`` replicas plus load clients.
+
+    Args:
+        n: replica count (3f+1 fault tolerance, as all paper experiments).
+        seed: determinism seed (keys, jitter).
+        config: protocol configuration; defaults to ``LeopardConfig(n)``.
+        costs: CPU calibration.
+        bandwidth_bps: per-node NIC capacity (Fig. 10 throttles this).
+        total_rate: offered load in requests/s across all clients; defaults
+            to a saturating 1.6x of the calibrated capacity ceiling.
+        clients_per_replica: client nodes per non-leader replica.
+        bundle_size: requests per client submission.
+        warmup: metrics warmup window (seconds).  Defaults to an
+            estimate of the saturation ramp: the flow-control window
+            admits W·(n-1) datablocks in flight, which take roughly
+            W·(n-1)·α·t_verify seconds to stream through each data plane
+            ("each lasting until the measurement is stabilized", §VI).
+        faults: optional ``replica_id -> FaultBehavior`` map (≤ f entries).
+        resubmit: enable client re-submission on ack timeout.
+        trace_phases: collect the Table IV latency-phase breakdown.
+        gst: global stabilization time of the partial-synchrony model.
+    """
+    config = config if config is not None else LeopardConfig(n=n)
+    if config.n != n:
+        raise ConfigError("config.n must match the requested cluster size")
+    faults = dict(faults or {})
+    if len(faults) > config.f:
+        raise ConfigError(f"at most f={config.f} faulty replicas allowed")
+    client_count = max(1, (n - 1) * clients_per_replica)
+    if total_rate is None:
+        total_rate = 1.6 / costs.leopard_verify_exec_per_request
+    if warmup is None:
+        ramp = (config.max_outstanding_datablocks * (n - 1)
+                * config.datablock_size
+                * costs.leopard_verify_exec_per_request)
+        warmup = 1.0 + 3.0 * ramp
+        if config.progress_timeout < warmup:
+            # The saturation ramp at large n exceeds the default
+            # view-change trigger; a fault-free stress run must not
+            # misread pipeline fill as a dead leader (the paper: "the
+            # timer ... should be set appropriately").
+            config = dc_replace(config, progress_timeout=2.0 * warmup)
+    network = Network(n + client_count, bandwidth_bps=bandwidth_bps,
+                      gst=gst, seed=seed)
+    metrics = MetricsCollector(warmup=warmup)
+    sim = Simulation(network, replica_count=n, metrics=metrics)
+    registry = KeyRegistry(n, config.f, seed=seed)
+    leader = config.leader_of(1)
+    measure = _pick_measure_replica(n, leader, set(faults))
+
+    replicas = []
+    for replica_id in range(n):
+        replica_config = config
+        if trace_phases and replica_id == measure:
+            replica_config = dc_replace(config, trace_phases=True)
+        replica = LeopardReplica(replica_id, replica_config, registry)
+        sim.add_node(replica, cpu_model=leopard_cpu_model(costs),
+                     fault=faults.get(replica_id, HONEST))
+        replicas.append(replica)
+
+    clients = []
+    per_client_rate = total_rate / client_count
+    for index in range(client_count):
+        client_id = n + index
+        client = LeopardClient(
+            client_id, config, rate=per_client_rate,
+            bundle_size=bundle_size, resubmit=resubmit,
+            trace_phases=trace_phases)
+        sim.add_node(client, cpu_model=client_cpu_model(costs))
+        clients.append(client)
+
+    cluster = Cluster(sim=sim, protocol="leopard", n=n, replicas=replicas,
+                      clients=clients, measure_replica=measure,
+                      warmup=warmup, leader=leader, faults=faults)
+    # Prime the mempools so datablocks are full from the start; the paper
+    # stress-tests "with a saturated request rate ... until the measurement
+    # is stabilized".
+    burst = max(1, math.ceil(
+        2 * config.datablock_size / max(1, clients_per_replica)))
+    _prime_leopard(cluster, burst)
+    return cluster
+
+
+def _prime_leopard(cluster: Cluster, burst: int) -> None:
+    """Inject an initial request burst directly into client submission."""
+    from repro.messages.client import RequestBundle
+
+    for client in cluster.clients:
+        bundle = RequestBundle(client.node_id, 0, burst,
+                               client.config.payload_size, 0.0)
+        target = client.primary
+        cluster.sim.queue.schedule(
+            0.0,
+            lambda t=target, b=bundle, c=client.node_id:
+            cluster.sim.deliver(c, t, b))
+
+
+def throttle_all_replicas(cluster: Cluster, bandwidth_bps: float) -> None:
+    """NetEm stand-in: throttle every replica NIC (paper §VI-B)."""
+    for replica_id in range(cluster.n):
+        cluster.network.set_bandwidth(replica_id, bandwidth_bps)
+
+
+def build_hotstuff_cluster(
+        n: int,
+        seed: int = 0,
+        config: "HotStuffConfig | None" = None,
+        costs: CostModel = DEFAULT_COSTS,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+        total_rate: float | None = None,
+        client_count: int = 4,
+        bundle_size: int = 500,
+        warmup: float = 1.0,
+        faults: dict[int, FaultBehavior] | None = None,
+) -> Cluster:
+    """Build a chained-HotStuff deployment (clients submit to the leader).
+
+    Parameters mirror :func:`build_leopard_cluster`; ``total_rate``
+    defaults to a load saturating the leader's calibrated ceiling.
+    """
+    from repro.baselines.client import BaselineClient
+    from repro.baselines.hotstuff.config import HotStuffConfig
+    from repro.baselines.hotstuff.replica import HotStuffReplica
+
+    config = config if config is not None else HotStuffConfig(n=n)
+    if config.n != n:
+        raise ConfigError("config.n must match the requested cluster size")
+    faults = dict(faults or {})
+    if total_rate is None:
+        # Offered load comfortably above both the CPU and the NIC ceiling.
+        nic_ceiling = (bandwidth_bps / 2.0) / (
+            config.payload_size * 8.0 * max(1, n - 1))
+        cpu_ceiling = 1.0 / (costs.hotstuff_ingest_per_request
+                             + costs.hotstuff_exec_per_request
+                             + costs.per_send_byte * config.payload_size
+                             * (n - 1))
+        total_rate = 1.5 * min(nic_ceiling, cpu_ceiling)
+    network = Network(n + client_count, bandwidth_bps=bandwidth_bps,
+                      seed=seed)
+    metrics = MetricsCollector(warmup=warmup)
+    sim = Simulation(network, replica_count=n, metrics=metrics)
+    leader = config.leader_of(1)
+    measure = _pick_measure_replica(n, leader, set(faults))
+
+    replicas = []
+    for replica_id in range(n):
+        replica = HotStuffReplica(replica_id, config)
+        sim.add_node(replica, cpu_model=hotstuff_cpu_model(costs),
+                     fault=faults.get(replica_id, HONEST))
+        replicas.append(replica)
+
+    clients = []
+    per_client_rate = total_rate / client_count
+    for index in range(client_count):
+        client = BaselineClient(
+            n + index, target=leader, rate=per_client_rate,
+            payload_size=config.payload_size, bundle_size=bundle_size)
+        sim.add_node(client, cpu_model=client_cpu_model(costs))
+        clients.append(client)
+
+    return Cluster(sim=sim, protocol="hotstuff", n=n, replicas=replicas,
+                   clients=clients, measure_replica=measure,
+                   warmup=warmup, leader=leader, faults=faults)
+
+
+def build_pbft_cluster(
+        n: int,
+        seed: int = 0,
+        config: "PbftConfig | None" = None,
+        costs: CostModel = DEFAULT_COSTS,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+        total_rate: float | None = None,
+        client_count: int = 4,
+        bundle_size: int = 500,
+        warmup: float = 1.0,
+        faults: dict[int, FaultBehavior] | None = None,
+) -> Cluster:
+    """Build a PBFT / BFT-SMaRt deployment (Fig. 1 baseline)."""
+    from repro.baselines.client import BaselineClient
+    from repro.baselines.pbft.config import PbftConfig
+    from repro.baselines.pbft.replica import PbftReplica
+
+    config = config if config is not None else PbftConfig(n=n)
+    if config.n != n:
+        raise ConfigError("config.n must match the requested cluster size")
+    faults = dict(faults or {})
+    if total_rate is None:
+        nic_ceiling = (bandwidth_bps / 2.0) / (
+            config.payload_size * 8.0 * max(1, n - 1))
+        cpu_ceiling = 1.0 / (costs.pbft_ingest_per_request
+                             + costs.pbft_exec_per_request
+                             + costs.per_send_byte * config.payload_size
+                             * (n - 1))
+        total_rate = 1.5 * min(nic_ceiling, cpu_ceiling)
+    network = Network(n + client_count, bandwidth_bps=bandwidth_bps,
+                      seed=seed)
+    metrics = MetricsCollector(warmup=warmup)
+    sim = Simulation(network, replica_count=n, metrics=metrics)
+    leader = config.leader_of(1)
+    measure = _pick_measure_replica(n, leader, set(faults))
+
+    replicas = []
+    for replica_id in range(n):
+        replica = PbftReplica(replica_id, config)
+        sim.add_node(replica, cpu_model=pbft_cpu_model(costs),
+                     fault=faults.get(replica_id, HONEST))
+        replicas.append(replica)
+
+    clients = []
+    per_client_rate = total_rate / client_count
+    for index in range(client_count):
+        client = BaselineClient(
+            n + index, target=leader, rate=per_client_rate,
+            payload_size=config.payload_size, bundle_size=bundle_size)
+        sim.add_node(client, cpu_model=client_cpu_model(costs))
+        clients.append(client)
+
+    return Cluster(sim=sim, protocol="pbft", n=n, replicas=replicas,
+                   clients=clients, measure_replica=measure,
+                   warmup=warmup, leader=leader, faults=faults)

@@ -1,0 +1,60 @@
+"""Plain-text rendering of experiment results (the paper's rows/series)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """Rows regenerating one of the paper's tables or figures.
+
+    Attributes:
+        name: experiment id, e.g. ``"fig9"``.
+        title: human-readable description.
+        headers: column names.
+        rows: data rows (tuples matching ``headers``).
+        notes: provenance notes (simulated vs analytical, grid trimming).
+    """
+
+    name: str
+    title: str
+    headers: list[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Format as an aligned ASCII table."""
+        columns = [list(map(_fmt, column))
+                   for column in zip(*([tuple(self.headers)] + [
+                       tuple(row) for row in self.rows]))]
+        widths = [max(len(cell) for cell in column) for column in columns]
+        lines = [f"== {self.name}: {self.title} =="]
+        header = " | ".join(
+            h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(
+                _fmt(cell).ljust(width)
+                for cell, width in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_all(results: list[ExperimentResult]) -> str:
+    """Render several results separated by blank lines."""
+    return "\n\n".join(result.render() for result in results)

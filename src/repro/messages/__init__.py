@@ -1,0 +1,20 @@
+"""Wire messages for Leopard, HotStuff, PBFT and clients."""
+
+from repro.messages.base import (
+    DEFAULT_PAYLOAD,
+    HASH_SIZE,
+    HEADER_SIZE,
+    SIG_SIZE,
+    VOTE_SIZE,
+)
+from repro.messages.client import Ack, RequestBundle
+
+__all__ = [
+    "Ack",
+    "DEFAULT_PAYLOAD",
+    "HASH_SIZE",
+    "HEADER_SIZE",
+    "RequestBundle",
+    "SIG_SIZE",
+    "VOTE_SIZE",
+]

@@ -1,0 +1,29 @@
+"""Wire-size model shared by all protocol messages.
+
+Sizes follow the parameters the paper fixes for its evaluation (§V-B,
+footnote 7): β = 32-byte hashes (SHA-256), κ = 48-byte threshold-BLS
+signatures/shares, 128-byte request payloads by default.  Every message adds
+a fixed :data:`HEADER_SIZE` envelope (type tag, sender, view/sequence
+framing), mirroring what a compact binary codec would emit.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import DIGEST_SIZE
+from repro.crypto.keys import PLAIN_SIGNATURE_SIZE
+from repro.crypto.threshold import SIGNATURE_SIZE
+
+#: Fixed per-message envelope: type tag, sender id, instance framing.
+HEADER_SIZE = 32
+
+#: β in the paper's cost model.
+HASH_SIZE = DIGEST_SIZE
+
+#: κ in the paper's cost model.
+VOTE_SIZE = SIGNATURE_SIZE
+
+#: Size of an ordinary (non-threshold) signature.
+SIG_SIZE = PLAIN_SIGNATURE_SIZE
+
+#: Default request payload size used throughout the evaluation (bytes).
+DEFAULT_PAYLOAD = 128

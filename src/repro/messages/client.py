@@ -1,0 +1,68 @@
+"""Client-facing traffic: request bundles and acknowledgements.
+
+Client traffic is modelled at *bundle* granularity (DESIGN.md §5): a bundle
+stands for ``count`` identically-sized requests submitted together by one
+client, carrying a single submission timestamp for latency measurement.  Its
+wire size is exactly ``count * payload_size`` plus the envelope, so replica
+NICs see the same byte stream as if requests arrived individually.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.messages.base import HEADER_SIZE
+
+
+@dataclass(frozen=True, slots=True)
+class RequestBundle:
+    """``count`` pending requests from one client.
+
+    Attributes:
+        client_id: node id of the submitting client.
+        bundle_id: client-local sequence number.
+        count: number of requests in the bundle.
+        payload_size: bytes per request (128 in the paper's default setup).
+        submitted_at: client clock at submission (latency anchor).
+        timeout_flagged: True when this is a re-submission carrying the
+            special time-out tag that can trigger a view-change (Appendix A).
+    """
+
+    client_id: int
+    bundle_id: int
+    count: int
+    payload_size: int
+    submitted_at: float
+    timeout_flagged: bool = False
+
+    msg_class = "client"
+
+    def size_bytes(self) -> int:
+        """Envelope plus the raw request payloads."""
+        return HEADER_SIZE + self.count * self.payload_size
+
+
+@dataclass(frozen=True, slots=True)
+class Ack:
+    """Confirmation of one bundle span back to the submitting client.
+
+    Attributes:
+        client_id: destination client.
+        bundle_id: the bundle (or span of it) being acknowledged.
+        count: number of requests acknowledged.
+        submitted_at: echoed submission timestamp.
+        executed_at: replica clock at execution (for the Table IV
+            "response to the client" phase).
+    """
+
+    client_id: int
+    bundle_id: int
+    count: int
+    submitted_at: float
+    executed_at: float
+
+    msg_class = "ack"
+
+    def size_bytes(self) -> int:
+        """Small fixed-size receipt."""
+        return HEADER_SIZE + 16

@@ -1,0 +1,105 @@
+"""Messages for the chained-HotStuff baseline (paper §II, [30]).
+
+Faithful to the cost profile of ``libhotstuff`` (the implementation the
+paper compares against): the leader batches *full request payloads* into
+each block — the O(n) leader dissemination cost of the paper's Eq. (1) —
+votes are ordinary signatures sent to the leader, and a quorum certificate
+is a vector of 2f+1 signatures carried in the next block (pipelining: one
+vote round per block amortized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import digest
+from repro.messages.base import HASH_SIZE, HEADER_SIZE, SIG_SIZE
+from repro.messages.leopard import BundleSpan
+
+
+@dataclass(frozen=True, slots=True)
+class QuorumCert:
+    """A QC over one block: 2f+1 ordinary signatures (vector, not threshold)."""
+
+    block_digest: bytes
+    height: int
+    signer_count: int
+
+    def size_bytes(self) -> int:
+        return HASH_SIZE + 8 + SIG_SIZE * self.signer_count
+
+
+@dataclass(frozen=True, slots=True)
+class HSBlock:
+    """A chained-HotStuff block: payloads + parent link + embedded QC.
+
+    Attributes:
+        height: position in the chain (one block per height; stable leader).
+        parent_digest: hash link to the parent block.
+        justify: QC for the parent (None only for the genesis child).
+        request_count: number of requests batched in.
+        payload_size: bytes per request.
+        spans: client provenance for acknowledgements (same device as
+            Leopard's datablocks; see DESIGN.md §5).
+        proposed_at: instrumentation timestamp (excluded from digest).
+    """
+
+    height: int
+    parent_digest: bytes
+    justify: QuorumCert | None
+    request_count: int
+    payload_size: int
+    spans: tuple[BundleSpan, ...] = ()
+    proposed_at: float = 0.0
+
+    msg_class = "block"
+
+    def canonical_bytes(self) -> bytes:
+        justify_digest = (self.justify.block_digest
+                          if self.justify is not None else b"")
+        return b"".join([
+            b"hsblock",
+            self.height.to_bytes(8, "big"),
+            self.parent_digest,
+            justify_digest,
+            self.request_count.to_bytes(4, "big"),
+            self.payload_size.to_bytes(4, "big"),
+        ])
+
+    def digest(self) -> bytes:
+        return digest(self.canonical_bytes())
+
+    def size_bytes(self) -> int:
+        justify_size = (self.justify.size_bytes()
+                        if self.justify is not None else 0)
+        return (HEADER_SIZE + 8 + HASH_SIZE + justify_size
+                + BundleSpan.WIRE_SIZE * len(self.spans)
+                + self.request_count * self.payload_size)
+
+
+@dataclass(frozen=True, slots=True)
+class HSVote:
+    """One replica's signature on a block, sent to the leader."""
+
+    height: int
+    block_digest: bytes
+    voter: int
+
+    msg_class = "vote"
+
+    def size_bytes(self) -> int:
+        return HEADER_SIZE + 8 + HASH_SIZE + SIG_SIZE
+
+
+@dataclass(frozen=True, slots=True)
+class HSNewView:
+    """Pacemaker view-change message (timeout path; not on the hot path)."""
+
+    view: int
+    high_qc: QuorumCert | None
+
+    msg_class = "viewchange"
+
+    def size_bytes(self) -> int:
+        qc_size = self.high_qc.size_bytes() if self.high_qc is not None else 0
+        return HEADER_SIZE + 8 + qc_size + SIG_SIZE

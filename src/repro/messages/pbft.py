@@ -1,0 +1,76 @@
+"""Messages for the PBFT / BFT-SMaRt baseline (paper Fig. 1, [4], [8]).
+
+The classic three-phase pattern: the leader's pre-prepare carries full
+request payloads; prepare and commit votes are *broadcast all-to-all* —
+the O(n²) vote traffic that, together with leader dissemination, gives
+PBFT its scaling profile in the paper's Fig. 1 and Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import digest
+from repro.messages.base import HASH_SIZE, HEADER_SIZE, SIG_SIZE
+from repro.messages.leopard import BundleSpan
+
+
+@dataclass(frozen=True, slots=True)
+class PrePrepare:
+    """⟨PRE-PREPARE, v, sn, batch⟩ with full payloads, leader to all."""
+
+    view: int
+    sn: int
+    request_count: int
+    payload_size: int
+    spans: tuple[BundleSpan, ...] = ()
+    proposed_at: float = 0.0
+
+    msg_class = "block"
+
+    def canonical_bytes(self) -> bytes:
+        return b"".join([
+            b"preprepare",
+            self.view.to_bytes(8, "big"),
+            self.sn.to_bytes(8, "big"),
+            self.request_count.to_bytes(4, "big"),
+            self.payload_size.to_bytes(4, "big"),
+        ])
+
+    def digest(self) -> bytes:
+        return digest(self.canonical_bytes())
+
+    def size_bytes(self) -> int:
+        return (HEADER_SIZE + 16 + SIG_SIZE
+                + BundleSpan.WIRE_SIZE * len(self.spans)
+                + self.request_count * self.payload_size)
+
+
+@dataclass(frozen=True, slots=True)
+class Prepare:
+    """⟨PREPARE, v, sn, d, i⟩ — broadcast by every replica."""
+
+    view: int
+    sn: int
+    block_digest: bytes
+    voter: int
+
+    msg_class = "vote"
+
+    def size_bytes(self) -> int:
+        return HEADER_SIZE + 16 + HASH_SIZE + SIG_SIZE
+
+
+@dataclass(frozen=True, slots=True)
+class Commit:
+    """⟨COMMIT, v, sn, d, i⟩ — broadcast by every replica."""
+
+    view: int
+    sn: int
+    block_digest: bytes
+    voter: int
+
+    msg_class = "vote"
+
+    def size_bytes(self) -> int:
+        return HEADER_SIZE + 16 + HASH_SIZE + SIG_SIZE

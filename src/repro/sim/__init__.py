@@ -1,0 +1,26 @@
+"""Discrete-event simulation substrate (the paper's EC2 testbed stand-in)."""
+
+from repro.sim.events import EventQueue
+from repro.sim.metrics import (
+    MetricsCollector,
+    bandwidth_report,
+    node_bandwidth_bps,
+    utilization_breakdown,
+)
+from repro.sim.network import Network, Nic, NicStats
+from repro.sim.node import SimNode, zero_cpu
+from repro.sim.runner import Simulation
+
+__all__ = [
+    "EventQueue",
+    "MetricsCollector",
+    "Network",
+    "Nic",
+    "NicStats",
+    "SimNode",
+    "Simulation",
+    "bandwidth_report",
+    "node_bandwidth_bps",
+    "utilization_breakdown",
+    "zero_cpu",
+]

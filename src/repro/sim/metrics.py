@@ -1,0 +1,144 @@
+"""Experiment metrics: throughput, latency, bandwidth breakdowns.
+
+Collects exactly the quantities the paper reports:
+
+* throughput in requests/second over a post-warmup measurement window,
+  measured at an honest replica's execution point (server-side, §VI);
+* request latency from client submission to acknowledgement (client-side);
+* per-node bandwidth, total and bucketed by message class, from
+  :class:`repro.sim.network.NicStats` — Tables III, Figs. 2/11;
+* latency-phase traces for the Table IV breakdown.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.sim.network import Network
+
+
+@dataclass
+class LatencySample:
+    """One acknowledged client bundle."""
+
+    submitted_at: float
+    acked_at: float
+
+    @property
+    def latency(self) -> float:
+        """Seconds from submission to acknowledgement."""
+        return self.acked_at - self.submitted_at
+
+
+@dataclass
+class MetricsCollector:
+    """Mutable sink the simulation writes into while running.
+
+    Attributes:
+        warmup: executions/acks before this simulated time are ignored so
+            that steady state, not ramp-up, is measured (paper: "each
+            lasting until the measurement is stabilized").
+    """
+
+    warmup: float = 0.0
+    executed_requests: dict[int, int] = field(default_factory=dict)
+    first_execution: dict[int, float] = field(default_factory=dict)
+    last_execution: dict[int, float] = field(default_factory=dict)
+    latencies: list[LatencySample] = field(default_factory=list)
+    phase_durations: dict[str, float] = field(default_factory=dict)
+    phase_counts: dict[str, int] = field(default_factory=dict)
+
+    def record_execution(self, node_id: int, count: int, now: float) -> None:
+        """Record ``count`` requests executed at ``node_id``."""
+        if now < self.warmup:
+            return
+        self.executed_requests[node_id] = (
+            self.executed_requests.get(node_id, 0) + count)
+        self.first_execution.setdefault(node_id, now)
+        self.last_execution[node_id] = now
+
+    def record_ack(self, submitted_at: float, now: float) -> None:
+        """Record a client acknowledgement (one bundle)."""
+        if now < self.warmup:
+            return
+        self.latencies.append(LatencySample(submitted_at, now))
+
+    def record_phase(self, phase: str, duration: float, now: float) -> None:
+        """Accumulate time attributed to a protocol phase (Table IV)."""
+        if now < self.warmup:
+            return
+        self.phase_durations[phase] = (
+            self.phase_durations.get(phase, 0.0) + duration)
+        self.phase_counts[phase] = self.phase_counts.get(phase, 0) + 1
+
+    def throughput(self, node_id: int, duration: float) -> float:
+        """Requests/second executed at ``node_id`` over ``duration`` seconds."""
+        if duration <= 0:
+            return 0.0
+        return self.executed_requests.get(node_id, 0) / duration
+
+    def mean_latency(self) -> float:
+        """Mean client latency in seconds (NaN when no samples)."""
+        if not self.latencies:
+            return math.nan
+        return sum(s.latency for s in self.latencies) / len(self.latencies)
+
+    def latency_percentile(self, pct: float) -> float:
+        """Latency percentile in seconds (NaN when no samples)."""
+        if not self.latencies:
+            return math.nan
+        ordered = sorted(s.latency for s in self.latencies)
+        rank = min(len(ordered) - 1,
+                   max(0, int(round(pct / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def phase_breakdown(self) -> dict[str, float]:
+        """Fraction of total phase time per phase (sums to 1.0)."""
+        total = sum(self.phase_durations.values())
+        if total <= 0:
+            return {}
+        return {phase: duration / total
+                for phase, duration in self.phase_durations.items()}
+
+
+def bandwidth_report(network: Network, node_id: int, duration: float
+                     ) -> dict[str, dict[str, float]]:
+    """Per-message-class send/receive bandwidth at ``node_id`` in bps."""
+    stats = network.stats(node_id)
+    if duration <= 0:
+        duration = 1.0
+    return {
+        "send": {cls: bytes_ * 8.0 / duration
+                 for cls, bytes_ in stats.sent_bytes.items()},
+        "recv": {cls: bytes_ * 8.0 / duration
+                 for cls, bytes_ in stats.recv_bytes.items()},
+    }
+
+
+def utilization_breakdown(network: Network, node_id: int
+                          ) -> dict[str, dict[str, float]]:
+    """Table III-style breakdown: share of the node's total traffic.
+
+    Returns ``{"send": {class: fraction}, "recv": {class: fraction}}`` where
+    fractions are of the node's combined (send + receive) bytes.
+    """
+    stats = network.stats(node_id)
+    total = stats.total_sent() + stats.total_recv()
+    if total == 0:
+        return {"send": {}, "recv": {}}
+    return {
+        "send": {cls: bytes_ / total
+                 for cls, bytes_ in stats.sent_bytes.items()},
+        "recv": {cls: bytes_ / total
+                 for cls, bytes_ in stats.recv_bytes.items()},
+    }
+
+
+def node_bandwidth_bps(network: Network, node_id: int, duration: float
+                       ) -> float:
+    """Total (send + receive) bandwidth utilization of a node in bps."""
+    stats = network.stats(node_id)
+    if duration <= 0:
+        return 0.0
+    return (stats.total_sent() + stats.total_recv()) * 8.0 / duration

@@ -1,0 +1,195 @@
+"""Bandwidth-accurate network model.
+
+This is the substitute for the paper's EC2 testbed (DESIGN.md §2).  Each
+node owns a NIC modelled as a single *shared* (half-duplex) serializer of
+capacity ``bandwidth_bps``: every bit sent or received occupies the NIC for
+``1/bandwidth`` seconds.  This matches the paper's cost accounting, where a
+replica's communication cost ``c_i`` sums bits in *and* out (§I, §V-B) — and
+it is what produces Eq. (1)'s leader bottleneck: a leader multicasting a
+block serializes ``(n-1)`` copies one after another.
+
+Propagation uses the partial-synchrony model of Dwork et al. adopted by the
+paper (§III-A): after GST messages take ``base_delay`` (plus small jitter);
+before GST an adversarial extra delay of up to ``pre_gst_extra_delay`` is
+added.
+
+Every transmission is tagged with its message class, feeding the byte
+accounting behind Tables III and Figs. 2/11/12/13.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.interfaces import Message
+
+#: Default per-node NIC capacity — *total*, split half per direction.
+#: Calibrated against the paper's c5.xlarge instances (nominal 9.8 Gbps
+#: full duplex): 6 Gbps effective per direction reproduces the paper's
+#: HotStuff throughput-vs-n curve (e.g. ~20 Kreq/s at n = 300, Fig. 9).
+DEFAULT_BANDWIDTH_BPS = 12e9
+
+#: Default one-way propagation delay (single-datacenter, as in the paper).
+DEFAULT_BASE_DELAY = 1e-3
+
+
+@dataclass
+class NicStats:
+    """Byte counters for one node, bucketed by message class."""
+
+    sent_bytes: dict[str, int] = field(default_factory=dict)
+    recv_bytes: dict[str, int] = field(default_factory=dict)
+    sent_msgs: dict[str, int] = field(default_factory=dict)
+    recv_msgs: dict[str, int] = field(default_factory=dict)
+
+    def record_send(self, msg_class: str, size: int) -> None:
+        """Account one outgoing message."""
+        self.sent_bytes[msg_class] = self.sent_bytes.get(msg_class, 0) + size
+        self.sent_msgs[msg_class] = self.sent_msgs.get(msg_class, 0) + 1
+
+    def record_recv(self, msg_class: str, size: int) -> None:
+        """Account one incoming message."""
+        self.recv_bytes[msg_class] = self.recv_bytes.get(msg_class, 0) + size
+        self.recv_msgs[msg_class] = self.recv_msgs.get(msg_class, 0) + 1
+
+    def total_sent(self) -> int:
+        """Total bytes sent across all classes."""
+        return sum(self.sent_bytes.values())
+
+    def total_recv(self) -> int:
+        """Total bytes received across all classes."""
+        return sum(self.recv_bytes.values())
+
+
+class Nic:
+    """One node's network interface: egress + ingress serializers.
+
+    ``bandwidth_bps`` is the node's *total* communication capacity — the
+    quantity the paper's cost model divides a replica's combined sent+
+    received bits by (C in §I and §V-B).  Each direction gets half of it,
+    so a node whose traffic is all one-directional (a HotStuff leader
+    sending blocks) can use at most C/2, while a node with symmetric
+    traffic (a Leopard non-leader relaying datablocks) saturates the full
+    C — which is exactly what makes the paper's scaling-up fraction γ
+    approach 1/2 for Leopard (Eq. (4)) and 1/(n-1) for leader-based
+    dissemination.
+    """
+
+    __slots__ = ("bandwidth_bps", "tx_busy_until", "rx_busy_until", "stats")
+
+    def __init__(self, bandwidth_bps: float) -> None:
+        if bandwidth_bps <= 0:
+            raise ConfigError("NIC bandwidth must be positive")
+        self.bandwidth_bps = bandwidth_bps
+        self.tx_busy_until = 0.0
+        self.rx_busy_until = 0.0
+        self.stats = NicStats()
+
+    @property
+    def directional_bps(self) -> float:
+        """Per-direction capacity (half the total)."""
+        return self.bandwidth_bps / 2.0
+
+    def occupy_tx(self, now: float, size_bytes: int) -> float:
+        """Serialize an outgoing message; returns wire-departure time."""
+        start = self.tx_busy_until if self.tx_busy_until > now else now
+        self.tx_busy_until = start + (size_bytes * 8.0) / self.directional_bps
+        return self.tx_busy_until
+
+    def occupy_rx(self, arrival_start: float, size_bytes: int) -> float:
+        """Serialize an incoming message; returns delivery-complete time."""
+        start = self.rx_busy_until if self.rx_busy_until > arrival_start \
+            else arrival_start
+        self.rx_busy_until = start + (size_bytes * 8.0) / self.directional_bps
+        return self.rx_busy_until
+
+    def backlog(self, now: float) -> float:
+        """Seconds of queued egress work (0 when idle)."""
+        remaining = self.tx_busy_until - now
+        return remaining if remaining > 0 else 0.0
+
+
+class Network:
+    """The modelled network connecting all nodes (replicas and clients).
+
+    Args:
+        node_count: total number of nodes; node ids are ``0..node_count-1``.
+        bandwidth_bps: default NIC capacity applied to every node (override
+            per node with :meth:`set_bandwidth`).
+        base_delay: one-way propagation delay after GST.
+        jitter: uniform extra delay in ``[0, jitter]`` applied per message.
+        gst: global stabilization time; before it, messages suffer an extra
+            uniform delay in ``[0, pre_gst_extra_delay]``.
+        seed: determinism seed for jitter.
+    """
+
+    def __init__(self, node_count: int,
+                 bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+                 base_delay: float = DEFAULT_BASE_DELAY,
+                 jitter: float = 2e-4,
+                 gst: float = 0.0,
+                 pre_gst_extra_delay: float = 0.5,
+                 seed: int = 0) -> None:
+        if node_count < 1:
+            raise ConfigError("network needs at least one node")
+        self.node_count = node_count
+        self.base_delay = base_delay
+        self.jitter = jitter
+        self.gst = gst
+        self.pre_gst_extra_delay = pre_gst_extra_delay
+        self.nics = [Nic(bandwidth_bps) for _ in range(node_count)]
+        self._rng = random.Random(seed)
+
+    def set_bandwidth(self, node_id: int, bandwidth_bps: float) -> None:
+        """Throttle (or boost) one node's NIC — the NetEm stand-in (§VI-B)."""
+        if bandwidth_bps <= 0:
+            raise ConfigError("NIC bandwidth must be positive")
+        self.nics[node_id].bandwidth_bps = bandwidth_bps
+
+    def set_all_bandwidth(self, bandwidth_bps: float) -> None:
+        """Throttle every node's NIC, as the paper does for Fig. 10."""
+        for node_id in range(self.node_count):
+            self.set_bandwidth(node_id, bandwidth_bps)
+
+    def propagation_delay(self, now: float) -> float:
+        """Sample the one-way propagation delay for a message sent at ``now``."""
+        delay = self.base_delay
+        if self.jitter > 0:
+            delay += self._rng.uniform(0.0, self.jitter)
+        if now < self.gst:
+            delay += self._rng.uniform(0.0, self.pre_gst_extra_delay)
+        return delay
+
+    def send_phase(self, src: int, msg: Message, now: float) -> float:
+        """Egress half of a unicast: serialize at the sender, propagate.
+
+        Returns the time the message *arrives* at the destination NIC.
+        The ingress half (:meth:`receive_phase`) must be invoked at that
+        time so receiver-side queueing is reserved in arrival order.
+        """
+        size = msg.size_bytes()
+        src_nic = self.nics[src]
+        departed = src_nic.occupy_tx(now, size)
+        src_nic.stats.record_send(msg.msg_class, size)
+        return departed + self.propagation_delay(now)
+
+    def receive_phase(self, dst: int, msg: Message, now: float) -> float:
+        """Ingress half: serialize through the receiver's NIC at arrival.
+
+        Returns the delivery-complete time (when the payload is fully in).
+        """
+        size = msg.size_bytes()
+        dst_nic = self.nics[dst]
+        delivered = dst_nic.occupy_rx(now, size)
+        dst_nic.stats.record_recv(msg.msg_class, size)
+        return delivered
+
+    def stats(self, node_id: int) -> NicStats:
+        """Byte counters for ``node_id``."""
+        return self.nics[node_id].stats
+
+    def backlog(self, node_id: int, now: float) -> float:
+        """Seconds of queued NIC work at ``node_id`` (backpressure signal)."""
+        return self.nics[node_id].backlog(now)

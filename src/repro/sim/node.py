@@ -1,0 +1,189 @@
+"""Hosts: the glue between a sans-io protocol core and the simulator.
+
+A :class:`SimNode` owns one protocol core and interprets its effects —
+sends become NIC transmissions, timers become queue events — while applying
+two cross-cutting models:
+
+* a **CPU cost model** (callable ``(msg, receiving) -> seconds``): each node
+  has a single modelled CPU whose busy time delays message handling; this is
+  what caps throughput when bandwidth is plentiful (see
+  :mod:`repro.analysis.calibration`);
+* a **fault behaviour** (:mod:`repro.sim.faults`) that can rewrite outgoing
+  effects and drop incoming messages, realising the paper's Byzantine
+  adversary.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable
+
+from repro.interfaces import (
+    Broadcast,
+    CancelTimer,
+    Effect,
+    Executed,
+    Message,
+    ProtocolCore,
+    Send,
+    SetTimer,
+    Trace,
+)
+from repro.sim.events import EventQueue
+from repro.sim.faults import HONEST, FaultBehavior
+from repro.sim.metrics import MetricsCollector
+from repro.sim.network import Network
+
+CpuModel = Callable[[Message, bool], float]
+
+#: Message classes processed on the data plane.  Modelled nodes have two
+#: processing lanes (the paper's c5.xlarge instances have 4 vCPUs): heavy
+#: per-request payload work (datablock/client/chunk processing) must not
+#: head-of-line-block the consensus-critical control messages (votes,
+#: proofs, readies), exactly as a threaded implementation separates them.
+DATA_PLANE_CLASSES = frozenset({"datablock", "client", "resp", "block"})
+
+
+def zero_cpu(msg: Message, receiving: bool) -> float:
+    """A CPU model that charges nothing."""
+    return 0.0
+
+
+class SimNode:
+    """One simulated node (replica or client).
+
+    Args:
+        core: the sans-io protocol core to host.
+        network: shared network model.
+        queue: shared event queue.
+        metrics: shared metrics sink.
+        replica_ids: ids that :class:`Broadcast` effects expand to.
+        cpu_model: per-message CPU cost model.
+        fault: Byzantine behaviour wrapper (honest by default).
+    """
+
+    def __init__(self, core: ProtocolCore, network: Network,
+                 queue: EventQueue, metrics: MetricsCollector,
+                 replica_ids: Iterable[int],
+                 cpu_model: CpuModel = zero_cpu,
+                 fault: FaultBehavior = HONEST) -> None:
+        self.core = core
+        self.node_id = core.node_id
+        self.network = network
+        self.queue = queue
+        self.metrics = metrics
+        self.replica_ids = tuple(replica_ids)
+        self.cpu_model = cpu_model
+        self.fault = fault
+        self.data_busy_until = 0.0
+        self.ctrl_busy_until = 0.0
+        self._timer_generation: dict[Hashable, int] = {}
+        # Give cores that pace themselves (datablock generators) a view of
+        # their own NIC backlog, without coupling core code to the simulator.
+        if hasattr(core, "backlog_probe"):
+            core.backlog_probe = (
+                lambda: network.backlog(self.node_id, queue.now))
+
+    def boot(self) -> None:
+        """Schedule the core's start at the current simulated time."""
+        self.queue.schedule(self.queue.now, self._start)
+
+    def _start(self) -> None:
+        self._apply(self.core.start(self.queue.now))
+
+    def _charge_cpu(self, cost: float, msg_class: str) -> float:
+        """Occupy the matching CPU lane for ``cost`` seconds.
+
+        Returns the time the work completes.
+        """
+        now = self.queue.now
+        if msg_class in DATA_PLANE_CLASSES:
+            start = self.data_busy_until if self.data_busy_until > now \
+                else now
+            self.data_busy_until = start + cost
+            return self.data_busy_until
+        start = self.ctrl_busy_until if self.ctrl_busy_until > now else now
+        self.ctrl_busy_until = start + cost
+        return self.ctrl_busy_until
+
+    def deliver(self, sender: int, msg: Message) -> None:
+        """Called by the transport when a message finishes arriving."""
+        now = self.queue.now
+        if self.fault.crashed:
+            return
+        if self.fault.drop_incoming(sender, msg, now):
+            return
+        cost = self.cpu_model(msg, True)
+        ready_at = self._charge_cpu(cost, msg.msg_class)
+        if ready_at <= now:
+            self._apply(self.core.on_message(sender, msg, now))
+        else:
+            self.queue.schedule(
+                ready_at,
+                lambda: self._apply(
+                    self.core.on_message(sender, msg, self.queue.now)))
+
+    def _fire_timer(self, key: Hashable, generation: int) -> None:
+        if self._timer_generation.get(key) != generation:
+            return  # re-armed or cancelled since scheduling
+        del self._timer_generation[key]
+        if self.fault.crashed:
+            return
+        self._apply(self.core.on_timer(key, self.queue.now))
+
+    def _apply(self, effects: list[Effect]) -> None:
+        now = self.queue.now
+        effects = self.fault.filter_effects(effects, now)
+        for effect in effects:
+            if isinstance(effect, Send):
+                self._transmit(effect.dest, effect.msg)
+            elif isinstance(effect, Broadcast):
+                excluded = set(effect.exclude)
+                excluded.add(self.node_id)
+                for dest in self.replica_ids:
+                    if dest not in excluded:
+                        self._transmit(dest, effect.msg)
+            elif isinstance(effect, SetTimer):
+                generation = self._timer_generation.get(effect.key, 0) + 1
+                self._timer_generation[effect.key] = generation
+                key = effect.key
+                self.queue.schedule_in(
+                    effect.delay,
+                    lambda k=key, g=generation: self._fire_timer(k, g))
+            elif isinstance(effect, CancelTimer):
+                self._timer_generation.pop(effect.key, None)
+            elif isinstance(effect, Executed):
+                self.metrics.record_execution(
+                    self.node_id, effect.count, now)
+            elif isinstance(effect, Trace):
+                self._record_trace(effect, now)
+            else:
+                raise TypeError(f"unknown effect {effect!r}")
+
+    def _record_trace(self, effect: Trace, now: float) -> None:
+        if effect.kind == "ack":
+            self.metrics.record_ack(effect.data["submitted_at"], now)
+        elif effect.kind == "phase":
+            self.metrics.record_phase(
+                effect.data["phase"], effect.data["duration"], now)
+        # Unknown trace kinds are allowed and ignored: cores may emit extra
+        # diagnostics that only specific tests look at.
+
+    def _transmit(self, dest: int, msg: Message) -> None:
+        self._charge_cpu(self.cpu_model(msg, False), msg.msg_class)
+        arrival = self.network.send_phase(self.node_id, msg, self.queue.now)
+        router = self.router
+        if router is None:
+            return
+        src = self.node_id
+        network = self.network
+        queue = self.queue
+
+        def _arrive() -> None:
+            delivered = network.receive_phase(dest, msg, queue.now)
+            queue.schedule(delivered, lambda: router.deliver(src, dest, msg))
+
+        queue.schedule(arrival, _arrive)
+
+    #: Set by :class:`repro.sim.runner.Simulation`; routes delivered
+    #: messages to the destination host. ``None`` in host-less unit tests.
+    router = None

@@ -1,0 +1,76 @@
+"""Simulation assembly and run loop.
+
+``Simulation`` owns the event queue, the network, the metrics sink and the
+node table, and routes completed transmissions to destination hosts.  The
+protocol-specific cluster builders in :mod:`repro.harness.cluster` populate
+it with Leopard / HotStuff / PBFT replicas and client nodes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.interfaces import Message, ProtocolCore
+from repro.sim.events import EventQueue
+from repro.sim.faults import HONEST, FaultBehavior
+from repro.sim.metrics import MetricsCollector
+from repro.sim.network import Network
+from repro.sim.node import CpuModel, SimNode, zero_cpu
+
+
+class Simulation:
+    """A full simulated deployment: network + nodes + metrics.
+
+    Args:
+        network: the network model (sized for replicas + clients).
+        replica_count: how many of the low node ids are replicas; broadcasts
+            expand to exactly this id range.
+        metrics: optional pre-configured metrics sink.
+    """
+
+    def __init__(self, network: Network, replica_count: int,
+                 metrics: MetricsCollector | None = None) -> None:
+        if replica_count > network.node_count:
+            raise SimulationError("more replicas than network nodes")
+        self.network = network
+        self.queue = EventQueue()
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.replica_count = replica_count
+        self.nodes: dict[int, SimNode] = {}
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.queue.now
+
+    def add_node(self, core: ProtocolCore,
+                 cpu_model: CpuModel = zero_cpu,
+                 fault: FaultBehavior = HONEST) -> SimNode:
+        """Register and boot-schedule a node hosting ``core``."""
+        if core.node_id in self.nodes:
+            raise SimulationError(f"duplicate node id {core.node_id}")
+        if not 0 <= core.node_id < self.network.node_count:
+            raise SimulationError(f"node id {core.node_id} outside network")
+        node = SimNode(core, self.network, self.queue, self.metrics,
+                       range(self.replica_count), cpu_model, fault)
+        node.router = self
+        self.nodes[core.node_id] = node
+        node.boot()
+        return node
+
+    def deliver(self, src: int, dest: int, msg: Message) -> None:
+        """Route a completed transmission to the destination host."""
+        node = self.nodes.get(dest)
+        if node is not None:
+            node.deliver(src, msg)
+
+    def run(self, duration: float, max_events: int | None = None) -> None:
+        """Advance the simulation ``duration`` seconds of virtual time."""
+        self.queue.run_until(self.queue.now + duration, max_events)
+
+    def node(self, node_id: int) -> SimNode:
+        """Look up a host by node id."""
+        return self.nodes[node_id]
+
+    def core(self, node_id: int):
+        """Look up the protocol core hosted at ``node_id``."""
+        return self.nodes[node_id].core

@@ -1,0 +1,119 @@
+"""Calibration cost-model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.calibration import (
+    CostModel,
+    DEFAULT_COSTS,
+    client_cpu_model,
+    hotstuff_cpu_model,
+    leopard_cpu_model,
+    pbft_cpu_model,
+)
+from repro.messages.client import RequestBundle
+from repro.messages.hotstuff import HSBlock, HSVote, QuorumCert
+from repro.messages.leopard import Datablock, Proof, Query, Ready, Vote
+from repro.crypto.threshold import SignatureShare, ThresholdSignature
+
+
+SHARE = SignatureShare(0, 1)
+SIG = ThresholdSignature(2)
+
+
+class TestLeopardModel:
+    def setup_method(self):
+        self.model = leopard_cpu_model(DEFAULT_COSTS)
+
+    def test_datablock_cost_scales_with_requests(self):
+        small = self.model(Datablock(1, 1, 100, 128, ()), True)
+        large = self.model(Datablock(1, 1, 1000, 128, ()), True)
+        assert large == pytest.approx(
+            small + 900 * DEFAULT_COSTS.leopard_verify_exec_per_request)
+
+    def test_client_bundle_cost(self):
+        cost = self.model(RequestBundle(9, 1, 500, 128, 0.0), True)
+        assert cost == pytest.approx(
+            DEFAULT_COSTS.per_message
+            + 500 * DEFAULT_COSTS.leopard_ingest_per_request)
+
+    def test_vote_costs_share_verify(self):
+        cost = self.model(Vote(1, b"d" * 32, b"d" * 32, SHARE), True)
+        assert cost == pytest.approx(
+            DEFAULT_COSTS.per_message + DEFAULT_COSTS.share_verify)
+
+    def test_round1_proof_includes_resigning(self):
+        round1 = self.model(Proof(1, b"d" * 32, b"d" * 32, SIG), True)
+        round2 = self.model(Proof(2, b"d" * 32, b"p" * 32, SIG, SIG), True)
+        assert round1 - round2 == pytest.approx(DEFAULT_COSTS.share_sign)
+
+    def test_send_cost_scales_with_bytes(self):
+        small = self.model(Ready(b"d" * 32), False)
+        big = self.model(Datablock(1, 1, 2000, 128, ()), False)
+        assert big > small
+
+    def test_ready_and_query_are_cheap(self):
+        assert self.model(Ready(b"d" * 32), True) \
+            == DEFAULT_COSTS.per_message
+        assert self.model(Query((b"d" * 32,)), True) \
+            == DEFAULT_COSTS.per_message
+
+    def test_throughput_ceiling_is_paper_scale(self):
+        # The calibrated verify+execute path must put the Leopard ceiling
+        # in the paper's 10^5 requests/second regime.
+        ceiling = 1.0 / DEFAULT_COSTS.leopard_verify_exec_per_request
+        assert 5e4 < ceiling < 5e5
+
+
+class TestHotStuffModel:
+    def setup_method(self):
+        self.model = hotstuff_cpu_model(DEFAULT_COSTS)
+
+    def test_block_cost_scales_with_requests(self):
+        qc = QuorumCert(b"q" * 32, 1, 3)
+        small = self.model(HSBlock(2, b"p" * 32, qc, 100, 128), True)
+        large = self.model(HSBlock(2, b"p" * 32, qc, 800, 128), True)
+        assert large > small
+
+    def test_vote_cost(self):
+        cost = self.model(HSVote(1, b"d" * 32, 0), True)
+        assert cost == pytest.approx(
+            DEFAULT_COSTS.per_message + DEFAULT_COSTS.ecdsa_verify)
+
+    def test_leader_egress_dominates_at_scale(self):
+        # Per-copy send cost x (n-1) copies is what caps the leader.
+        block = HSBlock(2, b"p" * 32, None, 800, 128)
+        send = self.model(block, False)
+        assert send > 800 * 128 * DEFAULT_COSTS.per_send_byte
+
+
+class TestPbftModel:
+    def test_ingest_heavier_than_hotstuff(self):
+        # BFT-SMaRt's per-request software overhead exceeds libhotstuff's
+        # (Fig. 1's gap at small scales).
+        assert DEFAULT_COSTS.pbft_ingest_per_request \
+            > DEFAULT_COSTS.hotstuff_ingest_per_request
+
+    def test_vote_cost(self):
+        from repro.messages.pbft import Prepare
+        model = pbft_cpu_model(DEFAULT_COSTS)
+        cost = model(Prepare(1, 1, b"d" * 32, 0), True)
+        assert cost == pytest.approx(
+            DEFAULT_COSTS.per_message + DEFAULT_COSTS.mac_verify)
+
+
+class TestClientModel:
+    def test_client_costs_are_nominal(self):
+        model = client_cpu_model(DEFAULT_COSTS)
+        bundle = RequestBundle(9, 1, 500, 128, 0.0)
+        assert model(bundle, True) == DEFAULT_COSTS.per_message
+        assert model(bundle, False) > 0
+
+
+class TestCustomCosts:
+    def test_cost_model_is_adjustable(self):
+        slow = CostModel(leopard_verify_exec_per_request=1e-4)
+        model = leopard_cpu_model(slow)
+        cost = model(Datablock(1, 1, 1000, 128, ()), True)
+        assert cost > 0.09

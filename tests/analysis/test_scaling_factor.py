@@ -1,0 +1,123 @@
+"""Tests for the closed-form cost model (paper §V-B, Table I, Eq. 1-4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import scaling_factor as sf
+
+
+def params(n=301, datablock_requests=2000, bftblock_links=100):
+    return sf.LeopardParameters(
+        n=n, datablock_requests=datablock_requests,
+        bftblock_links=bftblock_links)
+
+
+class TestLeopardCosts:
+    def test_leader_cost_close_to_one(self):
+        # Eq. (2): with paper parameters, the leader's per-bit cost is
+        # dominated by receiving each request exactly once.
+        cost = sf.leopard_leader_cost(params())
+        assert 1.0 < cost < 1.5
+
+    def test_replica_cost_close_to_two(self):
+        # Eq. (3): a non-leader forwards each bit roughly twice.
+        cost = sf.leopard_replica_cost(params())
+        assert 2.0 < cost < 2.5
+
+    def test_scaling_factor_is_constant_with_alpha_rule(self):
+        # α = λ(n-1) keeps SF flat as n grows (the §V-B headline).
+        lam_bits = 2000 * 128 * 8 / 300  # λ from the n=301 baseline
+        values = []
+        for n in (301, 601, 1201):
+            requests = int(sf.alpha_for_constant_sf(n, lam_bits)
+                           / (128 * 8))
+            values.append(sf.leopard_scaling_factor(
+                params(n=n, datablock_requests=requests)))
+        assert max(values) - min(values) < 0.05
+
+    def test_scaling_factor_grows_without_alpha_rule(self):
+        # Fixing a small α while n grows degrades SF: the leader's
+        # BFTblock-dissemination term (β + 4κ/τ)(n-1)/α resurfaces.
+        small = sf.leopard_scaling_factor(
+            params(n=31, datablock_requests=200))
+        large = sf.leopard_scaling_factor(
+            params(n=3001, datablock_requests=200))
+        assert large > small
+
+    @given(st.integers(min_value=4, max_value=2000))
+    def test_leader_based_sf_is_linear(self, n):
+        assert sf.leader_based_scaling_factor(n) == n - 1
+
+
+class TestScalingUp:
+    def test_leopard_gamma_approaches_half(self):
+        gamma = sf.leopard_scaling_up_gamma(params())
+        assert 0.4 < gamma <= 0.5
+
+    def test_leader_based_gamma_vanishes(self):
+        assert sf.leader_based_scaling_up_gamma(4) == pytest.approx(1 / 3)
+        assert sf.leader_based_scaling_up_gamma(601) == pytest.approx(1 / 600)
+
+    def test_gamma_ordering_matches_paper(self):
+        # Leopard's γ dominates the leader-based γ at every tested scale.
+        for n in (16, 64, 256, 600):
+            assert sf.leopard_scaling_up_gamma(params(n=n)) \
+                > sf.leader_based_scaling_up_gamma(n)
+
+
+class TestRetrievalOverheads:
+    def test_response_size_matches_figure12(self):
+        # 2000-request datablock: recovering ≈ α + proofs (~325 KB in the
+        # paper); responding ≈ α/(f+1) + β·log n.
+        p = params(n=128, datablock_requests=2000)
+        response_bits = sf.retrieval_response_size_bits(p)
+        assert response_bits < p.alpha_bits / 10  # collapses with f
+        recover_bits = (p.f + 1) * response_bits
+        assert recover_bits == pytest.approx(p.alpha_bits, rel=0.05)
+
+    def test_selective_attack_overhead_is_constant_factor(self):
+        # §V-B case (b): bounded by ~5/3 of the payload volume plus a
+        # logarithmic term, independent of n when α = Θ(n).
+        for n in (31, 301, 601):
+            requests = 8 * n  # α growing linearly in n
+            overhead = sf.selective_attack_overhead(
+                params(n=n, datablock_requests=requests))
+            assert overhead < 2.5
+
+    def test_asynchronous_overhead_larger(self):
+        p = params(n=64)
+        assert sf.asynchronous_overhead(p) \
+            > sf.selective_attack_overhead(p)
+
+
+class TestTable1:
+    def test_rows(self):
+        rows = {row.protocol: row for row in sf.table1_rows()}
+        assert rows["Leopard"].scaling_factor == "O(1)"
+        assert rows["HotStuff"].scaling_factor == "O(n)"
+        assert rows["PBFT"].voting_rounds_optimistic == 2
+        assert rows["SBFT"].voting_rounds_optimistic == 1
+        assert rows["HotStuff"].voting_rounds_faulty == 1
+        assert rows["Leopard"].voting_rounds_faulty == 3
+        assert rows["Leopard"].leader_communication == "O(1)"
+
+
+class TestThroughputPrediction:
+    def test_predicted_throughput(self):
+        # C = 6 Gbps, SF = 2, payload 128 B -> ~2.9 M requests/s.
+        rps = sf.predicted_throughput(6e9, 2.0)
+        assert rps == pytest.approx(6e9 / (2 * 1024))
+
+    def test_invalid_sf(self):
+        with pytest.raises(ValueError):
+            sf.predicted_throughput(1e9, 0)
+
+    def test_crossover_scale(self):
+        # With a 105 Kreq/s Leopard ceiling and 6 Gbps egress, HotStuff
+        # falls below Leopard somewhere in the tens of replicas.
+        n = sf.crossover_scale(12e9, 105_000.0)
+        assert 30 < n < 120

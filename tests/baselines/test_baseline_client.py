@@ -1,0 +1,51 @@
+"""Baseline-client unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.client import BaselineClient
+from repro.interfaces import Send, SetTimer, Trace
+from repro.messages.client import Ack, RequestBundle
+
+
+class TestBaselineClient:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            BaselineClient(10, target=1, rate=0)
+
+    def test_submits_to_fixed_target(self):
+        client = BaselineClient(10, target=1, rate=1000, bundle_size=100)
+        client.start(0.0)
+        effects = client.on_timer("submit", 0.1)
+        sends = [e for e in effects if isinstance(e, Send)]
+        assert sends[0].dest == 1
+        assert isinstance(sends[0].msg, RequestBundle)
+        assert client.submitted_requests == 100
+
+    def test_rearm_and_ids(self):
+        client = BaselineClient(10, target=1, rate=1000, bundle_size=100)
+        client.on_timer("submit", 0.1)
+        effects = client.on_timer("submit", 0.2)
+        assert any(isinstance(e, SetTimer) for e in effects)
+        assert client.next_bundle_id == 3
+
+    def test_stop_at(self):
+        client = BaselineClient(10, target=1, rate=1000, stop_at=0.05)
+        assert client.on_timer("submit", 0.1) == []
+
+    def test_unknown_timer_ignored(self):
+        client = BaselineClient(10, target=1, rate=1000)
+        assert client.on_timer("other", 0.1) == []
+
+    def test_acks_counted_and_traced(self):
+        client = BaselineClient(10, target=1, rate=1000)
+        effects = client.on_message(
+            1, Ack(10, 1, 100, submitted_at=0.1, executed_at=0.3), 0.4)
+        assert client.acked_requests == 100
+        traces = [e for e in effects if isinstance(e, Trace)]
+        assert traces and traces[0].kind == "ack"
+
+    def test_non_ack_ignored(self):
+        client = BaselineClient(10, target=1, rate=1000)
+        assert client.on_message(1, object(), 0.4) == []

@@ -1,0 +1,237 @@
+"""Agreement-machinery tests: instance states, watermarks, aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.agreement import (
+    AgreementInstance,
+    CONFIRMED,
+    InstanceStore,
+    NOTARIZED,
+    PROPOSED,
+    VoteAggregator,
+    commit_payload,
+)
+from repro.crypto.threshold import ThresholdSignature
+from repro.messages.leopard import BFTblock, Proof, ROUND_COMMIT, ROUND_PREPARE, Vote
+
+
+def block_at(sn, view=1, links=(b"x" * 32,)):
+    return BFTblock(view, sn, tuple(links))
+
+
+class TestInstanceStates:
+    def test_initial_state(self):
+        instance = AgreementInstance(block_at(1))
+        assert instance.state == PROPOSED
+        assert instance.sn == 1
+
+    def test_notarize_then_confirm(self):
+        instance = AgreementInstance(block_at(1))
+        sig1 = ThresholdSignature(1)
+        sig2 = ThresholdSignature(2)
+        assert instance.apply_notarization(sig1)
+        assert instance.state == NOTARIZED
+        assert instance.apply_confirmation(sig2, sig1, now=1.0)
+        assert instance.state == CONFIRMED
+        assert instance.confirmed_at == 1.0
+
+    def test_notarize_idempotent(self):
+        instance = AgreementInstance(block_at(1))
+        instance.apply_notarization(ThresholdSignature(1))
+        assert not instance.apply_notarization(ThresholdSignature(9))
+
+    def test_confirm_without_notarization_adopts_prior(self):
+        instance = AgreementInstance(block_at(1))
+        sig1 = ThresholdSignature(1)
+        assert instance.apply_confirmation(ThresholdSignature(2), sig1, 0.0)
+        assert instance.notarization == sig1
+
+    def test_confirm_idempotent(self):
+        instance = AgreementInstance(block_at(1))
+        instance.apply_confirmation(ThresholdSignature(2), None, 0.0)
+        assert not instance.apply_confirmation(ThresholdSignature(3), None, 1.0)
+
+
+class TestInstanceStore:
+    def test_watermark_window(self):
+        store = InstanceStore(window=10)
+        assert store.in_window(1)
+        assert store.in_window(10)
+        assert not store.in_window(11)
+        assert not store.in_window(0)
+
+    def test_admit_and_lookup(self):
+        store = InstanceStore(window=10)
+        block = block_at(1)
+        instance = store.admit(block, 0.0)
+        assert instance is not None
+        assert store.by_digest(block.digest()) is instance
+
+    def test_admit_same_block_returns_existing(self):
+        store = InstanceStore(window=10)
+        block = block_at(1)
+        first = store.admit(block, 0.0)
+        assert store.admit(block, 1.0) is first
+
+    def test_admit_conflicting_same_view_rejected(self):
+        store = InstanceStore(window=10)
+        store.admit(block_at(1, links=(b"a" * 32,)), 0.0)
+        assert store.admit(block_at(1, links=(b"b" * 32,)), 0.0) is None
+
+    def test_admit_higher_view_replaces_unfinished(self):
+        store = InstanceStore(window=10)
+        old = block_at(1, view=1, links=(b"a" * 32,))
+        new = block_at(1, view=2, links=(b"b" * 32,))
+        store.admit(old, 0.0)
+        instance = store.admit(new, 1.0)
+        assert instance is not None
+        assert store.by_digest(old.digest()) is None
+
+    def test_admit_does_not_replace_notarized(self):
+        store = InstanceStore(window=10)
+        old = store.admit(block_at(1, view=1, links=(b"a" * 32,)), 0.0)
+        old.apply_notarization(ThresholdSignature(1))
+        assert store.admit(block_at(1, view=2, links=(b"b" * 32,)), 1.0) is None
+
+    def test_out_of_window_rejected(self):
+        store = InstanceStore(window=5)
+        assert store.admit(block_at(6), 0.0) is None
+
+    def test_vote_lock(self):
+        store = InstanceStore(window=10)
+        assert store.record_vote_lock(1, 1, b"a")
+        assert store.record_vote_lock(1, 1, b"a")  # same block ok
+        assert not store.record_vote_lock(1, 1, b"b")  # conflict
+        assert store.record_vote_lock(2, 1, b"b")  # new view unlocks
+
+    def test_buffered_proofs(self):
+        store = InstanceStore(window=10)
+        proof = Proof(1, b"d" * 32, b"d" * 32, ThresholdSignature(1))
+        store.buffer_proof(proof)
+        assert store.drain_buffered(b"d" * 32) == [proof]
+        assert store.drain_buffered(b"d" * 32) == []
+
+    def test_advance_watermark_gc(self):
+        store = InstanceStore(window=10)
+        for sn in range(1, 6):
+            store.admit(block_at(sn, links=(bytes([sn]) * 32,)), 0.0)
+        stale = store.advance_watermark(3)
+        assert sorted(stale) == [1, 2, 3]
+        assert store.low_watermark == 3
+        assert store.in_window(13)
+        assert 4 in store.instances
+
+    def test_advance_watermark_monotonic(self):
+        store = InstanceStore(window=10)
+        store.advance_watermark(5)
+        assert store.advance_watermark(3) == []
+        assert store.low_watermark == 5
+
+    def test_force_admit_replaces_proposed(self):
+        store = InstanceStore(window=10)
+        store.admit(block_at(1, view=1, links=(b"a" * 32,)), 0.0)
+        redo = block_at(1, view=1, links=(b"b" * 32,))
+        instance = store.force_admit(redo, 1.0)
+        assert instance is not None
+        assert instance.block == redo
+
+    def test_force_admit_keeps_confirmed_conflict(self):
+        store = InstanceStore(window=10)
+        existing = store.admit(block_at(1, links=(b"a" * 32,)), 0.0)
+        existing.apply_confirmation(ThresholdSignature(1), None, 0.0)
+        assert store.force_admit(
+            block_at(1, links=(b"b" * 32,)), 1.0) is None
+
+    def test_unconfirmed_and_notarized_listings(self):
+        store = InstanceStore(window=10)
+        a = store.admit(block_at(1, links=(b"a" * 32,)), 0.0)
+        b = store.admit(block_at(2, links=(b"b" * 32,)), 0.0)
+        b.apply_notarization(ThresholdSignature(1))
+        c = store.admit(block_at(3, links=(b"c" * 32,)), 0.0)
+        c.apply_confirmation(ThresholdSignature(2), ThresholdSignature(1), 0.0)
+        unconfirmed = {i.sn for i in store.unconfirmed()}
+        notarized = {i.sn for i in store.notarized_or_better()}
+        assert unconfirmed == {1, 2}
+        assert notarized == {2, 3}
+
+
+class TestVoteAggregator:
+    def make(self, registry4):
+        return VoteAggregator(registry4.scheme)
+
+    def vote_from(self, registry, replica, block, round_=ROUND_PREPARE,
+                  payload=None):
+        payload = payload if payload is not None else block.digest()
+        share = registry.signer(replica).sign(payload)
+        return Vote(round_, block.digest(), payload, share)
+
+    def test_quorum_combines(self, registry4):
+        aggregator = self.make(registry4)
+        block = block_at(1)
+        assert aggregator.add_vote(
+            0, self.vote_from(registry4, 0, block)) is None
+        assert aggregator.add_vote(
+            1, self.vote_from(registry4, 1, block)) is None
+        combined = aggregator.add_vote(
+            2, self.vote_from(registry4, 2, block))
+        assert combined is not None
+        assert registry4.scheme.verify(combined, block.digest())
+
+    def test_combines_once(self, registry4):
+        aggregator = self.make(registry4)
+        block = block_at(1)
+        for replica in range(3):
+            aggregator.add_vote(
+                replica, self.vote_from(registry4, replica, block))
+        assert aggregator.add_vote(
+            3, self.vote_from(registry4, 3, block)) is None
+
+    def test_duplicate_votes_ignored(self, registry4):
+        aggregator = self.make(registry4)
+        block = block_at(1)
+        vote = self.vote_from(registry4, 0, block)
+        for _ in range(5):
+            assert aggregator.add_vote(0, vote) is None
+        assert aggregator.pending_votes(ROUND_PREPARE, block.digest()) == 1
+
+    def test_sender_mismatch_rejected(self, registry4):
+        aggregator = self.make(registry4)
+        block = block_at(1)
+        vote = self.vote_from(registry4, 0, block)
+        assert aggregator.add_vote(1, vote) is None
+        assert aggregator.pending_votes(ROUND_PREPARE, block.digest()) == 0
+
+    def test_invalid_share_rejected(self, registry4):
+        from repro.crypto.threshold import SignatureShare
+        aggregator = self.make(registry4)
+        block = block_at(1)
+        forged = Vote(ROUND_PREPARE, block.digest(), block.digest(),
+                      SignatureShare(0, 12345))
+        assert aggregator.add_vote(0, forged) is None
+        assert aggregator.pending_votes(ROUND_PREPARE, block.digest()) == 0
+
+    def test_rounds_are_independent(self, registry4):
+        aggregator = self.make(registry4)
+        block = block_at(1)
+        sig1 = ThresholdSignature(7)
+        payload2 = commit_payload(sig1)
+        for replica in range(2):
+            aggregator.add_vote(
+                replica, self.vote_from(registry4, replica, block))
+            aggregator.add_vote(
+                replica, self.vote_from(
+                    registry4, replica, block, ROUND_COMMIT, payload2))
+        assert aggregator.pending_votes(ROUND_PREPARE, block.digest()) == 2
+        assert aggregator.pending_votes(ROUND_COMMIT, block.digest()) == 2
+
+
+class TestCommitPayload:
+    def test_deterministic_and_binding(self):
+        a = commit_payload(ThresholdSignature(1))
+        b = commit_payload(ThresholdSignature(1))
+        c = commit_payload(ThresholdSignature(2))
+        assert a == b
+        assert a != c
+        assert len(a) == 32

@@ -1,0 +1,94 @@
+"""Checkpoint-manager tests (paper Algorithm 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.checkpoint import CheckpointManager
+from repro.messages.leopard import CheckpointProof, checkpoint_payload
+
+
+STATE = b"s" * 32
+
+
+@pytest.fixture
+def managers(registry4):
+    return [CheckpointManager(4, registry4.scheme) for _ in range(4)]
+
+
+def make_share(registry, manager, replica, sn):
+    return manager.make_share(replica, registry.signer(replica), sn, STATE)
+
+
+class TestDue:
+    def test_due_at_period_multiples(self, registry4, managers):
+        manager = managers[0]
+        assert not manager.due(3)
+        assert manager.due(4)
+        assert manager.due(8)
+
+    def test_not_due_twice(self, registry4, managers):
+        manager = managers[0]
+        make_share(registry4, manager, 0, 4)
+        assert not manager.due(4)
+        assert manager.due(8)
+
+
+class TestAggregation:
+    def test_quorum_builds_proof(self, registry4, managers):
+        leader = managers[0]
+        proof = None
+        for replica in range(3):
+            share = make_share(registry4, managers[replica], replica, 4)
+            proof = leader.on_share(replica, share) or proof
+        assert proof is not None
+        assert proof.sn == 4
+        assert registry4.scheme.verify(
+            proof.signature, checkpoint_payload(4, STATE))
+
+    def test_duplicate_shares_ignored(self, registry4, managers):
+        leader = managers[0]
+        share = make_share(registry4, managers[1], 1, 4)
+        assert leader.on_share(1, share) is None
+        assert leader.on_share(1, share) is None
+
+    def test_sender_mismatch_rejected(self, registry4, managers):
+        leader = managers[0]
+        share = make_share(registry4, managers[1], 1, 4)
+        assert leader.on_share(2, share) is None
+
+    def test_issued_once(self, registry4, managers):
+        leader = managers[0]
+        for replica in range(3):
+            leader.on_share(
+                replica, make_share(registry4, managers[replica], replica, 4))
+        extra = make_share(registry4, managers[3], 3, 4)
+        assert leader.on_share(3, extra) is None
+
+
+class TestAdoption:
+    def _proof(self, registry, managers, sn=4):
+        leader = managers[0]
+        proof = None
+        for replica in range(3):
+            share = make_share(registry, managers[replica], replica, sn)
+            proof = leader.on_share(replica, share) or proof
+        return proof
+
+    def test_adopt_advances(self, registry4, managers):
+        proof = self._proof(registry4, managers)
+        follower = managers[3]
+        assert follower.on_proof(proof)
+        assert follower.stable_sn == 4
+        assert follower.latest_proof == proof
+
+    def test_stale_proof_rejected(self, registry4, managers):
+        proof = self._proof(registry4, managers)
+        follower = managers[3]
+        follower.on_proof(proof)
+        assert not follower.on_proof(proof)
+
+    def test_invalid_signature_rejected(self, registry4, managers):
+        from repro.crypto.threshold import ThresholdSignature
+        forged = CheckpointProof(4, STATE, ThresholdSignature(99))
+        assert not managers[3].on_proof(forged)

@@ -1,0 +1,129 @@
+"""Leopard client-core unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.client import LeopardClient, assign_replica
+from repro.core.config import LeopardConfig
+from repro.interfaces import Send, SetTimer, Trace
+from repro.messages.client import Ack, RequestBundle
+
+
+@pytest.fixture
+def config():
+    return LeopardConfig(n=4)
+
+
+def make_client(config, **kwargs):
+    defaults = dict(rate=1000.0, bundle_size=100)
+    defaults.update(kwargs)
+    return LeopardClient(10, config, **defaults)
+
+
+class TestSubmission:
+    def test_rate_sets_interval(self, config):
+        client = make_client(config, rate=1000.0, bundle_size=100)
+        assert client.submit_interval == pytest.approx(0.1)
+
+    def test_rejects_nonpositive_rate(self, config):
+        with pytest.raises(ValueError):
+            make_client(config, rate=0)
+
+    def test_start_arms_submit_timer(self, config):
+        client = make_client(config)
+        effects = client.start(0.0)
+        assert any(isinstance(e, SetTimer) and e.key == "submit"
+                   for e in effects)
+
+    def test_submit_sends_bundle_and_rearms(self, config):
+        client = make_client(config)
+        client.start(0.0)
+        effects = client.on_timer("submit", 0.1)
+        sends = [e for e in effects if isinstance(e, Send)]
+        timers = [e for e in effects if isinstance(e, SetTimer)]
+        assert len(sends) == 1
+        assert isinstance(sends[0].msg, RequestBundle)
+        assert sends[0].dest == client.primary
+        assert timers
+        assert client.submitted_requests == 100
+
+    def test_bundle_ids_increment(self, config):
+        client = make_client(config)
+        client.on_timer("submit", 0.1)
+        client.on_timer("submit", 0.2)
+        assert client.next_bundle_id == 3
+
+    def test_stop_at_halts_submission(self, config):
+        client = make_client(config, stop_at=0.05)
+        effects = client.on_timer("submit", 0.1)
+        assert effects == []
+
+    def test_primary_avoids_leader(self, config):
+        client = make_client(config)
+        assert client.primary != config.leader_of(1)
+
+
+class TestAcks:
+    def test_ack_produces_latency_trace(self, config):
+        client = make_client(config)
+        effects = client.on_message(
+            2, Ack(10, 1, 100, submitted_at=0.5, executed_at=0.9), 1.0)
+        traces = [e for e in effects if isinstance(e, Trace)]
+        assert traces[0].kind == "ack"
+        assert traces[0].data["submitted_at"] == 0.5
+        assert client.acked_requests == 100
+
+    def test_response_phase_trace_when_enabled(self, config):
+        client = make_client(config, trace_phases=True)
+        effects = client.on_message(
+            2, Ack(10, 1, 100, submitted_at=0.5, executed_at=0.9), 1.0)
+        phases = [e for e in effects if isinstance(e, Trace)
+                  and e.kind == "phase"]
+        assert phases
+        assert phases[0].data["phase"] == "response"
+        assert phases[0].data["duration"] == pytest.approx(0.1)
+
+    def test_non_ack_messages_ignored(self, config):
+        client = make_client(config)
+        assert client.on_message(2, object(), 1.0) == []
+
+
+class TestResubmission:
+    def test_timeout_resubmits_with_flag(self, config):
+        client = make_client(config, resubmit=True, client_timeout=0.5)
+        client.on_timer("submit", 0.0)
+        effects = client.on_timer(("timeout", 1), 0.5)
+        sends = [e for e in effects if isinstance(e, Send)]
+        assert len(sends) == 1
+        bundle = sends[0].msg
+        assert bundle.timeout_flagged
+        assert bundle.bundle_id == 1
+        assert sends[0].dest != client.primary  # rotated
+        assert client.resubmissions == 1
+
+    def test_acked_bundle_not_resubmitted(self, config):
+        client = make_client(config, resubmit=True, client_timeout=0.5)
+        client.on_timer("submit", 0.0)
+        client.on_message(
+            2, Ack(10, 1, 100, submitted_at=0.0, executed_at=0.2), 0.3)
+        assert client.on_timer(("timeout", 1), 0.5) == []
+
+    def test_partial_ack_keeps_remainder(self, config):
+        client = make_client(config, resubmit=True, client_timeout=0.5)
+        client.on_timer("submit", 0.0)
+        client.on_message(
+            2, Ack(10, 1, 40, submitted_at=0.0, executed_at=0.2), 0.3)
+        effects = client.on_timer(("timeout", 1), 0.5)
+        sends = [e for e in effects if isinstance(e, Send)]
+        assert sends[0].msg.count == 60
+
+    def test_unknown_timeout_ignored(self, config):
+        client = make_client(config, resubmit=True)
+        assert client.on_timer(("timeout", 99), 1.0) == []
+
+
+class TestAssignment:
+    def test_covers_all_non_leaders(self):
+        targets = {assign_replica(key, 7, leader=1) for key in range(100)}
+        assert targets == {0, 2, 3, 4, 5, 6}

@@ -1,0 +1,61 @@
+"""Leopard configuration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import LeopardConfig, table2_parameters
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_minimum_n(self):
+        with pytest.raises(ConfigError):
+            LeopardConfig(n=3)
+
+    def test_default_f(self):
+        assert LeopardConfig(n=4).f == 1
+        assert LeopardConfig(n=7).f == 2
+        assert LeopardConfig(n=100).f == 33
+
+    def test_explicit_f_checked(self):
+        with pytest.raises(ConfigError):
+            LeopardConfig(n=4, f=2)
+
+    def test_explicit_smaller_f_allowed(self):
+        assert LeopardConfig(n=7, f=1).quorum == 3
+
+    def test_quorum(self):
+        assert LeopardConfig(n=4).quorum == 3
+        assert LeopardConfig(n=10, f=3).quorum == 7
+
+    def test_batch_bounds(self):
+        with pytest.raises(ConfigError):
+            LeopardConfig(n=4, datablock_size=0)
+        with pytest.raises(ConfigError):
+            LeopardConfig(n=4, bftblock_max_links=0)
+        with pytest.raises(ConfigError):
+            LeopardConfig(n=4, max_parallel_instances=0)
+
+
+class TestLeaderRotation:
+    def test_round_robin(self):
+        config = LeopardConfig(n=4)
+        assert config.leader_of(1) == 1
+        assert config.leader_of(2) == 2
+        assert config.leader_of(4) == 0
+        assert config.leader_of(5) == 1
+
+
+class TestTable2:
+    def test_exact_scales(self):
+        assert table2_parameters(32) == (2000, 100)
+        assert table2_parameters(64) == (2000, 100)
+        assert table2_parameters(128) == (3000, 300)
+        assert table2_parameters(256) == (4000, 300)
+        assert table2_parameters(400) == (4000, 400)
+        assert table2_parameters(600) == (4000, 400)
+
+    def test_interpolates_nearest(self):
+        assert table2_parameters(48) in ((2000, 100),)
+        assert table2_parameters(500) == (4000, 400)

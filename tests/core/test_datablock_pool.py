@@ -1,0 +1,130 @@
+"""Datablock-pool and ready-tracker tests (Algorithms 1 and 3)."""
+
+from __future__ import annotations
+
+from repro.core.datablock_pool import DatablockPool, ReadyTracker
+from repro.messages.leopard import Datablock
+
+
+def db(creator=1, counter=1, count=10):
+    return Datablock(creator, counter, count, 128, ())
+
+
+class TestDatablockPool:
+    def test_add_and_get(self):
+        pool = DatablockPool()
+        block = db()
+        assert pool.add(block)
+        assert block.digest() in pool
+        assert pool.get(block.digest()) == block
+        assert len(pool) == 1
+
+    def test_counter_replay_rejected(self):
+        pool = DatablockPool()
+        assert pool.add(db(counter=1, count=10))
+        assert not pool.add(db(counter=1, count=99))  # equivocation
+        assert not pool.add(db(counter=1, count=10))  # exact duplicate
+
+    def test_counters_per_creator(self):
+        pool = DatablockPool()
+        assert pool.add(db(creator=1, counter=1))
+        assert pool.add(db(creator=2, counter=1))
+
+    def test_add_recovered_bypasses_counter_dedup(self):
+        pool = DatablockPool()
+        pool.add(db(creator=1, counter=1, count=10))
+        recovered = db(creator=1, counter=2, count=20)
+        # Simulate the counter being consumed by a different (equivocated)
+        # block that we never saw in full:
+        pool._seen_counters[1].add(2)
+        assert pool.add_recovered(recovered)
+        assert recovered.digest() in pool
+
+    def test_add_recovered_idempotent(self):
+        pool = DatablockPool()
+        block = db()
+        assert pool.add_recovered(block)
+        assert not pool.add_recovered(block)
+
+    def test_remove(self):
+        pool = DatablockPool()
+        block = db()
+        pool.add(block)
+        pool.remove(block.digest())
+        assert block.digest() not in pool
+        pool.remove(block.digest())  # idempotent
+
+    def test_digests_listing(self):
+        pool = DatablockPool()
+        blocks = [db(counter=i) for i in range(1, 4)]
+        for block in blocks:
+            pool.add(block)
+        assert sorted(pool.digests()) == sorted(
+            b.digest() for b in blocks)
+
+
+class TestReadyTracker:
+    def test_quorum_without_held_does_not_promote(self):
+        tracker = ReadyTracker(quorum=3)
+        digest = b"d" * 32
+        for replica in range(3):
+            assert not tracker.record_ready(digest, replica)
+        assert tracker.ready_count == 0
+
+    def test_held_without_quorum_does_not_promote(self):
+        tracker = ReadyTracker(quorum=3)
+        assert not tracker.mark_held(b"d" * 32)
+        assert tracker.ready_count == 0
+
+    def test_promotes_on_quorum_and_held(self):
+        tracker = ReadyTracker(quorum=3)
+        digest = b"d" * 32
+        tracker.mark_held(digest)
+        tracker.record_ready(digest, 0)
+        tracker.record_ready(digest, 1)
+        assert tracker.record_ready(digest, 2)
+        assert tracker.ready_count == 1
+
+    def test_duplicate_ready_not_counted(self):
+        tracker = ReadyTracker(quorum=3)
+        digest = b"d" * 32
+        tracker.mark_held(digest)
+        for _ in range(5):
+            tracker.record_ready(digest, 0)
+        assert tracker.ready_count == 0
+
+    def test_take_links_fifo_and_bounded(self):
+        tracker = ReadyTracker(quorum=1)
+        digests = [bytes([i]) * 32 for i in range(5)]
+        for digest in digests:
+            tracker.mark_held(digest)
+            tracker.record_ready(digest, 0)
+        links = tracker.take_links(3)
+        assert list(links) == digests[:3]
+        assert tracker.ready_count == 2
+
+    def test_consumed_not_promoted_again(self):
+        tracker = ReadyTracker(quorum=1)
+        digest = b"d" * 32
+        tracker.mark_held(digest)
+        tracker.record_ready(digest, 0)
+        assert tracker.take_links(5) == (digest,)
+        tracker.record_ready(digest, 1)
+        assert tracker.ready_count == 0
+
+    def test_requeue(self):
+        tracker = ReadyTracker(quorum=1)
+        digests = [bytes([i]) * 32 for i in range(3)]
+        for digest in digests:
+            tracker.mark_held(digest)
+            tracker.record_ready(digest, 0)
+        links = tracker.take_links(3)
+        tracker.requeue(links)
+        assert tracker.take_links(3) == links
+
+    def test_ready_replicas(self):
+        tracker = ReadyTracker(quorum=5)
+        digest = b"d" * 32
+        tracker.record_ready(digest, 1)
+        tracker.record_ready(digest, 4)
+        assert tracker.ready_replicas(digest) == {1, 4}

@@ -1,0 +1,91 @@
+"""Mempool tests: FIFO draining, span splitting, duplicate rejection."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core.mempool import Mempool
+from repro.messages.client import RequestBundle
+
+
+def bundle(client=9, bid=1, count=10, at=0.0):
+    return RequestBundle(client, bid, count, 128, at)
+
+
+class TestBuffering:
+    def test_counts(self):
+        pool = Mempool()
+        assert pool.total_requests == 0
+        pool.add_bundle(bundle(count=10))
+        pool.add_bundle(bundle(bid=2, count=5))
+        assert pool.total_requests == 15
+
+    def test_duplicate_rejected(self):
+        pool = Mempool()
+        assert pool.add_bundle(bundle())
+        assert not pool.add_bundle(bundle())
+        assert pool.total_requests == 10
+        assert pool.duplicates_rejected == 1
+
+    def test_same_bundle_id_different_client_ok(self):
+        pool = Mempool()
+        assert pool.add_bundle(bundle(client=1))
+        assert pool.add_bundle(bundle(client=2))
+
+    def test_oldest_submission(self):
+        pool = Mempool()
+        assert pool.oldest_submission() is None
+        pool.add_bundle(bundle(bid=1, at=3.0))
+        pool.add_bundle(bundle(bid=2, at=1.0))
+        assert pool.oldest_submission() == 3.0  # FIFO, not min
+
+
+class TestTake:
+    def test_take_whole_bundles(self):
+        pool = Mempool()
+        pool.add_bundle(bundle(bid=1, count=10))
+        pool.add_bundle(bundle(bid=2, count=20))
+        spans = pool.take(30)
+        assert [s.count for s in spans] == [10, 20]
+        assert pool.total_requests == 0
+
+    def test_take_splits_bundle(self):
+        pool = Mempool()
+        pool.add_bundle(bundle(bid=1, count=100))
+        first = pool.take(30)
+        second = pool.take(100)
+        assert [s.count for s in first] == [30]
+        assert [s.count for s in second] == [70]
+        assert first[0].bundle_id == second[0].bundle_id
+
+    def test_take_preserves_fifo(self):
+        pool = Mempool()
+        for bid in range(1, 5):
+            pool.add_bundle(bundle(bid=bid, count=5))
+        spans = pool.take(20)
+        assert [s.bundle_id for s in spans] == [1, 2, 3, 4]
+
+    def test_take_from_empty(self):
+        assert Mempool().take(10) == ()
+
+    def test_take_records_submission_time(self):
+        pool = Mempool()
+        pool.add_bundle(bundle(at=4.5))
+        spans = pool.take(10)
+        assert spans[0].submitted_at == 4.5
+
+    @given(st.lists(st.integers(min_value=1, max_value=50),
+                    min_size=1, max_size=20),
+           st.integers(min_value=1, max_value=40))
+    def test_conservation(self, counts, chunk):
+        pool = Mempool()
+        for bid, count in enumerate(counts):
+            pool.add_bundle(bundle(bid=bid, count=count))
+        total = sum(counts)
+        drained = 0
+        while pool.total_requests:
+            spans = pool.take(chunk)
+            got = sum(s.count for s in spans)
+            assert got <= chunk
+            drained += got
+        assert drained == total

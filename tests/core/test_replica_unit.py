@@ -1,0 +1,169 @@
+"""Sans-io replica tests driven through the InstantLoop (no bandwidth/CPU
+model): protocol logic only."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.replica import LeopardReplica
+from repro.messages.client import Ack, RequestBundle
+from repro.messages.leopard import BFTblock, Datablock, Vote
+from tests.support import InstantLoop
+
+
+def make_cluster(config4, registry4):
+    replicas = {i: LeopardReplica(i, config4, registry4) for i in range(4)}
+    loop = InstantLoop(replicas, replica_ids=list(range(4)))
+    return replicas, loop
+
+
+def submit(loop, target, count=50, client=100, bundle_id=1, at=None):
+    bundle = RequestBundle(client, bundle_id, count, 128,
+                           at if at is not None else loop.now)
+    loop.deliver_external(client, target, bundle)
+
+
+class TestHappyPath:
+    def test_requests_confirm_and_execute(self, config4, registry4):
+        replicas, loop = make_cluster(config4, registry4)
+        loop.start_all()
+        submit(loop, target=0, count=50)
+        loop.run(1.0)
+        # Every replica executed the 50 requests exactly once.
+        for replica in replicas.values():
+            assert replica.total_executed == 50
+        assert loop.executed[2] == 50
+
+    def test_client_receives_acks(self, config4, registry4):
+        replicas, loop = make_cluster(config4, registry4)
+        loop.start_all()
+        submit(loop, target=0, count=50, client=100)
+        loop.run(1.0)
+        acks = [t for t in loop.traces if t[1] == "ack"]
+        assert not acks  # acks go to node 100, outside the loop's cores
+
+    def test_logs_identical_across_replicas(self, config4, registry4):
+        replicas, loop = make_cluster(config4, registry4)
+        loop.start_all()
+        for bundle_id in range(1, 6):
+            submit(loop, target=(bundle_id % 3) or 3, count=50,
+                   bundle_id=bundle_id)
+            loop.run(0.2)
+        loop.run(1.0)
+        logs = [[e.block_digest for e in r.ledger.log]
+                for r in replicas.values()]
+        assert logs[0] == logs[1] == logs[2] == logs[3]
+        assert len(logs[0]) >= 1
+
+    def test_leader_is_view_1_mod_n(self, config4, registry4):
+        replicas, _ = make_cluster(config4, registry4)
+        assert replicas[1].is_leader
+        assert not replicas[0].is_leader
+
+    def test_partial_datablock_after_max_batch_delay(self, config4,
+                                                     registry4):
+        replicas, loop = make_cluster(config4, registry4)
+        loop.start_all()
+        submit(loop, target=0, count=7)  # below datablock_size = 50
+        loop.run(1.0)
+        assert all(r.total_executed == 7 for r in replicas.values())
+
+
+class TestValidation:
+    def test_bftblock_from_non_leader_ignored(self, config4, registry4):
+        replicas, loop = make_cluster(config4, registry4)
+        loop.start_all()
+        loop.run(0.05)
+        rogue = BFTblock(1, 1, (), registry4.signer(3).sign(b"x"))
+        effects = replicas[0].on_message(3, rogue, loop.now)
+        assert effects == []
+
+    def test_bftblock_with_bad_share_ignored(self, config4, registry4):
+        replicas, loop = make_cluster(config4, registry4)
+        loop.start_all()
+        loop.run(0.05)
+        unsigned = BFTblock(1, 1, ())
+        bad = BFTblock(1, 1, (), registry4.signer(3).sign(unsigned.digest()))
+        assert replicas[0].on_message(1, bad, loop.now) == []
+
+    def test_bftblock_wrong_view_ignored(self, config4, registry4):
+        replicas, loop = make_cluster(config4, registry4)
+        loop.start_all()
+        unsigned = BFTblock(7, 1, ())
+        share = registry4.signer(1).sign(unsigned.digest())
+        from dataclasses import replace
+        block = replace(unsigned, leader_share=share)
+        assert replicas[0].on_message(1, block, 0.0) == []
+
+    def test_votes_ignored_by_non_leader(self, config4, registry4):
+        replicas, _ = make_cluster(config4, registry4)
+        vote = Vote(1, b"d" * 32, b"d" * 32, registry4.signer(0).sign(b"d" * 32))
+        assert replicas[2].on_message(0, vote, 0.0) == []
+
+    def test_duplicate_datablock_counter_ignored(self, config4, registry4):
+        replicas, loop = make_cluster(config4, registry4)
+        loop.start_all()
+        first = Datablock(0, 1, 10, 128, ())
+        second = Datablock(0, 1, 20, 128, ())  # same counter, new content
+        replicas[2].on_message(0, first, 0.0)
+        effects = replicas[2].on_message(0, second, 0.0)
+        assert effects == []
+        assert replicas[2].pool.get(first.digest()) is not None
+        assert replicas[2].pool.get(second.digest()) is None
+
+
+class TestVoteDiscipline:
+    def test_no_vote_for_block_with_missing_links(self, config4, registry4):
+        replicas, loop = make_cluster(config4, registry4)
+        loop.start_all()
+        missing = Datablock(0, 1, 10, 128, ())
+        unsigned = BFTblock(1, 1, (missing.digest(),))
+        share = registry4.signer(1).sign(unsigned.digest())
+        from dataclasses import replace
+        block = replace(unsigned, leader_share=share)
+        effects = replicas[2].on_message(1, block, 0.0)
+        from repro.interfaces import Send, SetTimer
+        votes = [e for e in effects if isinstance(e, Send)
+                 and isinstance(e.msg, Vote)]
+        timers = [e for e in effects if isinstance(e, SetTimer)]
+        assert votes == []
+        assert timers  # the retrieval timer was armed
+
+    def test_vote_after_datablock_arrives(self, config4, registry4):
+        replicas, loop = make_cluster(config4, registry4)
+        loop.start_all()
+        missing = Datablock(0, 1, 10, 128, ())
+        unsigned = BFTblock(1, 1, (missing.digest(),))
+        share = registry4.signer(1).sign(unsigned.digest())
+        from dataclasses import replace
+        block = replace(unsigned, leader_share=share)
+        replicas[2].on_message(1, block, 0.0)
+        effects = replicas[2].on_message(0, missing, 0.1)
+        from repro.interfaces import Send
+        votes = [e for e in effects if isinstance(e, Send)
+                 and isinstance(e.msg, Vote)]
+        assert len(votes) == 1
+        assert votes[0].dest == 1
+
+
+class TestSaturationControls:
+    def test_window_limits_outstanding_datablocks(self, config4, registry4):
+        from dataclasses import replace as dc_replace
+        config = dc_replace(config4, max_outstanding_datablocks=2)
+        replica = LeopardReplica(0, config, registry4)
+        replica.start(0.0)
+        bundle = RequestBundle(100, 1, 500, 128, 0.0)
+        replica.on_message(100, bundle, 0.0)
+        effects = replica.on_timer("gen", 0.1)
+        from repro.interfaces import Broadcast
+        datablocks = [e for e in effects if isinstance(e, Broadcast)
+                      and isinstance(e.msg, Datablock)]
+        assert len(datablocks) == 2  # window-capped despite 10 possible
+
+    def test_backlog_probe_pauses_generation(self, config4, registry4):
+        replica = LeopardReplica(0, config4, registry4)
+        replica.backlog_probe = lambda: 10.0  # pretend a huge NIC queue
+        replica.on_message(100, RequestBundle(100, 1, 500, 128, 0.0), 0.0)
+        effects = replica.on_timer("gen", 0.1)
+        from repro.interfaces import Broadcast
+        assert not any(isinstance(e, Broadcast) for e in effects)

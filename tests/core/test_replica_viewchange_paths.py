@@ -1,0 +1,134 @@
+"""Replica-level view-change path tests (sans-io, hand-driven)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.replica import LeopardReplica
+from repro.interfaces import Broadcast, Send
+from repro.messages.leopard import (
+    BFTblock,
+    NewViewMsg,
+    TimeoutMsg,
+    ViewChangeMsg,
+)
+from tests.support import InstantLoop
+
+
+def make_cluster(config4, registry4, drop_leader=True):
+    ids = [0, 2, 3] if drop_leader else [0, 1, 2, 3]
+    replicas = {i: LeopardReplica(i, config4, registry4) for i in ids}
+    loop = InstantLoop(replicas, replica_ids=list(range(4)))
+    return replicas, loop
+
+
+class TestTrigger:
+    def test_progress_timer_triggers_on_stall(self, config4, registry4):
+        replicas, loop = make_cluster(config4, registry4)
+        loop.start_all()
+        from repro.messages.client import RequestBundle
+        loop.deliver_external(
+            100, 0, RequestBundle(100, 1, 50, 128, 0.0))
+        # Leader (1) is absent: nothing confirms; all replicas must move
+        # to view 2 where replica 2 leads.
+        loop.run(3.0)
+        assert all(r.view == 2 for r in replicas.values())
+        assert replicas[2].is_leader
+
+    def test_idle_system_does_not_viewchange(self, config4, registry4):
+        replicas, loop = make_cluster(config4, registry4)
+        loop.start_all()
+        loop.run(3.0)  # no pending work at all
+        assert all(r.view == 1 for r in replicas.values())
+
+    def test_timeout_amplification(self, config4, registry4):
+        replica = LeopardReplica(0, config4, registry4)
+        replica.start(0.0)
+        msgs = []
+        for sender in (2, 3):
+            other = LeopardReplica(sender, config4, registry4)
+            msgs.append((sender, other.vc.make_timeout(1)))
+        effects = replica.on_message(*msgs[0], 0.1)
+        assert not replica.vc.in_viewchange
+        effects = replica.on_message(*msgs[1], 0.2)
+        assert replica.vc.in_viewchange
+        # It broadcast its own timeout and sent a view-change message.
+        broadcasts = [e for e in effects if isinstance(e, Broadcast)]
+        sends = [e for e in effects if isinstance(e, Send)]
+        assert any(isinstance(b.msg, TimeoutMsg) for b in broadcasts)
+        assert any(isinstance(s.msg, ViewChangeMsg) for s in sends)
+
+    def test_stale_timeouts_ignored(self, config4, registry4):
+        replica = LeopardReplica(0, config4, registry4)
+        replica.view = 3
+        other = LeopardReplica(2, config4, registry4)
+        msg = other.vc.make_timeout(1)  # old view
+        assert replica.on_message(2, msg, 0.1) == []
+
+
+class TestNewViewHandling:
+    def _new_view_from(self, registry4, config4, target_view=2):
+        managers = [LeopardReplica(i, config4, registry4)
+                    for i in (0, 2, 3)]
+        vcs = []
+        for replica in managers:
+            vcs.append(replica.vc.make_viewchange_msg(target_view, None, []))
+        builder = managers[1]  # replica 2 leads view 2
+        return builder.vc.build_new_view(target_view, vcs)
+
+    def test_valid_new_view_advances(self, config4, registry4):
+        replica = LeopardReplica(0, config4, registry4)
+        replica.start(0.0)
+        new_view = self._new_view_from(registry4, config4)
+        effects = replica.on_message(2, new_view, 1.0)
+        assert replica.view == 2
+        assert replica.normal_mode
+
+    def test_new_view_from_wrong_sender_rejected(self, config4, registry4):
+        replica = LeopardReplica(0, config4, registry4)
+        replica.start(0.0)
+        new_view = self._new_view_from(registry4, config4)
+        assert replica.on_message(3, new_view, 1.0) == []
+        assert replica.view == 1
+
+    def test_stale_new_view_rejected(self, config4, registry4):
+        replica = LeopardReplica(0, config4, registry4)
+        replica.view = 5
+        new_view = self._new_view_from(registry4, config4)
+        assert replica.on_message(2, new_view, 1.0) == []
+        assert replica.view == 5
+
+    def test_new_leader_proposes_after_viewchange(self, config4, registry4):
+        replicas, loop = make_cluster(config4, registry4)
+        loop.start_all()
+        from repro.messages.client import RequestBundle
+        loop.deliver_external(
+            100, 0, RequestBundle(100, 1, 50, 128, 0.0))
+        loop.run(3.0)
+        assert all(r.view == 2 for r in replicas.values())
+        # The pending requests must now confirm under leader 2.
+        loop.run(2.0)
+        assert all(r.total_executed == 50 for r in replicas.values())
+
+    def test_redo_preserves_confirmed_blocks(self, config4, registry4):
+        """A replica that already confirmed sn=1 keeps it across the
+        view-change (no double execution, no replacement)."""
+        replicas, loop = make_cluster(config4, registry4,
+                                      drop_leader=False)
+        loop.start_all()
+        from repro.messages.client import RequestBundle
+        loop.deliver_external(
+            100, 0, RequestBundle(100, 1, 50, 128, 0.0))
+        loop.run(1.0)
+        executed_before = {i: r.total_executed
+                           for i, r in replicas.items()}
+        assert executed_before[0] == 50
+        # Force a view-change by hand: all replicas time out view 1.
+        for replica in replicas.values():
+            replica.vc.in_viewchange = False
+        for i, replica in replicas.items():
+            loop._apply(i, replica._start_viewchange(2, loop.now))
+        loop.run(2.0)
+        for i, replica in replicas.items():
+            assert replica.view == 2
+            assert replica.total_executed == executed_before[i]

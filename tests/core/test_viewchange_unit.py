@@ -1,0 +1,146 @@
+"""View-change manager unit tests (paper Appendix A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.agreement import AgreementInstance
+from repro.core.viewchange import ViewChangeManager, timeout_payload
+from repro.messages.leopard import BFTblock
+
+
+@pytest.fixture
+def managers(registry4):
+    return [ViewChangeManager(4, 1, i, registry4, registry4.scheme)
+            for i in range(4)]
+
+
+def notarized_instance(registry, sn, view=1, links=(b"x" * 32,)):
+    block = BFTblock(view, sn, tuple(links))
+    instance = AgreementInstance(block)
+    shares = [registry.signer(i).sign(block.digest()) for i in range(3)]
+    instance.apply_notarization(
+        registry.scheme.combine(shares, block.digest()))
+    return instance
+
+
+class TestTimeouts:
+    def test_timeout_signed_and_verified(self, managers):
+        msg = managers[0].make_timeout(1)
+        assert managers[1].on_timeout(0, msg) is False  # 1 < f+1 = 2
+        msg2 = managers[2].make_timeout(1)
+        assert managers[1].on_timeout(2, msg2) is True  # reaches f+1
+
+    def test_amplification_fires_once(self, managers):
+        collector = managers[1]
+        collector.on_timeout(0, managers[0].make_timeout(1))
+        assert collector.on_timeout(2, managers[2].make_timeout(1))
+        assert not collector.on_timeout(3, managers[3].make_timeout(1))
+
+    def test_bad_signature_rejected(self, managers, registry4):
+        from repro.messages.leopard import TimeoutMsg
+        forged = TimeoutMsg(1, registry4.plain_sign(0, b"wrong"))
+        assert not managers[1].on_timeout(0, forged)
+
+    def test_sender_mismatch_rejected(self, managers):
+        msg = managers[0].make_timeout(1)
+        assert not managers[1].on_timeout(3, msg)
+
+    def test_already_timed_out(self, managers):
+        assert not managers[0].already_timed_out(1)
+        managers[0].make_timeout(1)
+        assert managers[0].already_timed_out(1)
+
+    def test_payload_binds_view(self):
+        assert timeout_payload(1) != timeout_payload(2)
+
+
+class TestViewChangeMessages:
+    def test_roundtrip_validation(self, managers, registry4):
+        instance = notarized_instance(registry4, 3)
+        msg = managers[0].make_viewchange_msg(2, None, [instance])
+        assert managers[1].validate_viewchange(0, msg)
+        assert len(msg.entries) == 1
+
+    def test_skips_unnotarized_instances(self, managers):
+        instance = AgreementInstance(BFTblock(1, 3, (b"x" * 32,)))
+        msg = managers[0].make_viewchange_msg(2, None, [instance])
+        assert msg.entries == ()
+
+    def test_wrong_sender_rejected(self, managers, registry4):
+        msg = managers[0].make_viewchange_msg(2, None, [])
+        assert not managers[1].validate_viewchange(2, msg)
+
+    def test_forged_notarization_rejected(self, managers, registry4):
+        from repro.core.viewchange import NotarizedEntry
+        from repro.crypto.threshold import ThresholdSignature
+        block = BFTblock(1, 3, (b"x" * 32,))
+        entries = (NotarizedEntry(block, ThresholdSignature(1)),)
+        good = managers[0].make_viewchange_msg(2, None, [])
+        from repro.messages.leopard import ViewChangeMsg
+        forged = ViewChangeMsg(2, None, entries, good.signature)
+        assert not managers[1].validate_viewchange(0, forged)
+
+    def test_collection_returns_quorum_once(self, managers, registry4):
+        new_leader = managers[2]
+        for sender in (0, 1):
+            msg = managers[sender].make_viewchange_msg(2, None, [])
+            assert new_leader.collect_viewchange(sender, msg) is None
+        msg = managers[3].make_viewchange_msg(2, None, [])
+        quorum = new_leader.collect_viewchange(3, msg)
+        assert quorum is not None
+        assert len(quorum) == 3
+        late = new_leader.collect_viewchange(
+            2, new_leader.make_viewchange_msg(2, None, []))
+        assert late is None
+
+
+class TestNewView:
+    def _quorum(self, managers, registry4, instances_by_sender):
+        collected = []
+        for sender in range(3):
+            instances = instances_by_sender.get(sender, [])
+            collected.append(managers[sender].make_viewchange_msg(
+                2, None, instances))
+        return collected
+
+    def test_redo_includes_notarized_and_dummies(self, managers, registry4):
+        instance = notarized_instance(registry4, 3)
+        vcs = self._quorum(managers, registry4, {0: [instance]})
+        new_view = managers[2].build_new_view(2, vcs)
+        assert [b.sn for b in new_view.redo] == [1, 2, 3]
+        assert new_view.redo[0].is_dummy()
+        assert new_view.redo[1].is_dummy()
+        assert new_view.redo[2].links == instance.block.links
+
+    def test_highest_view_entry_wins(self, managers, registry4):
+        low = notarized_instance(registry4, 1, view=1, links=(b"a" * 32,))
+        high = notarized_instance(registry4, 1, view=2, links=(b"b" * 32,))
+        vcs = self._quorum(managers, registry4, {0: [low], 1: [high]})
+        new_view = managers[2].build_new_view(3, vcs)
+        assert new_view.redo[0].links == (b"b" * 32,)
+
+    def test_validation(self, managers, registry4):
+        vcs = self._quorum(managers, registry4, {})
+        new_view = managers[2].build_new_view(2, vcs)
+        assert managers[3].validate_new_view(2, new_view, expected_leader=2)
+        assert not managers[3].validate_new_view(1, new_view,
+                                                 expected_leader=2)
+        assert not managers[3].validate_new_view(2, new_view,
+                                                 expected_leader=1)
+
+    def test_validation_requires_quorum_of_vcs(self, managers, registry4):
+        vcs = self._quorum(managers, registry4, {})[:2]
+        from repro.messages.leopard import NewViewMsg
+        partial = managers[2].build_new_view(2, vcs + [vcs[0]])
+        assert not managers[3].validate_new_view(
+            2, partial, expected_leader=2)
+
+    def test_reset_for_view(self, managers):
+        manager = managers[0]
+        manager.in_viewchange = True
+        manager.target_view = 2
+        manager.reset_for_view(2)
+        assert not manager.in_viewchange
+        assert manager.target_view is None
+        assert manager.completed_viewchanges == 1

@@ -1,0 +1,142 @@
+"""Field-axiom and matrix-algebra tests for GF(2^8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import gf256
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestScalarArithmetic:
+    def test_addition_is_xor(self):
+        assert gf256.add(0b1010, 0b0110) == 0b1100
+
+    def test_add_equals_sub(self):
+        assert gf256.add(77, 140) == gf256.sub(77, 140)
+
+    @given(elements)
+    def test_additive_inverse_is_self(self, a):
+        assert gf256.add(a, a) == 0
+
+    @given(elements, elements)
+    def test_mul_commutative(self, a, b):
+        assert gf256.mul(a, b) == gf256.mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_mul_associative(self, a, b, c):
+        assert gf256.mul(gf256.mul(a, b), c) == gf256.mul(a, gf256.mul(b, c))
+
+    @given(elements, elements, elements)
+    def test_distributive(self, a, b, c):
+        left = gf256.mul(a, gf256.add(b, c))
+        right = gf256.add(gf256.mul(a, b), gf256.mul(a, c))
+        assert left == right
+
+    @given(elements)
+    def test_one_is_multiplicative_identity(self, a):
+        assert gf256.mul(a, 1) == a
+
+    @given(elements)
+    def test_zero_annihilates(self, a):
+        assert gf256.mul(a, 0) == 0
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert gf256.mul(a, gf256.inv(a)) == 1
+
+    @given(nonzero, nonzero)
+    def test_div_is_mul_by_inverse(self, a, b):
+        assert gf256.div(a, b) == gf256.mul(a, gf256.inv(b))
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf256.div(5, 0)
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf256.inv(0)
+
+    @given(nonzero, st.integers(min_value=0, max_value=512))
+    def test_power_matches_repeated_mul(self, a, e):
+        expected = 1
+        for _ in range(e):
+            expected = gf256.mul(expected, a)
+        assert gf256.power(a, e) == expected
+
+    @given(nonzero)
+    def test_negative_power(self, a):
+        assert gf256.power(a, -1) == gf256.inv(a)
+
+    def test_power_zero_base(self):
+        assert gf256.power(0, 0) == 1
+        assert gf256.power(0, 3) == 0
+        with pytest.raises(ZeroDivisionError):
+            gf256.power(0, -1)
+
+
+class TestVectorOps:
+    @given(elements, st.binary(min_size=1, max_size=64))
+    def test_mul_vector_matches_scalar(self, scalar, data):
+        vec = np.frombuffer(data, dtype=np.uint8)
+        out = gf256.mul_vector(scalar, vec)
+        assert list(out) == [gf256.mul(scalar, int(v)) for v in vec]
+
+    @given(elements, st.binary(min_size=1, max_size=64),
+           st.binary(min_size=1, max_size=64))
+    def test_addmul_matches_scalar(self, scalar, acc_data, vec_data):
+        size = min(len(acc_data), len(vec_data))
+        acc = np.frombuffer(acc_data[:size], dtype=np.uint8).copy()
+        vec = np.frombuffer(vec_data[:size], dtype=np.uint8)
+        expected = [a ^ gf256.mul(scalar, int(v)) for a, v in zip(acc, vec)]
+        gf256.addmul_vector(acc, scalar, vec)
+        assert list(acc) == expected
+
+    def test_addmul_scalar_zero_is_noop(self):
+        acc = np.array([1, 2, 3], dtype=np.uint8)
+        gf256.addmul_vector(acc, 0, np.array([9, 9, 9], dtype=np.uint8))
+        assert list(acc) == [1, 2, 3]
+
+
+class TestMatrixOps:
+    def test_identity_multiplication(self):
+        identity = [[1, 0], [0, 1]]
+        m = [[3, 7], [9, 2]]
+        assert gf256.matrix_mul(identity, m) == m
+        assert gf256.matrix_mul(m, identity) == m
+
+    def test_invert_round_trip(self):
+        m = [[1, 2, 3], [4, 5, 6], [7, 8, 10]]
+        inv = gf256.matrix_invert(m)
+        product = gf256.matrix_mul(m, inv)
+        size = len(m)
+        expected = [[1 if i == j else 0 for j in range(size)]
+                    for i in range(size)]
+        assert product == expected
+
+    def test_singular_matrix_raises(self):
+        with pytest.raises(ValueError):
+            gf256.matrix_invert([[1, 2], [1, 2]])
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            gf256.matrix_mul([[1, 2]], [[1, 2]])
+
+    def test_vandermonde_rows_independent(self):
+        # Any k rows of an n x k Vandermonde matrix must be invertible.
+        vand = gf256.vandermonde(8, 3)
+        import itertools
+        for rows in itertools.combinations(range(8), 3):
+            sub = [vand[r] for r in rows]
+            gf256.matrix_invert(sub)  # must not raise
+
+    def test_vandermonde_shape(self):
+        vand = gf256.vandermonde(5, 4)
+        assert len(vand) == 5
+        assert all(len(row) == 4 for row in vand)
+        assert vand[0] == [1, 0, 0, 0]
+        assert vand[1] == [1, 1, 1, 1]

@@ -1,0 +1,54 @@
+"""Hashing-primitive tests."""
+
+from __future__ import annotations
+
+import hashlib
+
+from hypothesis import given, strategies as st
+
+from repro.crypto.hashing import DIGEST_SIZE, combine, digest, digest_hex
+
+
+class FakeHashable:
+    def __init__(self, payload: bytes) -> None:
+        self.payload = payload
+
+    def canonical_bytes(self) -> bytes:
+        return self.payload
+
+
+class TestDigest:
+    def test_matches_sha256(self):
+        assert digest(b"abc") == hashlib.sha256(b"abc").digest()
+
+    def test_size_is_beta(self):
+        assert len(digest(b"x")) == DIGEST_SIZE == 32
+
+    def test_accepts_hashable_objects(self):
+        assert digest(FakeHashable(b"abc")) == digest(b"abc")
+
+    def test_accepts_bytearray_and_memoryview(self):
+        assert digest(bytearray(b"abc")) == digest(b"abc")
+        assert digest(memoryview(b"abc")) == digest(b"abc")
+
+    def test_hex_form(self):
+        assert digest_hex(b"abc") == digest(b"abc").hex()
+
+
+class TestCombine:
+    def test_length_framing_prevents_ambiguity(self):
+        # ("ab", "c") and ("a", "bc") must hash differently.
+        assert combine(b"ab", b"c") != combine(b"a", b"bc")
+
+    def test_empty_parts_are_distinct(self):
+        assert combine() != combine(b"")
+        assert combine(b"") != combine(b"", b"")
+
+    @given(st.lists(st.binary(max_size=16), max_size=5))
+    def test_deterministic(self, parts):
+        assert combine(*parts) == combine(*parts)
+
+    @given(st.binary(max_size=16), st.binary(max_size=16))
+    def test_order_matters(self, a, b):
+        if a != b:
+            assert combine(a, b) != combine(b, a)

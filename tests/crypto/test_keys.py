@@ -1,0 +1,44 @@
+"""Key-registry tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import KeyRegistry, PLAIN_SIGNATURE_SIZE
+
+
+class TestRegistry:
+    def test_rejects_insufficient_n(self):
+        with pytest.raises(ValueError):
+            KeyRegistry(3, 1)
+
+    def test_threshold_scheme_is_2f_plus_1(self, registry4):
+        assert registry4.scheme.threshold == 3
+        assert registry4.scheme.total == 4
+
+    def test_signers_are_distinct(self, registry4):
+        shares = {registry4.signer(i).sign(b"m").value for i in range(4)}
+        assert len(shares) == 4
+
+    def test_plain_sign_verify(self, registry4):
+        signature = registry4.plain_sign(2, b"view-change")
+        assert registry4.plain_verify(signature, b"view-change")
+
+    def test_plain_sign_fails_other_message(self, registry4):
+        signature = registry4.plain_sign(2, b"a")
+        assert not registry4.plain_verify(signature, b"b")
+
+    def test_plain_sign_binds_signer(self, registry4):
+        from repro.crypto.keys import PlainSignature
+        signature = registry4.plain_sign(2, b"m")
+        forged = PlainSignature(3, signature.tag)
+        assert not registry4.plain_verify(forged, b"m")
+
+    def test_plain_signature_size(self, registry4):
+        assert registry4.plain_sign(0, b"m").size_bytes() \
+            == PLAIN_SIGNATURE_SIZE
+
+    def test_threshold_end_to_end(self, registry7):
+        scheme = registry7.scheme
+        shares = [registry7.signer(i).sign(b"block") for i in (0, 2, 3, 5, 6)]
+        assert scheme.verify(scheme.combine(shares, b"block"), b"block")

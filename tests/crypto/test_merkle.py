@@ -1,0 +1,99 @@
+"""Merkle-tree tests: proofs for every leaf, tamper detection, sizes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.merkle import MerkleProof, MerkleTree, verify_proof
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MerkleTree([])
+
+    def test_single_leaf(self):
+        tree = MerkleTree([b"only"])
+        assert tree.leaf_count == 1
+        proof = tree.proof(0)
+        assert proof.siblings == ()
+        assert verify_proof(tree.root, b"only", proof)
+
+    def test_root_changes_with_leaves(self):
+        a = MerkleTree([b"a", b"b"])
+        b = MerkleTree([b"a", b"c"])
+        assert a.root != b.root
+
+    def test_leaf_order_matters(self):
+        a = MerkleTree([b"a", b"b"])
+        b = MerkleTree([b"b", b"a"])
+        assert a.root != b.root
+
+    def test_leaf_interior_domain_separation(self):
+        # A two-leaf tree's root must differ from the leaf hash of the
+        # concatenation (no second-preimage between layers).
+        tree = MerkleTree([b"x", b"y"])
+        flat = MerkleTree([b"x" + b"y"])
+        assert tree.root != flat.root
+
+
+class TestProofs:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.binary(min_size=0, max_size=32),
+                    min_size=1, max_size=33))
+    def test_every_leaf_proves(self, leaves):
+        tree = MerkleTree(leaves)
+        for index, leaf in enumerate(leaves):
+            proof = tree.proof(index)
+            assert verify_proof(tree.root, leaf, proof)
+
+    def test_proof_fails_for_wrong_leaf(self):
+        leaves = [bytes([i]) for i in range(7)]
+        tree = MerkleTree(leaves)
+        proof = tree.proof(3)
+        assert not verify_proof(tree.root, b"forged", proof)
+
+    def test_proof_fails_for_wrong_index_leaf(self):
+        leaves = [bytes([i]) for i in range(8)]
+        tree = MerkleTree(leaves)
+        assert not verify_proof(tree.root, leaves[2], tree.proof(5))
+
+    def test_proof_fails_with_tampered_sibling(self):
+        leaves = [bytes([i]) for i in range(6)]
+        tree = MerkleTree(leaves)
+        proof = tree.proof(1)
+        tampered = MerkleProof(proof.leaf_index, tuple(
+            (side, b"\x00" * 32) for side, _ in proof.siblings))
+        assert not verify_proof(tree.root, leaves[1], tampered)
+
+    def test_out_of_range_index(self):
+        tree = MerkleTree([b"a", b"b"])
+        with pytest.raises(IndexError):
+            tree.proof(2)
+
+    def test_proof_depth_is_logarithmic(self):
+        # n chunks -> proofs carry <= ceil(log2 n) siblings: the β·log n
+        # term in the paper's retrieval cost analysis (§V-B).
+        tree = MerkleTree([bytes([i]) for i in range(128)])
+        assert all(len(tree.proof(i).siblings) <= 7 for i in range(128))
+
+    def test_proof_wire_size(self):
+        tree = MerkleTree([bytes([i]) for i in range(16)])
+        proof = tree.proof(5)
+        assert proof.size_bytes() == 4 + 33 * len(proof.siblings)
+
+
+class TestOddShapes:
+    @pytest.mark.parametrize("count", [2, 3, 5, 9, 17, 31])
+    def test_odd_leaf_counts(self, count):
+        leaves = [bytes([i]) * 3 for i in range(count)]
+        tree = MerkleTree(leaves)
+        for index in range(count):
+            assert verify_proof(tree.root, leaves[index], tree.proof(index))
+
+    def test_duplicate_leaves_still_prove_positionally(self):
+        leaves = [b"same"] * 4
+        tree = MerkleTree(leaves)
+        for index in range(4):
+            assert verify_proof(tree.root, b"same", tree.proof(index))

@@ -1,0 +1,161 @@
+"""Reed--Solomon erasure-code tests, including the any-(f+1)-subset
+property the retrieval mechanism relies on (paper Algorithm 3)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.reed_solomon import (
+    Chunk,
+    ReedSolomonCode,
+    ReedSolomonError,
+    leopard_code,
+)
+
+
+class TestParameters:
+    def test_rejects_zero_data_shards(self):
+        with pytest.raises(ReedSolomonError):
+            ReedSolomonCode(0, 4)
+
+    def test_rejects_total_below_data(self):
+        with pytest.raises(ReedSolomonError):
+            ReedSolomonCode(5, 4)
+
+    def test_rejects_over_256_shards(self):
+        with pytest.raises(ReedSolomonError):
+            ReedSolomonCode(2, 257)
+
+    def test_leopard_code_is_f_plus_1_of_n(self):
+        code = leopard_code(faults=2, replicas=7)
+        assert code.data_shards == 3
+        assert code.total_shards == 7
+
+    def test_parity_shards(self):
+        assert ReedSolomonCode(3, 7).parity_shards == 4
+
+    def test_shard_size_rounding(self):
+        code = ReedSolomonCode(3, 5)
+        assert code.shard_size(9) == 3
+        assert code.shard_size(10) == 4
+        assert code.shard_size(0) == 1
+
+    def test_shard_size_negative_raises(self):
+        with pytest.raises(ReedSolomonError):
+            ReedSolomonCode(2, 4).shard_size(-1)
+
+
+class TestRoundTrip:
+    def test_systematic_prefix(self):
+        code = ReedSolomonCode(2, 4)
+        message = b"hello-world!"
+        chunks = code.encode(message)
+        framed = len(message).to_bytes(4, "big") + message
+        data_bytes = b"".join(c.data for c in chunks[:2])
+        assert data_bytes.startswith(framed)
+
+    def test_decode_from_data_shards(self):
+        code = ReedSolomonCode(3, 6)
+        message = bytes(range(100))
+        chunks = code.encode(message)
+        assert code.decode(chunks[:3]) == message
+
+    def test_decode_from_parity_only(self):
+        code = ReedSolomonCode(3, 6)
+        message = b"parity decoding works" * 5
+        chunks = code.encode(message)
+        assert code.decode(chunks[3:]) == message
+
+    def test_every_subset_decodes_small(self):
+        code = ReedSolomonCode(2, 5)
+        message = b"exhaustive subsets"
+        chunks = code.encode(message)
+        for subset in itertools.combinations(chunks, 2):
+            assert code.decode(list(subset)) == message
+
+    def test_empty_message(self):
+        code = ReedSolomonCode(2, 4)
+        assert code.decode(code.encode(b"")[2:]) == b""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=0, max_size=512),
+           st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=5),
+           st.randoms(use_true_random=False))
+    def test_random_subset_roundtrip(self, message, k, extra, rng):
+        n = k + extra
+        code = ReedSolomonCode(k, n)
+        chunks = code.encode(message)
+        subset = rng.sample(chunks, k)
+        assert code.decode(subset) == message
+
+    def test_duplicate_chunks_do_not_count_twice(self):
+        code = ReedSolomonCode(3, 6)
+        chunks = code.encode(b"x" * 50)
+        with pytest.raises(ReedSolomonError):
+            code.decode([chunks[0], chunks[0], chunks[0]])
+
+    def test_extra_chunks_are_fine(self):
+        code = ReedSolomonCode(3, 6)
+        message = b"extra chunks ok"
+        chunks = code.encode(message)
+        assert code.decode(chunks) == message
+
+
+class TestValidation:
+    def test_too_few_chunks(self):
+        code = ReedSolomonCode(3, 6)
+        chunks = code.encode(b"abc")
+        with pytest.raises(ReedSolomonError):
+            code.decode(chunks[:2])
+
+    def test_out_of_range_index(self):
+        code = ReedSolomonCode(2, 4)
+        with pytest.raises(ReedSolomonError):
+            code.decode([Chunk(9, b"xx"), Chunk(0, b"yy")])
+
+    def test_inconsistent_sizes(self):
+        code = ReedSolomonCode(2, 4)
+        chunks = code.encode(b"some message")
+        bad = [chunks[0], Chunk(1, chunks[1].data + b"z")]
+        with pytest.raises(ReedSolomonError):
+            code.decode(bad)
+
+    def test_corrupted_chunk_changes_output(self):
+        # RS is an erasure (not error-correcting-with-detection) code
+        # here: a silently corrupted chunk yields a wrong message, which
+        # is why the retrieval path checks Merkle proofs per chunk.
+        code = ReedSolomonCode(2, 4)
+        message = b"integrity is the caller's job"
+        chunks = code.encode(message)
+        corrupted = Chunk(3, bytes(b ^ 0xFF for b in chunks[3].data))
+        try:
+            decoded = code.decode([chunks[2], corrupted])
+        except ReedSolomonError:
+            return  # also acceptable: length prefix became implausible
+        assert decoded != message
+
+
+class TestLargeBlocks:
+    def test_datablock_sized_roundtrip(self):
+        # A paper-sized datablock: 2000 requests x 128 B = 256 KB.
+        rng = random.Random(7)
+        message = rng.randbytes(2000 * 128)
+        code = leopard_code(faults=10, replicas=31)
+        chunks = code.encode(message)
+        subset = rng.sample(chunks, 11)
+        assert code.decode(subset) == message
+
+    def test_chunk_size_amortization(self):
+        # The per-chunk size must shrink ~1/(f+1): the §V-B claim that
+        # responding costs α/(f+1) + O(log n).
+        message = b"q" * 100_000
+        small = leopard_code(1, 4)
+        large = leopard_code(10, 31)
+        small_chunk = len(small.encode(message)[0].data)
+        large_chunk = len(large.encode(message)[0].data)
+        assert small_chunk > 4 * large_chunk

@@ -1,0 +1,118 @@
+"""Threshold-signature tests: the TS = (TSig, TVrf, TSR) API of §III-B."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import threshold
+
+
+@pytest.fixture(scope="module")
+def scheme_and_signers():
+    return threshold.generate(3, 4, seed=11)
+
+
+class TestShares:
+    def test_share_verifies(self, scheme_and_signers):
+        scheme, signers = scheme_and_signers
+        share = signers[0].sign(b"message")
+        assert scheme.verify_share(share, b"message")
+
+    def test_share_fails_other_message(self, scheme_and_signers):
+        scheme, signers = scheme_and_signers
+        share = signers[0].sign(b"message")
+        assert not scheme.verify_share(share, b"other")
+
+    def test_share_fails_wrong_signer_claim(self, scheme_and_signers):
+        scheme, signers = scheme_and_signers
+        share = signers[0].sign(b"m")
+        forged = threshold.SignatureShare(1, share.value)
+        assert not scheme.verify_share(forged, b"m")
+
+    def test_out_of_range_signer_rejected(self, scheme_and_signers):
+        scheme, _ = scheme_and_signers
+        assert not scheme.verify_share(
+            threshold.SignatureShare(99, 123), b"m")
+
+    def test_wire_sizes_match_bls(self, scheme_and_signers):
+        scheme, signers = scheme_and_signers
+        share = signers[0].sign(b"m")
+        combined = scheme.combine(
+            [s.sign(b"m") for s in signers[:3]], b"m")
+        assert share.size_bytes() == 48  # κ in the paper
+        assert combined.size_bytes() == 48
+
+
+class TestCombine:
+    def test_combine_exact_threshold(self, scheme_and_signers):
+        scheme, signers = scheme_and_signers
+        shares = [s.sign(b"payload") for s in signers[:3]]
+        signature = scheme.combine(shares, b"payload")
+        assert scheme.verify(signature, b"payload")
+
+    def test_combine_any_subset_gives_same_signature(self,
+                                                     scheme_and_signers):
+        scheme, signers = scheme_and_signers
+        all_shares = [s.sign(b"same") for s in signers]
+        import itertools
+        signatures = {
+            scheme.combine(list(subset), b"same").value
+            for subset in itertools.combinations(all_shares, 3)}
+        assert len(signatures) == 1
+
+    def test_combine_below_threshold_raises(self, scheme_and_signers):
+        scheme, signers = scheme_and_signers
+        shares = [s.sign(b"p") for s in signers[:2]]
+        with pytest.raises(threshold.ThresholdError):
+            scheme.combine(shares, b"p")
+
+    def test_invalid_shares_do_not_count(self, scheme_and_signers):
+        scheme, signers = scheme_and_signers
+        shares = [s.sign(b"p") for s in signers[:2]]
+        shares.append(threshold.SignatureShare(3, 424242))
+        with pytest.raises(threshold.ThresholdError):
+            scheme.combine(shares, b"p")
+
+    def test_duplicate_signers_do_not_count(self, scheme_and_signers):
+        scheme, signers = scheme_and_signers
+        share = signers[0].sign(b"p")
+        with pytest.raises(threshold.ThresholdError):
+            scheme.combine([share, share, share], b"p")
+
+    def test_combined_fails_on_other_message(self, scheme_and_signers):
+        scheme, signers = scheme_and_signers
+        signature = scheme.combine(
+            [s.sign(b"a") for s in signers[:3]], b"a")
+        assert not scheme.verify(signature, b"b")
+
+
+class TestGenerate:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=3),
+           st.integers(min_value=0, max_value=2 ** 32))
+    def test_generate_roundtrip(self, t, extra, seed):
+        n = t + extra
+        scheme, signers = threshold.generate(t, n, seed=seed)
+        message = seed.to_bytes(5, "big")
+        shares = [s.sign(message) for s in signers[:t]]
+        assert scheme.verify(scheme.combine(shares, message), message)
+
+    def test_deterministic_from_seed(self):
+        a, _ = threshold.generate(3, 4, seed=5)
+        b, _ = threshold.generate(3, 4, seed=5)
+        assert a.public_key == b.public_key
+
+    def test_different_seeds_differ(self):
+        a, _ = threshold.generate(3, 4, seed=5)
+        b, _ = threshold.generate(3, 4, seed=6)
+        assert a.public_key != b.public_key
+
+    def test_leopard_parameters(self):
+        # n = 3f+1 = 7, quorum 2f+1 = 5.
+        scheme, signers = threshold.generate(5, 7, seed=1)
+        assert scheme.threshold == 5
+        assert scheme.total == 7
+        shares = [s.sign(b"x") for s in signers[2:7]]
+        assert scheme.verify(scheme.combine(shares, b"x"), b"x")

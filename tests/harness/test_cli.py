@@ -1,0 +1,29 @@
+"""CLI entry-point tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out
+        assert "table3" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_runs_analytic_experiment(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Leopard" in out
+        assert "O(1)" in out

@@ -1,0 +1,81 @@
+"""Cluster-builder tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import LeopardConfig
+from repro.errors import ConfigError
+from repro.harness import (
+    build_hotstuff_cluster,
+    build_leopard_cluster,
+    build_pbft_cluster,
+    throttle_all_replicas,
+)
+from repro.sim.faults import Crash
+
+
+class TestLeopardBuilder:
+    def test_config_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            build_leopard_cluster(n=7, config=LeopardConfig(n=4))
+
+    def test_too_many_faults_rejected(self):
+        with pytest.raises(ConfigError):
+            build_leopard_cluster(
+                n=4, faults={0: Crash(), 2: Crash()})
+
+    def test_measure_replica_is_honest_non_leader(self):
+        cluster = build_leopard_cluster(n=4, faults={2: Crash()})
+        assert cluster.measure_replica not in (cluster.leader, 2)
+
+    def test_auto_warmup_scales_with_n(self):
+        small = build_leopard_cluster(n=4)
+        large = build_leopard_cluster(
+            n=7, config=LeopardConfig(n=7, datablock_size=4000))
+        assert large.warmup > small.warmup
+
+    def test_client_ids_above_replica_range(self):
+        cluster = build_leopard_cluster(n=4)
+        assert all(c.node_id >= 4 for c in cluster.clients)
+
+    def test_throttle_all_replicas(self):
+        cluster = build_leopard_cluster(n=4)
+        throttle_all_replicas(cluster, 20e6)
+        for replica_id in range(4):
+            assert cluster.network.nics[replica_id].bandwidth_bps == 20e6
+        assert cluster.network.nics[4].bandwidth_bps != 20e6  # client NIC
+
+
+class TestBaselineBuilders:
+    def test_hotstuff_clients_target_leader(self):
+        cluster = build_hotstuff_cluster(n=4)
+        assert all(c.target == cluster.leader for c in cluster.clients)
+
+    def test_pbft_builder_runs(self):
+        cluster = build_pbft_cluster(n=4, total_rate=5_000)
+        cluster.run(1.0)
+        assert cluster.replicas[0].executed_sn >= 0
+
+    def test_default_rate_scales_down_with_n(self):
+        small = build_hotstuff_cluster(n=4)
+        large = build_hotstuff_cluster(n=16)
+        small_rate = sum(c.rate for c in small.clients)
+        large_rate = sum(c.rate for c in large.clients)
+        assert small_rate > large_rate
+
+
+class TestMeasurement:
+    def test_throughput_bps_uses_payload(self):
+        cluster = build_leopard_cluster(
+            n=4, config=LeopardConfig(
+                n=4, datablock_size=100, max_batch_delay=0.05),
+            warmup=0.2, total_rate=10_000)
+        cluster.run(1.5)
+        rps = cluster.throughput()
+        assert cluster.throughput_bps() == pytest.approx(rps * 128 * 8)
+
+    def test_measurement_window(self):
+        cluster = build_leopard_cluster(n=4, warmup=1.0)
+        cluster.run(3.0)
+        assert cluster.measurement_window() == pytest.approx(2.0)

@@ -1,0 +1,69 @@
+"""Smoke tests for the experiment harness (the fast experiments only;
+the full sweeps run under ``pytest benchmarks/``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import (
+    ALL_EXPERIMENTS,
+    full_scale,
+    hotstuff_model_rps,
+    leopard_model_rps,
+    pbft_model_rps,
+    table1_amortized_costs,
+    table2_batch_parameters,
+)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_has_an_experiment(self):
+        expected = {"fig1", "fig2", "table1", "fig6", "fig7", "fig8",
+                    "table2", "fig9", "fig10", "table3", "table4",
+                    "fig11", "fig12", "fig13"}
+        assert set(ALL_EXPERIMENTS) == expected
+
+    def test_full_scale_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert not full_scale()
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert full_scale()
+
+
+class TestAnalyticRows:
+    def test_table1(self):
+        result = table1_amortized_costs()
+        assert len(result.rows) == 4
+        assert result.rows[-1][0] == "Leopard"
+
+    def test_table2(self):
+        result = table2_batch_parameters()
+        assert [row[0] for row in result.rows] == \
+            [32, 64, 128, 256, 400, 600]
+
+
+class TestModelCeilings:
+    def test_leopard_flat_in_n(self):
+        assert leopard_model_rps(16) == leopard_model_rps(600)
+
+    def test_hotstuff_decays_in_n(self):
+        assert hotstuff_model_rps(16) > hotstuff_model_rps(64) \
+            > hotstuff_model_rps(300)
+
+    def test_hotstuff_inverse_n_regime(self):
+        # Once NIC-bound, doubling n-1 halves throughput.
+        ratio = hotstuff_model_rps(151) / hotstuff_model_rps(301)
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_pbft_below_hotstuff(self):
+        for n in (16, 64, 128):
+            assert pbft_model_rps(n) <= hotstuff_model_rps(n)
+
+    def test_payload_scales_bandwidth_bound(self):
+        assert hotstuff_model_rps(300, payload=1024) \
+            == pytest.approx(hotstuff_model_rps(300, payload=128) / 8)
+
+    def test_paper_headline_ratio(self):
+        # The paper's 5x at n = 300 falls out of the calibrated model.
+        ratio = leopard_model_rps(300) / hotstuff_model_rps(300)
+        assert 3.0 < ratio < 8.0

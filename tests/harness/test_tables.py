@@ -1,0 +1,41 @@
+"""Rendering tests for experiment results."""
+
+from __future__ import annotations
+
+from repro.harness.tables import ExperimentResult, render_all
+
+
+class TestRender:
+    def test_basic_table(self):
+        result = ExperimentResult(
+            "figX", "demo", ["n", "value"],
+            rows=[(4, 1.5), (600, 123456.0)],
+            notes=["a note"])
+        text = result.render()
+        assert "figX" in text
+        assert "123,456" in text
+        assert "note: a note" in text
+        lines = text.splitlines()
+        assert len(lines) == 6
+
+    def test_nan_rendering(self):
+        result = ExperimentResult(
+            "figY", "demo", ["v"], rows=[(float("nan"),)])
+        assert "-" in result.render()
+
+    def test_alignment(self):
+        result = ExperimentResult(
+            "figZ", "demo", ["protocol", "n"],
+            rows=[("leopard", 600), ("hs", 4)])
+        lines = result.render().splitlines()
+        assert len(lines[1]) == len(lines[3])
+
+    def test_render_all_joins(self):
+        a = ExperimentResult("a", "t", ["x"], rows=[(1,)])
+        b = ExperimentResult("b", "t", ["x"], rows=[(2,)])
+        text = render_all([a, b])
+        assert "== a" in text and "== b" in text
+
+    def test_small_float_formatting(self):
+        result = ExperimentResult("f", "t", ["x"], rows=[(0.12345,)])
+        assert "0.123" in result.render()

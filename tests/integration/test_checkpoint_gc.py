@@ -1,0 +1,64 @@
+"""Checkpoint + garbage-collection integration (Algorithm 4, Appendix A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import LeopardConfig
+from repro.harness import build_leopard_cluster
+
+
+@pytest.fixture(scope="module")
+def gc_cluster():
+    config = LeopardConfig(
+        n=4, datablock_size=100, bftblock_max_links=2,
+        max_batch_delay=0.02, checkpoint_period=6,
+        max_parallel_instances=30, progress_timeout=5.0)
+    cluster = build_leopard_cluster(
+        n=4, seed=17, config=config, warmup=0.3, total_rate=30_000)
+    cluster.run(4.0)
+    return cluster
+
+
+class TestCheckpoints:
+    def test_stable_checkpoint_advances_everywhere(self, gc_cluster):
+        stable = [r.checkpoints.stable_sn for r in gc_cluster.replicas]
+        assert min(stable) >= 6
+        # Stability is a quorum property; replicas may differ by at most
+        # one period while proofs are in flight.
+        assert max(stable) - min(stable) <= 6
+
+    def test_checkpoints_are_period_aligned(self, gc_cluster):
+        for replica in gc_cluster.replicas:
+            assert replica.checkpoints.stable_sn % 6 == 0
+
+    def test_watermark_follows_checkpoint(self, gc_cluster):
+        for replica in gc_cluster.replicas:
+            assert replica.store.low_watermark \
+                == replica.checkpoints.stable_sn
+
+    def test_instances_below_watermark_are_collected(self, gc_cluster):
+        for replica in gc_cluster.replicas:
+            low = replica.store.low_watermark
+            assert all(sn > low for sn in replica.store.instances)
+
+    def test_pool_is_bounded_by_gc(self, gc_cluster):
+        total_created = sum(
+            r.datablock_counter - 1 for r in gc_cluster.replicas)
+        for replica in gc_cluster.replicas:
+            assert len(replica.pool) < total_created / 2
+
+    def test_progress_continues_past_many_checkpoints(self, gc_cluster):
+        # The watermark window (30) is far smaller than the number of
+        # blocks agreed; without GC the protocol would have stalled.
+        measure = gc_cluster.replicas[gc_cluster.measure_replica]
+        assert measure.ledger.last_executed > 30
+
+    def test_checkpoint_certificate_verifies(self, gc_cluster):
+        replica = gc_cluster.replicas[0]
+        proof = replica.checkpoints.latest_proof
+        assert proof is not None
+        from repro.messages.leopard import checkpoint_payload
+        assert replica.scheme.verify(
+            proof.signature,
+            checkpoint_payload(proof.sn, proof.state_digest))

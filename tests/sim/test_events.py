@@ -1,0 +1,93 @@
+"""Event-queue tests: ordering, determinism, bounded execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(3.0, lambda: seen.append("c"))
+        queue.schedule(1.0, lambda: seen.append("a"))
+        queue.schedule(2.0, lambda: seen.append("b"))
+        queue.run_until(10.0)
+        assert seen == ["a", "b", "c"]
+
+    def test_fifo_for_equal_timestamps(self):
+        queue = EventQueue()
+        seen = []
+        for tag in range(5):
+            queue.schedule(1.0, lambda t=tag: seen.append(t))
+        queue.run_until(1.0)
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_past_scheduling_rejected(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.run_until(2.0)
+        with pytest.raises(SimulationError):
+            queue.schedule(1.5, lambda: None)
+
+    def test_schedule_in_is_relative(self):
+        queue = EventQueue()
+        times = []
+        queue.schedule(1.0, lambda: queue.schedule_in(
+            0.5, lambda: times.append(queue.now)))
+        queue.run_until(5.0)
+        assert times == [1.5]
+
+    def test_clock_advances_to_deadline_when_idle(self):
+        queue = EventQueue()
+        queue.run_until(7.0)
+        assert queue.now == 7.0
+
+    def test_clock_does_not_pass_pending_events(self):
+        queue = EventQueue()
+        queue.schedule(5.0, lambda: None)
+        queue.run_until(2.0)
+        assert queue.now == 2.0
+        assert queue.pending == 1
+
+
+class TestCascades:
+    def test_event_scheduling_events(self):
+        queue = EventQueue()
+        hits = []
+
+        def chain(depth):
+            hits.append(depth)
+            if depth < 5:
+                queue.schedule_in(0.1, lambda: chain(depth + 1))
+
+        queue.schedule(0.0, lambda: chain(0))
+        queue.run_until(10.0)
+        assert hits == [0, 1, 2, 3, 4, 5]
+
+    def test_max_events_guard(self):
+        queue = EventQueue()
+
+        def forever():
+            queue.schedule_in(0.001, forever)
+
+        queue.schedule(0.0, forever)
+        executed = queue.run_until(1000.0, max_events=50)
+        assert executed == 50
+
+    def test_run_until_idle(self):
+        queue = EventQueue()
+        for i in range(10):
+            queue.schedule(float(i), lambda: None)
+        assert queue.run_until_idle() == 10
+        assert queue.pending == 0
+
+    def test_processed_counter(self):
+        queue = EventQueue()
+        queue.schedule(0.0, lambda: None)
+        queue.schedule(1.0, lambda: None)
+        queue.run_until(5.0)
+        assert queue.processed == 2

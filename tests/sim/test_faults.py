@@ -1,0 +1,101 @@
+"""Fault-behaviour unit tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.interfaces import Broadcast, Send
+from repro.sim.faults import (
+    Combined,
+    Crash,
+    DropIncoming,
+    HONEST,
+    Mute,
+    SelectiveDisseminator,
+)
+
+
+@dataclass(frozen=True)
+class Msg:
+    msg_class: str
+
+    def size_bytes(self) -> int:
+        return 10
+
+
+class TestHonest:
+    def test_passthrough(self):
+        effects = [Send(1, Msg("vote"))]
+        assert HONEST.filter_effects(effects, 0.0) == effects
+        assert not HONEST.drop_incoming(0, Msg("vote"), 0.0)
+        assert not HONEST.crashed
+
+
+class TestCrash:
+    def test_before_crash_time(self):
+        crash = Crash(at=5.0)
+        effects = [Send(1, Msg("vote"))]
+        assert crash.filter_effects(effects, 1.0) == effects
+        assert not crash.drop_incoming(0, Msg("vote"), 1.0)
+
+    def test_after_crash_time(self):
+        crash = Crash(at=5.0)
+        assert crash.filter_effects([Send(1, Msg("vote"))], 6.0) == []
+        assert crash.drop_incoming(0, Msg("vote"), 6.0)
+        assert crash.crashed
+
+
+class TestSelectiveDisseminator:
+    def test_rewrites_datablock_broadcasts(self):
+        fault = SelectiveDisseminator(frozenset({1, 2}))
+        effects = fault.filter_effects(
+            [Broadcast(Msg("datablock"))], 0.0)
+        assert all(isinstance(e, Send) for e in effects)
+        assert sorted(e.dest for e in effects) == [1, 2]
+
+    def test_leaves_other_classes_alone(self):
+        fault = SelectiveDisseminator(frozenset({1}))
+        effects = [Broadcast(Msg("vote")), Send(3, Msg("datablock"))]
+        assert fault.filter_effects(effects, 0.0) == effects
+
+
+class TestDropIncoming:
+    def test_drops_by_class(self):
+        fault = DropIncoming(frozenset({"datablock"}))
+        assert fault.drop_incoming(0, Msg("datablock"), 0.0)
+        assert not fault.drop_incoming(0, Msg("vote"), 0.0)
+
+    def test_drops_by_sender(self):
+        fault = DropIncoming(frozenset({"datablock"}),
+                             from_senders=frozenset({3}))
+        assert fault.drop_incoming(3, Msg("datablock"), 0.0)
+        assert not fault.drop_incoming(4, Msg("datablock"), 0.0)
+
+
+class TestMute:
+    def test_suppresses_sends_and_broadcasts(self):
+        fault = Mute(frozenset({"vote"}))
+        effects = [Send(1, Msg("vote")), Broadcast(Msg("vote")),
+                   Send(1, Msg("ready"))]
+        filtered = fault.filter_effects(effects, 0.0)
+        assert len(filtered) == 1
+        assert filtered[0].msg.msg_class == "ready"
+
+
+class TestCombined:
+    def test_chains_filters_and_ors_drops(self):
+        fault = Combined((
+            Mute(frozenset({"vote"})),
+            DropIncoming(frozenset({"datablock"})),
+        ))
+        filtered = fault.filter_effects(
+            [Send(1, Msg("vote")), Send(1, Msg("query"))], 0.0)
+        assert len(filtered) == 1
+        assert fault.drop_incoming(0, Msg("datablock"), 0.0)
+        assert not fault.drop_incoming(0, Msg("vote"), 0.0)
+        assert not fault.crashed
+
+    def test_combined_crash(self):
+        fault = Combined((Crash(at=0.0), Mute(frozenset())))
+        fault.drop_incoming(0, Msg("x"), 1.0)
+        assert fault.crashed

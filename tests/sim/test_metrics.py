@@ -1,0 +1,115 @@
+"""Metrics-collector tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim.metrics import (
+    LatencySample,
+    MetricsCollector,
+    bandwidth_report,
+    node_bandwidth_bps,
+    utilization_breakdown,
+)
+from repro.sim.network import Network
+
+
+class TestThroughput:
+    def test_counts_after_warmup_only(self):
+        metrics = MetricsCollector(warmup=1.0)
+        metrics.record_execution(0, 100, 0.5)
+        metrics.record_execution(0, 100, 1.5)
+        assert metrics.executed_requests[0] == 100
+
+    def test_throughput_division(self):
+        metrics = MetricsCollector()
+        metrics.record_execution(2, 500, 0.1)
+        assert metrics.throughput(2, 2.0) == 250.0
+
+    def test_zero_duration(self):
+        metrics = MetricsCollector()
+        assert metrics.throughput(0, 0.0) == 0.0
+
+    def test_unknown_node(self):
+        metrics = MetricsCollector()
+        assert metrics.throughput(9, 1.0) == 0.0
+
+
+class TestLatency:
+    def test_mean(self):
+        metrics = MetricsCollector()
+        metrics.record_ack(0.0, 1.0)
+        metrics.record_ack(1.0, 4.0)
+        assert metrics.mean_latency() == pytest.approx(2.0)
+
+    def test_empty_is_nan(self):
+        metrics = MetricsCollector()
+        assert math.isnan(metrics.mean_latency())
+        assert math.isnan(metrics.latency_percentile(50))
+
+    def test_percentiles(self):
+        metrics = MetricsCollector()
+        for i in range(11):
+            metrics.record_ack(0.0, float(i))
+        assert metrics.latency_percentile(0) == 0.0
+        assert metrics.latency_percentile(50) == 5.0
+        assert metrics.latency_percentile(100) == 10.0
+
+    def test_warmup_filters_acks(self):
+        metrics = MetricsCollector(warmup=2.0)
+        metrics.record_ack(0.0, 1.0)
+        metrics.record_ack(0.0, 3.0)
+        assert len(metrics.latencies) == 1
+
+    def test_sample_latency(self):
+        assert LatencySample(1.0, 3.5).latency == 2.5
+
+
+class TestPhases:
+    def test_breakdown_normalizes(self):
+        metrics = MetricsCollector()
+        metrics.record_phase("a", 1.0, 1.0)
+        metrics.record_phase("b", 3.0, 1.0)
+        shares = metrics.phase_breakdown()
+        assert shares["a"] == pytest.approx(0.25)
+        assert shares["b"] == pytest.approx(0.75)
+
+    def test_empty_breakdown(self):
+        assert MetricsCollector().phase_breakdown() == {}
+
+
+class TestBandwidthReports:
+    def _loaded_network(self):
+        from tests.sim.test_network import FakeMsg
+        network = Network(2, bandwidth_bps=1e9, jitter=0.0, seed=0)
+        msg = FakeMsg(1000, "datablock")
+        arrival = network.send_phase(0, msg, 0.0)
+        network.receive_phase(1, msg, arrival)
+        small = FakeMsg(10, "vote")
+        arrival = network.send_phase(0, small, 0.0)
+        network.receive_phase(1, small, arrival)
+        return network
+
+    def test_bandwidth_report(self):
+        network = self._loaded_network()
+        report = bandwidth_report(network, 0, duration=2.0)
+        assert report["send"]["datablock"] == pytest.approx(4000.0)
+        assert report["send"]["vote"] == pytest.approx(40.0)
+
+    def test_utilization_breakdown_sums_to_one(self):
+        network = self._loaded_network()
+        breakdown = utilization_breakdown(network, 1)
+        total = sum(breakdown["send"].values()) + \
+            sum(breakdown["recv"].values())
+        assert total == pytest.approx(1.0)
+
+    def test_utilization_empty_node(self):
+        network = Network(2, seed=0)
+        assert utilization_breakdown(network, 0) == {"send": {}, "recv": {}}
+
+    def test_node_bandwidth(self):
+        network = self._loaded_network()
+        assert node_bandwidth_bps(network, 0, 1.0) == pytest.approx(8080.0)
+        assert node_bandwidth_bps(network, 0, 0.0) == 0.0

@@ -1,0 +1,134 @@
+"""NIC-model tests: serialization math, throttling, byte accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.network import Network, Nic
+
+
+@dataclass(frozen=True)
+class FakeMsg:
+    size: int
+    msg_class: str = "test"
+
+    def size_bytes(self) -> int:
+        return self.size
+
+
+def make_network(**kwargs) -> Network:
+    defaults = dict(node_count=4, bandwidth_bps=8e6, base_delay=0.01,
+                    jitter=0.0, seed=1)
+    defaults.update(kwargs)
+    return Network(**defaults)
+
+
+class TestNic:
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ConfigError):
+            Nic(0)
+
+    def test_directional_split(self):
+        nic = Nic(8e6)
+        assert nic.directional_bps == 4e6
+
+    def test_tx_serialization_time(self):
+        nic = Nic(8e6)  # 4 Mbps per direction
+        done = nic.occupy_tx(0.0, 500_000)  # 4 Mbit -> 1 second
+        assert done == pytest.approx(1.0)
+
+    def test_tx_queueing(self):
+        nic = Nic(8e6)
+        nic.occupy_tx(0.0, 500_000)
+        done = nic.occupy_tx(0.0, 500_000)
+        assert done == pytest.approx(2.0)
+
+    def test_tx_idle_gap_not_accumulated(self):
+        nic = Nic(8e6)
+        nic.occupy_tx(0.0, 500_000)
+        done = nic.occupy_tx(5.0, 500_000)  # idle since t=1
+        assert done == pytest.approx(6.0)
+
+    def test_rx_independent_of_tx(self):
+        nic = Nic(8e6)
+        nic.occupy_tx(0.0, 500_000)
+        done = nic.occupy_rx(0.0, 500_000)
+        assert done == pytest.approx(1.0)
+
+    def test_backlog(self):
+        nic = Nic(8e6)
+        nic.occupy_tx(0.0, 500_000)
+        assert nic.backlog(0.25) == pytest.approx(0.75)
+        assert nic.backlog(2.0) == 0.0
+
+
+class TestTransmission:
+    def test_two_phase_delivery_time(self):
+        network = make_network()
+        msg = FakeMsg(500_000)
+        arrival = network.send_phase(0, msg, 0.0)
+        assert arrival == pytest.approx(1.01)  # 1 s serialize + 10 ms prop
+        delivered = network.receive_phase(1, msg, arrival)
+        assert delivered == pytest.approx(2.01)
+
+    def test_sender_serializes_multicast_copies(self):
+        # The Eq. (1) effect: copies queue behind each other at the sender.
+        network = make_network()
+        msg = FakeMsg(500_000)
+        arrivals = [network.send_phase(0, msg, 0.0) for _ in range(3)]
+        assert arrivals == pytest.approx([1.01, 2.01, 3.01])
+
+    def test_accounting(self):
+        network = make_network()
+        msg = FakeMsg(1000, "datablock")
+        arrival = network.send_phase(0, msg, 0.0)
+        network.receive_phase(2, msg, arrival)
+        assert network.stats(0).sent_bytes == {"datablock": 1000}
+        assert network.stats(0).sent_msgs == {"datablock": 1}
+        assert network.stats(2).recv_bytes == {"datablock": 1000}
+        assert network.stats(1).recv_bytes == {}
+
+    def test_throttling(self):
+        network = make_network()
+        network.set_bandwidth(0, 2e6)  # 1 Mbps per direction
+        msg = FakeMsg(125_000)  # 1 Mbit
+        arrival = network.send_phase(0, msg, 0.0)
+        assert arrival == pytest.approx(1.01)
+
+    def test_set_all_bandwidth(self):
+        network = make_network()
+        network.set_all_bandwidth(2e6)
+        assert all(nic.bandwidth_bps == 2e6 for nic in network.nics)
+
+    def test_throttle_rejects_nonpositive(self):
+        network = make_network()
+        with pytest.raises(ConfigError):
+            network.set_bandwidth(0, 0)
+
+
+class TestPartialSynchrony:
+    def test_pre_gst_extra_delay(self):
+        network = make_network(gst=10.0, pre_gst_extra_delay=1.0)
+        delays_before = [network.propagation_delay(0.0) for _ in range(50)]
+        delays_after = [network.propagation_delay(20.0) for _ in range(50)]
+        assert max(delays_after) <= 0.01 + 1e-9
+        assert max(delays_before) > 0.01
+        assert all(d <= 1.01 for d in delays_before)
+
+    def test_jitter_bounds(self):
+        network = make_network(jitter=0.005)
+        delays = [network.propagation_delay(0.0) for _ in range(100)]
+        assert all(0.01 <= d <= 0.015 for d in delays)
+
+    def test_deterministic_for_seed(self):
+        a = make_network(jitter=0.005, seed=9)
+        b = make_network(jitter=0.005, seed=9)
+        assert [a.propagation_delay(0.0) for _ in range(10)] == \
+            [b.propagation_delay(0.0) for _ in range(10)]
+
+    def test_node_count_validation(self):
+        with pytest.raises(ConfigError):
+            Network(0)

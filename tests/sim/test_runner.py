@@ -1,0 +1,53 @@
+"""Simulation-assembly tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.metrics import MetricsCollector
+from repro.sim.network import Network
+from repro.sim.runner import Simulation
+
+from tests.sim.test_node import Ping, RecorderCore
+from repro.interfaces import Send
+
+
+class TestSimulation:
+    def make(self, nodes=3, replicas=3):
+        network = Network(nodes, bandwidth_bps=1e9, jitter=0.0, seed=0)
+        return Simulation(network, replica_count=replicas,
+                          metrics=MetricsCollector())
+
+    def test_replica_count_validation(self):
+        network = Network(2, seed=0)
+        with pytest.raises(SimulationError):
+            Simulation(network, replica_count=3)
+
+    def test_run_advances_clock(self):
+        sim = self.make()
+        sim.run(2.5)
+        assert sim.now == pytest.approx(2.5)
+        sim.run(1.0)
+        assert sim.now == pytest.approx(3.5)
+
+    def test_node_and_core_lookup(self):
+        sim = self.make()
+        core = RecorderCore(1)
+        node = sim.add_node(core)
+        assert sim.node(1) is node
+        assert sim.core(1) is core
+
+    def test_delivery_to_unregistered_node_is_dropped(self):
+        sim = self.make()
+        sender = RecorderCore(0, start_effects=[Send(2, Ping())])
+        sim.add_node(sender)
+        sim.run(1.0)  # node 2 never added; must not raise
+
+    def test_metrics_shared(self):
+        sim = self.make()
+        from repro.interfaces import Executed
+        sim.add_node(RecorderCore(0, start_effects=[Executed(5)]))
+        sim.add_node(RecorderCore(1, start_effects=[Executed(7)]))
+        sim.run(0.1)
+        assert sim.metrics.executed_requests == {0: 5, 1: 7}

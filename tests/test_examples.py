@@ -1,0 +1,43 @@
+"""Smoke tests: the example scripts must stay runnable."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "safety holds" in out
+        assert "requests/second" in out
+
+    def test_capacity_planning(self):
+        out = run_example("capacity_planning.py")
+        assert "scaling factor" in out
+        assert "Gbps at the leader" in out
+
+    @pytest.mark.slow
+    def test_byzantine_recovery(self):
+        out = run_example("byzantine_recovery.py")
+        assert "safety held" in out
+        assert "erasure-coded retrieval" in out
+
+    @pytest.mark.slow
+    def test_supply_chain(self):
+        out = run_example("supply_chain.py")
+        assert "every honest organization holds the same ledger prefix" \
+            in out

@@ -1,0 +1,104 @@
+"""Interface-contract tests: every wire message satisfies the Message
+protocol; effects behave as plain data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interfaces import (
+    Broadcast,
+    CancelTimer,
+    Executed,
+    Message,
+    Send,
+    SetTimer,
+    Trace,
+    cpu_cost_zero,
+)
+
+
+def all_message_instances():
+    from repro.crypto.keys import PlainSignature
+    from repro.crypto.merkle import MerkleProof
+    from repro.crypto.threshold import SignatureShare, ThresholdSignature
+    from repro.messages.client import Ack, RequestBundle
+    from repro.messages.hotstuff import HSBlock, HSNewView, HSVote, QuorumCert
+    from repro.messages.leopard import (
+        BFTblock, CheckpointProof, CheckpointShare, ChunkResponse,
+        Datablock, NewViewMsg, Proof, Query, Ready, TimeoutMsg, Vote,
+        ViewChangeMsg,
+    )
+    from repro.messages.pbft import Commit, Prepare, PrePrepare
+
+    share = SignatureShare(0, 1)
+    sig = ThresholdSignature(2)
+    plain = PlainSignature(0, b"t" * 32)
+    datablock = Datablock(1, 1, 10, 128, ())
+    block = BFTblock(1, 1, (datablock.digest(),), share)
+    vc = ViewChangeMsg(2, None, (), plain)
+    return [
+        RequestBundle(9, 1, 10, 128, 0.0),
+        Ack(9, 1, 10, 0.0, 1.0),
+        datablock,
+        Ready(datablock.digest()),
+        block,
+        Vote(1, block.digest(), block.digest(), share),
+        Proof(1, block.digest(), block.digest(), sig),
+        Query((datablock.digest(),)),
+        ChunkResponse(datablock.digest(), b"r" * 32, 0, b"c" * 10,
+                      MerkleProof(0, ()), datablock),
+        CheckpointShare(4, b"s" * 32, share),
+        CheckpointProof(4, b"s" * 32, sig),
+        TimeoutMsg(1, plain),
+        vc,
+        NewViewMsg(2, (vc,), (), plain),
+        HSBlock(1, b"p" * 32, None, 10, 128),
+        HSVote(1, b"d" * 32, 0),
+        HSNewView(2, QuorumCert(b"d" * 32, 1, 3)),
+        PrePrepare(1, 1, 10, 128),
+        Prepare(1, 1, b"d" * 32, 0),
+        Commit(1, 1, b"d" * 32, 0),
+    ]
+
+
+class TestMessageProtocol:
+    @pytest.mark.parametrize(
+        "msg", all_message_instances(),
+        ids=lambda m: type(m).__name__)
+    def test_satisfies_protocol(self, msg):
+        assert isinstance(msg, Message)
+        assert isinstance(msg.msg_class, str)
+        assert msg.size_bytes() > 0
+
+    def test_message_classes_are_known_accounting_buckets(self):
+        known = {"client", "ack", "datablock", "ready", "bftblock",
+                 "vote", "proof", "query", "resp", "checkpoint",
+                 "viewchange", "block"}
+        for msg in all_message_instances():
+            assert msg.msg_class in known, msg
+
+
+class TestEffects:
+    def test_send_fields(self):
+        send = Send(3, all_message_instances()[0])
+        assert send.dest == 3
+
+    def test_broadcast_default_excludes_nothing(self):
+        broadcast = Broadcast(all_message_instances()[0])
+        assert broadcast.exclude == ()
+
+    def test_timer_effects(self):
+        assert SetTimer("k", 1.0).delay == 1.0
+        assert CancelTimer("k").key == "k"
+
+    def test_executed_defaults(self):
+        executed = Executed(5)
+        assert executed.count == 5
+        assert executed.info is None
+
+    def test_trace_defaults(self):
+        trace = Trace("ack")
+        assert trace.data == {}
+
+    def test_cpu_cost_zero(self):
+        assert cpu_cost_zero(all_message_instances()[0], True) == 0.0
