@@ -1,0 +1,20 @@
+# Developer entry points.  `make check` is the one-stop gate: tier-1 tests
+# plus the smoke-mode micro-benchmark regression check (refuses a >20%
+# throughput regression against benchmarks/BENCH_micro_coding.json).
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-micro bench-micro-full check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-micro:
+	$(PYTHON) benchmarks/run_micro.py --mode smoke --check
+
+bench-micro-full:
+	$(PYTHON) benchmarks/run_micro.py --mode full \
+		--output benchmarks/BENCH_micro_coding.json
+
+check: test bench-micro

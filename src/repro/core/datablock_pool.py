@@ -44,10 +44,9 @@ class DatablockPool:
         """
         seen = self._seen_counters.setdefault(datablock.creator, set())
         if datablock.counter in seen:
-            block_digest = datablock.digest()
-            if block_digest not in self._by_digest:
-                self.rejected_duplicates += 1
-                return False
+            # Any counter replay — equivocation or exact-duplicate flood —
+            # counts as a rejection (Algorithm 1, line 14).
+            self.rejected_duplicates += 1
             return False
         seen.add(datablock.counter)
         self._by_digest[datablock.digest()] = datablock

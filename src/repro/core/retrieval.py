@@ -10,6 +10,13 @@ datablock.  The ready round guarantees ≥ f+1 honest holders for anything an
 honest leader links, so recovery always completes after GST (Theorem 2) —
 at an amortized per-replica cost of O(α/f) instead of re-centralising O(α)
 on the leader (§V-B cases (b)/(c)).
+
+Fast path: a responder answers a multi-block query by batching every
+requested datablock through one fused :meth:`ReedSolomonCode.encode_many`
+kernel pass (plus a small LRU of recent encodings), and the decoder side
+benefits from the coder's decode-plan cache — the same f+1 fast responders
+keep producing the same survivor set, so the inverted decode matrix is
+computed once.
 """
 
 from __future__ import annotations
@@ -38,6 +45,11 @@ class RetrievalManager:
 
     #: Responders cache this many recent (chunks, tree) encodings.
     ENCODE_CACHE = 4
+
+    #: Cap on datablock-body bytes batched through one encode_many call,
+    #: bounding transient kernel memory (the kernel makes an 8x intp
+    #: index copy of its input) against arbitrarily large queries.
+    ENCODE_BATCH_BYTES = 8 * 1024 * 1024
 
     def __init__(self, n: int, f: int, replica_id: int) -> None:
         self.n = n
@@ -84,18 +96,58 @@ class RetrievalManager:
             self._missing_since[block_digest] = now
         return Query(digests)
 
-    def _encoded(self, datablock: Datablock) -> tuple[list, MerkleTree]:
-        block_digest = datablock.digest()
-        cached = self._encode_cache.get(block_digest)
-        if cached is not None:
-            self._encode_cache.move_to_end(block_digest)
-            return cached
-        chunks = self._code.encode(datablock.body())
-        tree = MerkleTree([chunk.data for chunk in chunks])
-        self._encode_cache[block_digest] = (chunks, tree)
+    def _encode_batch(self, datablocks: list[Datablock]
+                      ) -> dict[bytes, tuple[list, MerkleTree]]:
+        """Encode a set of datablocks through one fused kernel pass.
+
+        Cached encodings are reused; the uncached remainder goes through
+        :meth:`ReedSolomonCode.encode_many` in a single invocation (one
+        parity-kernel pass for the whole query) and lands in the bounded
+        encode cache.  Returns every requested encoding by digest, even
+        when the batch exceeds the cache bound.
+        """
+        out: dict[bytes, tuple[list, MerkleTree]] = {}
+        fresh: list[Datablock] = []
+        seen: set[bytes] = set()
+        for datablock in datablocks:
+            block_digest = datablock.digest()
+            if block_digest in seen:
+                continue
+            seen.add(block_digest)
+            cached = self._encode_cache.get(block_digest)
+            if cached is not None:
+                self._encode_cache.move_to_end(block_digest)
+                out[block_digest] = cached
+            else:
+                fresh.append(datablock)
+        for group in self._batched_by_bytes(fresh):
+            encoded = self._code.encode_many(
+                [datablock.body() for datablock in group])
+            for datablock, chunks in zip(group, encoded):
+                tree = MerkleTree([chunk.data for chunk in chunks])
+                entry = (chunks, tree)
+                out[datablock.digest()] = entry
+                self._encode_cache[datablock.digest()] = entry
         while len(self._encode_cache) > self.ENCODE_CACHE:
             self._encode_cache.popitem(last=False)
-        return chunks, tree
+        return out
+
+    def _batched_by_bytes(self, datablocks: list[Datablock]
+                          ) -> list[list[Datablock]]:
+        """Split a batch so each kernel pass stays under the byte cap."""
+        groups: list[list[Datablock]] = []
+        group: list[Datablock] = []
+        group_bytes = 0
+        for datablock in datablocks:
+            if group and group_bytes + datablock.body_size() > (
+                    self.ENCODE_BATCH_BYTES):
+                groups.append(group)
+                group, group_bytes = [], 0
+            group.append(datablock)
+            group_bytes += datablock.body_size()
+        if group:
+            groups.append(group)
+        return groups
 
     def mark_answered(self, block_digest: bytes, requester: int) -> bool:
         """Record a (datablock, requester) answer; False on repeats.
@@ -117,7 +169,7 @@ class RetrievalManager:
         (Algorithm 3, "Response" precondition), bounding the cost a
         Byzantine querier can impose.
         """
-        responses = []
+        to_answer: list[tuple[bytes, Datablock]] = []
         for block_digest in query.block_digests:
             if (block_digest, requester) in self._answered:
                 continue
@@ -125,7 +177,12 @@ class RetrievalManager:
             if datablock is None:
                 continue
             self._answered.add((block_digest, requester))
-            chunks, tree = self._encoded(datablock)
+            to_answer.append((block_digest, datablock))
+        # One fused erasure-coding pass for every datablock in the query.
+        encoded = self._encode_batch([db for _, db in to_answer])
+        responses = []
+        for block_digest, datablock in to_answer:
+            chunks, tree = encoded[block_digest]
             chunk = chunks[self.replica_id]
             responses.append(ChunkResponse(
                 block_digest=block_digest,

@@ -11,6 +11,14 @@ Construction: leaves are ``H(0x00 || leaf)``, interior nodes are
 tricks between leaf and interior layers.  Odd nodes are promoted (not
 duplicated), so proofs have at most ``ceil(log2(n))`` siblings — matching the
 ``β·log n`` proof-size term in the paper's §V-B cost analysis.
+
+Fast-path design: tree construction hashes whole levels at a time
+(:func:`hash_leaves` / :func:`_hash_level`) with the SHA-256 constructor
+bound once per level and each interior node assembled by a single
+three-way concatenation — no per-node helper-function indirection.  The
+SHA-256 core itself runs in C, so the remaining cost is one ``hashlib``
+call per node; callers that hash many chunks (the retrieval responder)
+should also reuse trees via their encode cache rather than rebuilding.
 """
 
 from __future__ import annotations
@@ -28,6 +36,24 @@ def _leaf_hash(data: bytes) -> bytes:
 
 def _node_hash(left: bytes, right: bytes) -> bytes:
     return hashlib.sha256(_NODE_PREFIX + left + right).digest()
+
+
+def hash_leaves(leaves: list[bytes]) -> list[bytes]:
+    """Hash a whole leaf level in one pass (domain-separated)."""
+    sha256 = hashlib.sha256
+    prefix = _LEAF_PREFIX
+    return [sha256(prefix + leaf).digest() for leaf in leaves]
+
+
+def _hash_level(prev: list[bytes]) -> list[bytes]:
+    """Hash one interior level; a trailing odd node is promoted as-is."""
+    sha256 = hashlib.sha256
+    prefix = _NODE_PREFIX
+    level = [sha256(prefix + prev[i] + prev[i + 1]).digest()
+             for i in range(0, len(prev) - 1, 2)]
+    if len(prev) % 2 == 1:
+        level.append(prev[-1])
+    return level
 
 
 @dataclass(frozen=True)
@@ -55,15 +81,9 @@ class MerkleTree:
     def __init__(self, leaves: list[bytes]) -> None:
         if not leaves:
             raise ValueError("Merkle tree requires at least one leaf")
-        self._levels: list[list[bytes]] = [[_leaf_hash(x) for x in leaves]]
+        self._levels: list[list[bytes]] = [hash_leaves(leaves)]
         while len(self._levels[-1]) > 1:
-            prev = self._levels[-1]
-            level = []
-            for i in range(0, len(prev) - 1, 2):
-                level.append(_node_hash(prev[i], prev[i + 1]))
-            if len(prev) % 2 == 1:
-                level.append(prev[-1])
-            self._levels.append(level)
+            self._levels.append(_hash_level(self._levels[-1]))
 
     @property
     def root(self) -> bytes:

@@ -14,10 +14,44 @@ equivalent with the same systematic-Vandermonde construction:
 
 Chunk payloads are numpy ``uint8`` arrays so encode/decode run at practical
 speed even for multi-hundred-KB datablocks.
+
+Fast-path design
+----------------
+The wire format (chunk indices, systematic prefix, 4-byte length framing)
+is identical to the original row-by-row implementation — the encoding
+matrix is the same matrix (matrix inverses are unique, so the numpy
+Gauss--Jordan construction reproduces it bit-for-bit) — but the hot loops
+are batched:
+
+* **Encoding** runs all parity rows through one fused
+  :func:`~repro.crypto.gf256.matrix_mul_bytes` kernel; the per-column
+  gather tables for the (fixed) parity submatrix are built once per code
+  instance.  :meth:`ReedSolomonCode.encode_many` batches several messages
+  through a single kernel invocation by concatenating their data matrices
+  along the byte axis (columns are independent, so messages of different
+  sizes batch together freely).
+* **Decoding** prefers data shards (indices below ``k``): if all ``k``
+  data shards survive, reconstruction is a pure concatenation — no
+  inversion, no matmul (the systematic fast path).  Otherwise only the
+  *missing* data rows are computed: because the encode matrix row of a
+  surviving data shard is a unit vector, the corresponding rows of the
+  inverse just copy that shard through, so the kernel multiplies only the
+  ``missing x k`` inverse submatrix.
+* **Decode-matrix cache**: retrieval repeatedly sees the same ``f+1``
+  survivor sets (the first f+1 responders are usually the same fast
+  replicas), so the inverted decode submatrix and its gather tables are
+  memoized in a bounded LRU keyed by the sorted chunk-index tuple —
+  repeat decodes skip Gauss--Jordan entirely.
+
+Calibration caveat: the batched kernels win big at Leopard scale
+(k = f+1 ≈ 100, chunks of several KB) but for tiny codes (k ≤ 2, chunks of
+a few bytes) the fixed numpy overhead dominates; correctness is identical
+either way, so no size-based switching is attempted.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -42,6 +76,28 @@ class Chunk:
     data: bytes
 
 
+@dataclass(frozen=True, eq=False)
+class _DecodePlan:
+    """Cached per-survivor-set decode state (see module docstring).
+
+    Attributes:
+        missing: data-shard indices that must be recomputed.
+        inverse_rows: the ``len(missing) x k`` rows of the inverted decode
+            submatrix that produce them.
+        tables: gather tables for ``inverse_rows``, or None when the
+            kernel's small-rows fallback would ignore them anyway.
+    """
+
+    missing: tuple[int, ...]
+    inverse_rows: np.ndarray
+    tables: np.ndarray | None
+
+    def nbytes(self) -> int:
+        """Approximate cached footprint (for the byte-bounded LRU)."""
+        return self.inverse_rows.nbytes + (
+            self.tables.nbytes if self.tables is not None else 0)
+
+
 class ReedSolomonCode:
     """A systematic (data_shards, total_shards) MDS erasure code.
 
@@ -50,6 +106,14 @@ class ReedSolomonCode:
             (``f + 1`` in Leopard).
         total_shards: n — total number of chunks produced (one per replica).
     """
+
+    #: Bound on the decode-plan LRU (distinct survivor sets memoized).
+    DECODE_CACHE_SIZE = 128
+
+    #: Byte bound on the decode-plan LRU: gather tables are
+    #: ``k * 256 * missing`` bytes, so at paper scale one plan can be
+    #: multiple MB — the cache evicts on whichever bound trips first.
+    DECODE_CACHE_BYTES = 32 * 1024 * 1024
 
     def __init__(self, data_shards: int, total_shards: int) -> None:
         if data_shards < 1:
@@ -62,14 +126,19 @@ class ReedSolomonCode:
         self.data_shards = data_shards
         self.total_shards = total_shards
         self._matrix = self._build_matrix(data_shards, total_shards)
+        self._parity_tables: np.ndarray | None = None
+        self._decode_plans: OrderedDict[tuple[int, ...], _DecodePlan] = (
+            OrderedDict())
+        self._decode_plan_bytes = 0
+        self.decode_cache_hits = 0
+        self.decode_cache_misses = 0
 
     @staticmethod
-    def _build_matrix(k: int, n: int) -> list[list[int]]:
+    def _build_matrix(k: int, n: int) -> np.ndarray:
         """Systematic encoding matrix: top k rows are the identity."""
-        vand = gf256.vandermonde(n, k)
-        top = [row[:] for row in vand[:k]]
-        top_inv = gf256.matrix_invert(top)
-        return gf256.matrix_mul(vand, top_inv)
+        vand = gf256.vandermonde_np(n, k)
+        top_inv = gf256.matrix_invert_np(vand[:k])
+        return gf256.matrix_mul_bytes(vand, top_inv)
 
     @property
     def parity_shards(self) -> int:
@@ -82,28 +151,121 @@ class ReedSolomonCode:
             raise ReedSolomonError("message length must be non-negative")
         return -(-max(message_length, 1) // self.data_shards)
 
+    def _parity_kernel_tables(self) -> np.ndarray | None:
+        """Gather tables for the parity submatrix, built once per code.
+
+        Returns None for codes with at most
+        :data:`~repro.crypto.gf256.GATHER_MIN_ROWS` parity rows — the
+        kernel's small-rows fallback never reads the tables there.
+        """
+        if self.parity_shards <= gf256.GATHER_MIN_ROWS:
+            return None
+        if self._parity_tables is None:
+            self._parity_tables = gf256.gather_tables(
+                self._matrix[self.data_shards:])
+        return self._parity_tables
+
+    def _data_matrix(self, message: bytes) -> np.ndarray:
+        """Length-frame, pad and reshape one message to ``(k, shard_size)``."""
+        framed = len(message).to_bytes(4, "big") + message
+        size = self.shard_size(len(framed))
+        padded = framed + b"\x00" * (size * self.data_shards - len(framed))
+        return np.frombuffer(padded, dtype=np.uint8).reshape(
+            self.data_shards, size)
+
     def encode(self, message: bytes) -> list[Chunk]:
         """Encode ``message`` into ``total_shards`` chunks.
 
         The message is length-prefixed (4 bytes, big endian) before padding
         so that :meth:`decode` can strip the padding unambiguously.
         """
-        framed = len(message).to_bytes(4, "big") + message
-        size = self.shard_size(len(framed))
-        padded = framed + b"\x00" * (size * self.data_shards - len(framed))
-        data = np.frombuffer(padded, dtype=np.uint8).reshape(
-            self.data_shards, size)
-        chunks = [Chunk(i, data[i].tobytes()) for i in range(self.data_shards)]
-        for row_index in range(self.data_shards, self.total_shards):
-            row = self._matrix[row_index]
-            acc = np.zeros(size, dtype=np.uint8)
-            for col, coeff in enumerate(row):
-                gf256.addmul_vector(acc, coeff, data[col])
-            chunks.append(Chunk(row_index, acc.tobytes()))
-        return chunks
+        return self.encode_many([message])[0]
+
+    def encode_many(self, messages: list[bytes]) -> list[list[Chunk]]:
+        """Encode several messages through one fused parity kernel pass.
+
+        Data matrices are concatenated along the byte axis, so one kernel
+        invocation computes every parity row of every message; messages of
+        different lengths batch together (columns are independent).
+        Returns one chunk list per message, in input order.
+        """
+        if not messages:
+            return []
+        data_matrices = [self._data_matrix(message) for message in messages]
+        k = self.data_shards
+        if self.parity_shards:
+            batched = (data_matrices[0] if len(data_matrices) == 1
+                       else np.concatenate(data_matrices, axis=1))
+            parity = gf256.matrix_mul_bytes(
+                self._matrix[k:], batched,
+                tables=self._parity_kernel_tables())
+        out: list[list[Chunk]] = []
+        offset = 0
+        for data in data_matrices:
+            size = data.shape[1]
+            chunks = [Chunk(i, data[i].tobytes()) for i in range(k)]
+            if self.parity_shards:
+                block = parity[:, offset:offset + size]
+                chunks.extend(
+                    Chunk(k + i, block[i].tobytes())
+                    for i in range(self.parity_shards))
+            offset += size
+            out.append(chunks)
+        return out
+
+    def _decode_plan(self, indices: tuple[int, ...]) -> _DecodePlan:
+        """Fetch (or build and memoize) the decode plan for a survivor set.
+
+        ``indices`` is the sorted tuple of the ``k`` selected chunk indices
+        with data shards first (see :meth:`decode`); the plan holds the
+        inverse-submatrix rows for the missing data shards plus their
+        gather tables, LRU-bounded at :attr:`DECODE_CACHE_SIZE`.
+        """
+        plan = self._decode_plans.get(indices)
+        if plan is not None:
+            self._decode_plans.move_to_end(indices)
+            self.decode_cache_hits += 1
+            return plan
+        self.decode_cache_misses += 1
+        k = self.data_shards
+        submatrix = self._matrix[list(indices)]
+        inverse = gf256.matrix_invert_np(submatrix)
+        present = {i for i in indices if i < k}
+        missing = tuple(i for i in range(k) if i not in present)
+        inverse_rows = np.ascontiguousarray(inverse[list(missing)])
+        plan = _DecodePlan(
+            missing=missing,
+            inverse_rows=inverse_rows,
+            # The kernel's small-rows fallback never reads gather tables.
+            tables=(gf256.gather_tables(inverse_rows)
+                    if len(missing) > gf256.GATHER_MIN_ROWS else None),
+        )
+        self._decode_plans[indices] = plan
+        self._decode_plan_bytes += plan.nbytes()
+        while len(self._decode_plans) > 1 and (
+                len(self._decode_plans) > self.DECODE_CACHE_SIZE
+                or self._decode_plan_bytes > self.DECODE_CACHE_BYTES):
+            _, evicted = self._decode_plans.popitem(last=False)
+            self._decode_plan_bytes -= evicted.nbytes()
+        return plan
+
+    def decode_cache_info(self) -> dict[str, int]:
+        """Decode-plan cache statistics (hits/misses/size/maxsize)."""
+        return {
+            "hits": self.decode_cache_hits,
+            "misses": self.decode_cache_misses,
+            "size": len(self._decode_plans),
+            "maxsize": self.DECODE_CACHE_SIZE,
+            "nbytes": self._decode_plan_bytes,
+            "maxbytes": self.DECODE_CACHE_BYTES,
+        }
 
     def decode(self, chunks: list[Chunk]) -> bytes:
         """Reconstruct the original message from any ``data_shards`` chunks.
+
+        Data shards are preferred over parity shards when more than
+        ``data_shards`` chunks are supplied, so surplus survivor sets take
+        the cheapest reconstruction available (see module docstring).
 
         Raises:
             ReedSolomonError: on too few chunks, duplicate or out-of-range
@@ -114,24 +276,35 @@ class ReedSolomonCode:
             if not 0 <= chunk.index < self.total_shards:
                 raise ReedSolomonError(f"chunk index {chunk.index} out of range")
             unique.setdefault(chunk.index, chunk)
-        if len(unique) < self.data_shards:
+        k = self.data_shards
+        if len(unique) < k:
             raise ReedSolomonError(
-                f"need {self.data_shards} distinct chunks, got {len(unique)}")
-        selected = sorted(unique.values(), key=lambda c: c.index)[
-            : self.data_shards]
+                f"need {k} distinct chunks, got {len(unique)}")
+        data_indices = sorted(i for i in unique if i < k)
+        parity_indices = sorted(i for i in unique if i >= k)
+        selected_indices = (data_indices + parity_indices)[:k]
+        selected = [unique[i] for i in selected_indices]
         size = len(selected[0].data)
         if any(len(c.data) != size for c in selected):
             raise ReedSolomonError("inconsistent chunk sizes")
-        submatrix = [self._matrix[c.index] for c in selected]
-        inverse = gf256.matrix_invert(submatrix)
-        rows = [np.frombuffer(c.data, dtype=np.uint8) for c in selected]
-        out = np.empty(self.data_shards * size, dtype=np.uint8)
-        for i in range(self.data_shards):
-            acc = np.zeros(size, dtype=np.uint8)
-            for j, coeff in enumerate(inverse[i]):
-                gf256.addmul_vector(acc, coeff, rows[j])
-            out[i * size: (i + 1) * size] = acc
-        framed = out.tobytes()
+        if len(data_indices) >= k:
+            # Systematic fast path: all data shards survived; indices
+            # 0..k-1 are exactly the original rows — pure concatenation.
+            framed = b"".join(unique[i].data for i in range(k))
+        else:
+            plan = self._decode_plan(tuple(selected_indices))
+            rows = np.frombuffer(
+                b"".join(c.data for c in selected), dtype=np.uint8
+            ).reshape(k, size)
+            recomputed = gf256.matrix_mul_bytes(
+                plan.inverse_rows, rows, tables=plan.tables)
+            out = np.empty((k, size), dtype=np.uint8)
+            for position, index in enumerate(selected_indices[:len(
+                    data_indices)]):
+                out[index] = rows[position]
+            for position, index in enumerate(plan.missing):
+                out[index] = recomputed[position]
+            framed = out.tobytes()
         length = int.from_bytes(framed[:4], "big")
         if length > len(framed) - 4:
             raise ReedSolomonError("corrupt length prefix after decode")

@@ -1,0 +1,31 @@
+"""Performance instrumentation: counters, timers and JSON reports.
+
+The repo's benchmarks historically regenerated the paper's figures but
+never tracked the *implementation's* own trajectory — there was no way to
+tell whether a refactor made encode slower.  This package supplies the
+missing plumbing:
+
+* :class:`~repro.perf.counters.PerfCounters` — named counters plus
+  accumulating timer contexts, cheap enough to leave in hot paths.
+* :class:`~repro.perf.counters.Timer` — a one-shot wall-clock context.
+* :mod:`repro.perf.report` — a stable JSON schema for benchmark results,
+  with a load/write/compare API the regression gate in
+  ``benchmarks/run_micro.py`` builds on (``make bench-micro`` refuses a
+  >20 % throughput regression against the committed baseline).
+"""
+
+from repro.perf.counters import PerfCounters, Timer, throughput_mbps
+from repro.perf.report import (
+    compare_throughput,
+    load_report,
+    write_report,
+)
+
+__all__ = [
+    "PerfCounters",
+    "Timer",
+    "throughput_mbps",
+    "compare_throughput",
+    "load_report",
+    "write_report",
+]

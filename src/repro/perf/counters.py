@@ -1,0 +1,84 @@
+"""Counters and wall-clock timers for hot-path instrumentation."""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class Timer:
+    """A one-shot wall-clock timer usable as a context manager.
+
+    >>> with Timer() as t:
+    ...     work()
+    >>> t.seconds  # doctest: +SKIP
+    0.0123
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._started: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._started is not None, "Timer exited without entering"
+        self.seconds = time.perf_counter() - self._started
+        self._started = None
+
+
+class PerfCounters:
+    """Named counters plus accumulating timers.
+
+    Counters are plain floats; timers accumulate seconds across repeated
+    :meth:`timed` contexts under one name, so a caller can wrap an inner
+    loop and read the total afterwards.
+    """
+
+    def __init__(self) -> None:
+        self._counts: defaultdict[str, float] = defaultdict(float)
+        self._timings: defaultdict[str, float] = defaultdict(float)
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to counter ``name``."""
+        self._counts[name] += amount
+
+    def count(self, name: str) -> float:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counts[name]
+
+    @contextmanager
+    def timed(self, name: str) -> Iterator[None]:
+        """Accumulate the wall-clock time of the body into timer ``name``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._timings[name] += time.perf_counter() - started
+
+    def seconds(self, name: str) -> float:
+        """Total accumulated seconds for timer ``name``."""
+        return self._timings[name]
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """A JSON-ready copy of all counters and timers."""
+        return {
+            "counts": dict(self._counts),
+            "seconds": dict(self._timings),
+        }
+
+    def reset(self) -> None:
+        """Zero every counter and timer."""
+        self._counts.clear()
+        self._timings.clear()
+
+
+def throughput_mbps(num_bytes: int, seconds: float) -> float:
+    """Throughput in MB/s (10^6 bytes, matching the paper's units)."""
+    if seconds <= 0.0:
+        return float("inf") if num_bytes else 0.0
+    return num_bytes / 1e6 / seconds

@@ -1,0 +1,95 @@
+"""JSON benchmark reports and the regression-comparison logic.
+
+Schema (version 1)::
+
+    {
+      "schema": 1,
+      "name": "micro_coding",
+      "mode": "smoke" | "full",
+      "results": [
+        {"op": "encode", "k": 3, "n": 10, "size": 65536,
+         "baseline_mbps": 12.3, "vectorized_mbps": 180.5,
+         "speedup": 14.6},
+        ...
+      ]
+    }
+
+``baseline_mbps`` is the seed (row-by-row scalar) implementation measured
+in the same process; ``vectorized_mbps`` is the fused-kernel path.  The
+committed ``benchmarks/BENCH_micro_coding.json`` is the perf trajectory
+the regression gate compares against: absolute MB/s is machine-dependent,
+so the gate is generous (default 20 %) and keyed per (op, k, n, size)
+row — entries present in only one report are ignored.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from typing import Any
+
+SCHEMA_VERSION = 1
+
+#: Fields identifying one measured configuration row.
+ROW_KEY = ("op", "k", "n", "size")
+
+
+def write_report(path: str | Path, name: str, mode: str,
+                 results: list[dict[str, Any]],
+                 extra: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Write a schema-versioned benchmark report; returns the payload."""
+    payload: dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "name": name,
+        "mode": mode,
+        "python": platform.python_version(),
+        "results": results,
+    }
+    if extra:
+        payload.update(extra)
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=False)
+                          + "\n")
+    return payload
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    """Load a report, validating the schema version."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported benchmark report schema: {payload.get('schema')!r}")
+    return payload
+
+
+def _row_key(row: dict[str, Any]) -> tuple:
+    return tuple(row.get(field) for field in ROW_KEY)
+
+
+def compare_throughput(baseline: dict[str, Any], current: dict[str, Any],
+                       metric: str = "vectorized_mbps",
+                       tolerance: float = 0.20) -> list[str]:
+    """Find rows whose ``metric`` regressed more than ``tolerance``.
+
+    Rows are matched on :data:`ROW_KEY`; a row present in only one report
+    is skipped (grids may differ between smoke and full runs).  Returns
+    human-readable regression descriptions — empty means the gate passes.
+    """
+    current_rows = {_row_key(row): row for row in current.get("results", [])}
+    regressions: list[str] = []
+    for row in baseline.get("results", []):
+        other = current_rows.get(_row_key(row))
+        if other is None:
+            continue
+        base_value = row.get(metric)
+        new_value = other.get(metric)
+        if not base_value or new_value is None:
+            continue
+        floor = base_value * (1.0 - tolerance)
+        if new_value < floor:
+            regressions.append(
+                f"{row['op']} (k={row['k']}, n={row['n']}, "
+                f"size={row['size']}): {metric} {new_value:.1f} MB/s "
+                f"< {floor:.1f} MB/s "
+                f"(baseline {base_value:.1f} MB/s - {tolerance:.0%})")
+    return regressions

@@ -25,6 +25,20 @@ class TestDatablockPool:
         assert not pool.add(db(counter=1, count=99))  # equivocation
         assert not pool.add(db(counter=1, count=10))  # exact duplicate
 
+    def test_duplicate_accounting(self):
+        # Both exact-duplicate floods and equivocations are counter
+        # replays; each must increment rejected_duplicates.
+        pool = DatablockPool()
+        pool.add(db(counter=1, count=10))
+        assert pool.rejected_duplicates == 0
+        assert not pool.add(db(counter=1, count=10))  # exact duplicate
+        assert pool.rejected_duplicates == 1
+        assert not pool.add(db(counter=1, count=99))  # equivocation
+        assert pool.rejected_duplicates == 2
+        for _ in range(3):                            # duplicate flood
+            pool.add(db(counter=1, count=10))
+        assert pool.rejected_duplicates == 5
+
     def test_counters_per_creator(self):
         pool = DatablockPool()
         assert pool.add(db(creator=1, counter=1))

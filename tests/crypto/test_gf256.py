@@ -140,3 +140,86 @@ class TestMatrixOps:
         assert all(len(row) == 4 for row in vand)
         assert vand[0] == [1, 0, 0, 0]
         assert vand[1] == [1, 1, 1, 1]
+
+
+matrix_dims = st.integers(min_value=1, max_value=9)
+
+
+def random_matrix(rng, rows, cols):
+    return np.frombuffer(
+        bytes(rng.randrange(256) for _ in range(rows * cols)),
+        dtype=np.uint8).reshape(rows, cols)
+
+
+class TestBatchedKernels:
+    """The numpy kernels must agree with the scalar reference API."""
+
+    @given(elements, elements)
+    def test_nibble_tables_agree_with_log_tables(self, c, x):
+        split = (int(gf256._LOW_NIBBLE[c, x & 0x0F])
+                 ^ int(gf256._HIGH_NIBBLE[c, x >> 4]))
+        assert split == gf256.mul(c, x)
+
+    @given(st.integers(min_value=1, max_value=12),
+           st.integers(min_value=1, max_value=12))
+    def test_vandermonde_np_matches_scalar(self, rows, cols):
+        assert (gf256.vandermonde_np(rows, cols).tolist()
+                == gf256.vandermonde(rows, cols))
+
+    @given(matrix_dims, matrix_dims, st.randoms(use_true_random=False))
+    def test_gather_tables_entries(self, rows, cols, rng):
+        matrix = random_matrix(rng, rows, cols)
+        tables = gf256.gather_tables(matrix)
+        assert tables.shape == (cols, 256, rows)
+        for _ in range(10):
+            j, v, i = (rng.randrange(cols), rng.randrange(256),
+                       rng.randrange(rows))
+            assert tables[j, v, i] == gf256.mul(int(matrix[i, j]), v)
+
+    @given(matrix_dims, matrix_dims,
+           st.integers(min_value=0, max_value=40),
+           st.randoms(use_true_random=False))
+    def test_matrix_mul_bytes_matches_scalar(self, rows, cols, size, rng):
+        matrix = random_matrix(rng, rows, cols)
+        if size == 0:
+            out = gf256.matrix_mul_bytes(
+                matrix, np.zeros((cols, 0), dtype=np.uint8))
+            assert out.shape == (rows, 0)
+            return
+        data = random_matrix(rng, cols, size)
+        expected = gf256.matrix_mul(matrix.tolist(), data.tolist())
+        assert gf256.matrix_mul_bytes(matrix, data).tolist() == expected
+        # Both the small-rows fallback and the transposed-gather path are
+        # exercised by the dimension strategy (rows <= 4 and rows > 4).
+        tables = gf256.gather_tables(matrix)
+        if rows > 4:
+            assert gf256.matrix_mul_bytes(
+                matrix, data, tables=tables).tolist() == expected
+        assert gf256.matrix_vector_bytes(
+            matrix[0], data).tolist() == expected[0]
+
+    def test_matrix_mul_bytes_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            gf256.matrix_mul_bytes(
+                np.zeros((2, 3), dtype=np.uint8),
+                np.zeros((4, 5), dtype=np.uint8))
+
+    @given(st.integers(min_value=1, max_value=10),
+           st.randoms(use_true_random=False))
+    def test_matrix_invert_np_matches_scalar(self, size, rng):
+        vand = gf256.vandermonde_np(size + 4, size)
+        picked = sorted(rng.sample(range(size + 4), size))
+        sub = vand[picked]
+        inverse = gf256.matrix_invert_np(sub)
+        assert inverse.tolist() == gf256.matrix_invert(sub.tolist())
+        product = gf256.matrix_mul_bytes(sub, inverse)
+        assert product.tolist() == np.eye(size, dtype=np.uint8).tolist()
+
+    def test_matrix_invert_np_singular_raises(self):
+        with pytest.raises(ValueError):
+            gf256.matrix_invert_np(
+                np.array([[1, 2], [1, 2]], dtype=np.uint8))
+
+    def test_matrix_invert_np_non_square_raises(self):
+        with pytest.raises(ValueError):
+            gf256.matrix_invert_np(np.zeros((2, 3), dtype=np.uint8))

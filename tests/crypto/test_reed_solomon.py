@@ -140,6 +140,134 @@ class TestValidation:
         assert decoded != message
 
 
+class TestEncodeMany:
+    def test_matches_single_encode(self):
+        code = ReedSolomonCode(3, 7)
+        messages = [b"", b"x", b"hello world" * 40, bytes(range(256))]
+        batched = code.encode_many(messages)
+        for message, chunks in zip(messages, batched):
+            assert chunks == code.encode(message)
+
+    def test_empty_batch(self):
+        assert ReedSolomonCode(2, 4).encode_many([]) == []
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.binary(min_size=0, max_size=200),
+                    min_size=1, max_size=6),
+           st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=4))
+    def test_batched_roundtrip_mixed_sizes(self, messages, k, extra):
+        code = ReedSolomonCode(k, k + extra)
+        for message, chunks in zip(messages, code.encode_many(messages)):
+            assert code.decode(chunks[-k:]) == message
+
+    def test_no_parity_code(self):
+        code = ReedSolomonCode(3, 3)
+        message = b"no parity at all"
+        chunks = code.encode_many([message])[0]
+        assert len(chunks) == 3
+        assert code.decode(chunks) == message
+
+
+class TestDecodeFastPathsAndCache:
+    def test_all_data_shards_skip_inversion(self):
+        code = ReedSolomonCode(4, 8)
+        message = b"systematic fast path" * 9
+        chunks = code.encode(message)
+        assert code.decode(chunks[:4]) == message
+        info = code.decode_cache_info()
+        assert info["misses"] == 0 and info["hits"] == 0
+
+    def test_data_shards_preferred_over_parity(self):
+        # All data shards present among extras: still no inversion.
+        code = ReedSolomonCode(3, 6)
+        message = b"prefer data shards"
+        chunks = code.encode(message)
+        assert code.decode([chunks[5], *chunks[:3], chunks[4]]) == message
+        assert code.decode_cache_info()["misses"] == 0
+
+    def test_partial_survivors_use_cache(self):
+        code = ReedSolomonCode(3, 6)
+        message = b"cache the decode plan" * 3
+        chunks = code.encode(message)
+        survivors = [chunks[0], chunks[4], chunks[5]]
+        assert code.decode(survivors) == message
+        assert code.decode(survivors) == message
+        info = code.decode_cache_info()
+        assert info["misses"] == 1 and info["hits"] == 1
+
+    def test_cache_keyed_by_survivor_set(self):
+        code = ReedSolomonCode(2, 5)
+        chunks = code.encode(b"many survivor sets")
+        code.decode([chunks[0], chunks[3]])
+        code.decode([chunks[1], chunks[3]])
+        code.decode([chunks[0], chunks[3]])
+        info = code.decode_cache_info()
+        assert info["misses"] == 2 and info["hits"] == 1
+
+    def test_cache_is_lru_bounded(self):
+        code = ReedSolomonCode(2, 5)
+        code.DECODE_CACHE_SIZE = 2  # shadow the class default
+        message = b"bounded"
+        chunks = code.encode(message)
+        survivor_sets = [[chunks[0], chunks[2]], [chunks[0], chunks[3]],
+                         [chunks[0], chunks[4]], [chunks[1], chunks[2]]]
+        for survivors in survivor_sets:
+            assert code.decode(survivors) == message
+        info = code.decode_cache_info()
+        assert info["size"] == 2
+        assert info["misses"] == 4
+        # Least-recently-used plan was evicted; re-decoding it misses again.
+        assert code.decode(survivor_sets[0]) == message
+        assert code.decode_cache_info()["misses"] == 5
+        # Most-recent plan is still cached.
+        assert code.decode(survivor_sets[-1]) == message
+        assert code.decode_cache_info()["hits"] == 1
+
+    def test_cache_is_byte_bounded(self):
+        code = ReedSolomonCode(2, 6)
+        code.DECODE_CACHE_BYTES = 1  # every second plan must evict
+        message = b"tiny byte budget"
+        chunks = code.encode(message)
+        for parity in range(2, 6):
+            assert code.decode([chunks[0], chunks[parity]]) == message
+        info = code.decode_cache_info()
+        assert info["size"] == 1  # never below one entry, never above budget
+        assert info["misses"] == 4
+        # Accounting matches the one surviving plan (a 1x2 inverse row).
+        assert info["nbytes"] == 2
+
+    def test_small_missing_sets_skip_gather_tables(self):
+        # The kernel ignores gather tables for <=4 output rows, so plans
+        # with few missing data shards must not build (or cache) them.
+        code = ReedSolomonCode(8, 12)
+        message = b"partial survivors" * 11
+        chunks = code.encode(message)
+        survivors = chunks[1:8] + [chunks[9]]  # one missing data shard
+        assert code.decode(survivors) == message
+        plan = next(iter(code._decode_plans.values()))
+        assert plan.missing == (0,)
+        assert plan.tables is None
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=0, max_size=300),
+           st.integers(min_value=1, max_value=6),
+           st.integers(min_value=0, max_value=6),
+           st.randoms(use_true_random=False))
+    def test_random_erasure_patterns(self, message, k, extra, rng):
+        """Any k-subset reconstructs, whatever mix of data/parity."""
+        code = ReedSolomonCode(k, k + extra)
+        chunks = code.encode(message)
+        for _ in range(3):
+            survivors = rng.sample(chunks, k)
+            assert code.decode(survivors) == message
+
+    def test_one_byte_message(self):
+        code = ReedSolomonCode(3, 7)
+        chunks = code.encode(b"z")
+        assert code.decode(chunks[4:]) == b"z"
+
+
 class TestLargeBlocks:
     def test_datablock_sized_roundtrip(self):
         # A paper-sized datablock: 2000 requests x 128 B = 256 KB.

@@ -1,0 +1,56 @@
+"""Digest memoization on frozen protocol blocks (messages/leopard.py)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.crypto.hashing import digest
+from repro.messages.leopard import BFTblock, BundleSpan, Datablock
+
+
+def make_block():
+    spans = (BundleSpan(client_id=7, bundle_id=3, count=5,
+                        submitted_at=1.25),)
+    return Datablock(creator=2, counter=9, request_count=100,
+                     payload_size=128, spans=spans, created_at=3.5)
+
+
+class TestDatablockDigestCache:
+    def test_digest_matches_direct_hash(self):
+        block = make_block()
+        assert block.digest() == digest(block.canonical_bytes())
+
+    def test_digest_is_memoized(self):
+        block = make_block()
+        assert block.digest() is block.digest()
+
+    def test_cache_does_not_affect_equality_or_hash(self):
+        warm, cold = make_block(), make_block()
+        warm.digest()
+        assert warm == cold
+        assert hash(warm) == hash(cold)
+
+    def test_replace_recomputes(self):
+        block = make_block()
+        block.digest()
+        changed = dataclasses.replace(block, counter=10)
+        assert changed.digest() != block.digest()
+        assert changed.digest() == digest(changed.canonical_bytes())
+
+    def test_created_at_excluded_from_digest(self):
+        block = make_block()
+        other = dataclasses.replace(block, created_at=99.0)
+        assert block.digest() == other.digest()
+
+
+class TestBFTblockDigestCache:
+    def test_digest_matches_direct_hash(self):
+        block = BFTblock(view=1, sn=4, links=(b"a" * 32, b"b" * 32))
+        assert block.digest() == digest(block.canonical_bytes())
+        assert block.digest() is block.digest()
+
+    def test_cache_does_not_affect_equality(self):
+        warm = BFTblock(view=1, sn=4, links=(b"a" * 32,))
+        cold = BFTblock(view=1, sn=4, links=(b"a" * 32,))
+        warm.digest()
+        assert warm == cold

@@ -1,0 +1,125 @@
+"""Tests for the perf instrumentation package (counters, reports, gate)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.perf import (
+    PerfCounters,
+    Timer,
+    compare_throughput,
+    load_report,
+    throughput_mbps,
+    write_report,
+)
+
+
+class TestCounters:
+    def test_incr_and_count(self):
+        perf = PerfCounters()
+        perf.incr("encodes")
+        perf.incr("encodes", 2)
+        perf.incr("bytes", 1024)
+        assert perf.count("encodes") == 3
+        assert perf.count("bytes") == 1024
+        assert perf.count("never") == 0
+
+    def test_timed_accumulates(self):
+        perf = PerfCounters()
+        for _ in range(3):
+            with perf.timed("sleep"):
+                time.sleep(0.002)
+        assert perf.seconds("sleep") >= 0.006
+        assert perf.seconds("other") == 0.0
+
+    def test_timed_survives_exceptions(self):
+        perf = PerfCounters()
+        with pytest.raises(RuntimeError):
+            with perf.timed("boom"):
+                raise RuntimeError("boom")
+        assert perf.seconds("boom") > 0.0
+
+    def test_snapshot_and_reset(self):
+        perf = PerfCounters()
+        perf.incr("x")
+        with perf.timed("t"):
+            pass
+        snap = perf.snapshot()
+        assert snap["counts"] == {"x": 1}
+        assert "t" in snap["seconds"]
+        perf.reset()
+        assert perf.snapshot() == {"counts": {}, "seconds": {}}
+
+    def test_timer_context(self):
+        with Timer() as t:
+            time.sleep(0.002)
+        assert t.seconds >= 0.002
+
+    def test_throughput(self):
+        assert throughput_mbps(2_000_000, 2.0) == 1.0
+        assert throughput_mbps(0, 0.0) == 0.0
+        assert throughput_mbps(5, 0.0) == float("inf")
+
+
+def rows(**overrides):
+    base = {"op": "encode", "k": 3, "n": 10, "size": 64000,
+            "baseline_mbps": 10.0, "vectorized_mbps": 100.0,
+            "speedup": 10.0}
+    base.update(overrides)
+    return base
+
+
+class TestReports:
+    def test_write_load_roundtrip(self, tmp_path):
+        path = tmp_path / "bench.json"
+        payload = write_report(path, name="micro", mode="smoke",
+                               results=[rows()])
+        loaded = load_report(path)
+        assert loaded == payload
+        assert loaded["schema"] == 1
+        assert loaded["results"][0]["vectorized_mbps"] == 100.0
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": 99, "results": []}')
+        with pytest.raises(ValueError):
+            load_report(path)
+
+
+class TestRegressionGate:
+    def test_no_regression_passes(self):
+        baseline = {"results": [rows()]}
+        current = {"results": [rows(vectorized_mbps=95.0)]}
+        assert compare_throughput(baseline, current) == []
+
+    def test_regression_detected(self):
+        baseline = {"results": [rows()]}
+        current = {"results": [rows(vectorized_mbps=70.0)]}
+        found = compare_throughput(baseline, current)
+        assert len(found) == 1
+        assert "encode" in found[0]
+
+    def test_tolerance_boundary(self):
+        baseline = {"results": [rows()]}
+        exactly_at_floor = {"results": [rows(vectorized_mbps=80.0)]}
+        assert compare_throughput(baseline, exactly_at_floor) == []
+
+    def test_rows_matched_on_full_key(self):
+        baseline = {"results": [rows(), rows(op="decode",
+                                             vectorized_mbps=50.0)]}
+        current = {"results": [rows(op="decode", vectorized_mbps=10.0)]}
+        found = compare_throughput(baseline, current)
+        assert len(found) == 1
+        assert "decode" in found[0]
+
+    def test_unmatched_rows_skipped(self):
+        baseline = {"results": [rows(k=101, n=256, size=500_000)]}
+        current = {"results": [rows()]}  # smoke grid only
+        assert compare_throughput(baseline, current) == []
+
+    def test_improvements_pass(self):
+        baseline = {"results": [rows()]}
+        current = {"results": [rows(vectorized_mbps=500.0)]}
+        assert compare_throughput(baseline, current) == []
