@@ -1,11 +1,14 @@
-# Developer entry points.  `make check` is the one-stop gate: tier-1 tests
-# plus the smoke-mode micro-benchmark regression check (refuses a >20%
-# throughput regression against benchmarks/BENCH_micro_coding.json).
+# Developer entry points.  `make check` is the one-stop gate: tier-1 tests,
+# the smoke-mode micro-benchmark regression check (refuses a >20%
+# throughput regression against benchmarks/BENCH_micro_coding.json; falls
+# back to the machine-independent speedup column on a different host), and
+# a live-cluster smoke run (4 asyncio TCP replicas + 1 client committing
+# real requests on localhost).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-micro bench-micro-full check
+.PHONY: test bench-micro bench-micro-full live-smoke check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,4 +20,8 @@ bench-micro-full:
 	$(PYTHON) benchmarks/run_micro.py --mode full \
 		--output benchmarks/BENCH_micro_coding.json
 
-check: test bench-micro
+live-smoke:
+	$(PYTHON) -m repro.harness.cli run-live --replicas 4 --clients 1 \
+		--duration 5 --min-committed 1
+
+check: test bench-micro live-smoke

@@ -20,6 +20,15 @@ and exits non-zero if any matching row's vectorized throughput regressed
 more than the tolerance (default 20 %).  Absolute MB/s is machine-dependent;
 the committed baseline doubles as the before/after record for this repo's
 perf trajectory (the ``speedup`` column is machine-independent-ish).
+
+Gate policy: on the baseline's own host an absolute dip must be
+*confirmed* by the speedup column before failing (shared-runner load can
+swing absolute MB/s well past 20 % run-to-run; speedup measures both
+implementations in one process, so load cancels).  Deliberate tradeoff:
+a change that slows the seed-reference and vectorized paths *equally*
+(shared helper, numpy config) is waived by this gate — it still prints
+the dips with a ``~`` marker, so it is visible, not silent.  On any
+other host the gate uses speedup alone.
 """
 
 from __future__ import annotations
@@ -36,8 +45,9 @@ from repro.crypto.reed_solomon import Chunk, ReedSolomonCode
 from repro.messages.leopard import Datablock
 from repro.perf import (
     Timer,
-    compare_throughput,
+    find_regressions,
     load_report,
+    select_gate_metric,
     throughput_mbps,
     write_report,
 )
@@ -249,14 +259,38 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         baseline = load_report(args.baseline)
         current = {"results": rows}
-        regressions = compare_throughput(
-            baseline, current, tolerance=args.tolerance)
-        if regressions:
-            print("\nPERF REGRESSIONS (vs committed baseline):")
-            for line in regressions:
+        # Absolute MB/s only compares on the host that recorded the
+        # baseline; elsewhere gate on the machine-independent speedup.
+        metric, reason = select_gate_metric(baseline)
+        regressed = find_regressions(
+            baseline, current, metric=metric, tolerance=args.tolerance)
+        if regressed and metric == "vectorized_mbps":
+            # Same host, but absolute MB/s dips under transient load (CI
+            # noise).  Speedup measures both implementations in the same
+            # process, so load cancels: a row fails only if *both* its
+            # absolute throughput and its speedup regressed.
+            by_speedup = find_regressions(
+                baseline, current, metric="speedup",
+                tolerance=args.tolerance)
+            noise = {key: line for key, line in regressed.items()
+                     if key not in by_speedup}
+            if noise:
+                print("\nabsolute-throughput dips NOT confirmed by the "
+                      "speedup column (machine noise, not a code "
+                      "regression):")
+                for line in noise.values():
+                    print(f"  ~ {line}")
+            regressed = {key: f"{line}  [speedup: {by_speedup[key]}]"
+                         for key, line in regressed.items()
+                         if key in by_speedup}
+        if regressed:
+            print(f"\nPERF REGRESSIONS (vs committed baseline, "
+                  f"metric {metric}; {reason}):")
+            for line in regressed.values():
                 print(f"  - {line}")
             return 1
-        print(f"\nperf gate OK (tolerance {args.tolerance:.0%}, "
+        print(f"\nperf gate OK (metric {metric}: {reason}; "
+              f"tolerance {args.tolerance:.0%}, "
               f"baseline {args.baseline.name})")
     return 0
 

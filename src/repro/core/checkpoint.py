@@ -14,6 +14,7 @@ from repro.crypto.threshold import (
     ThresholdError,
     ThresholdScheme,
     ThresholdSignature,
+    message_element,
 )
 from repro.messages.leopard import (
     CheckpointProof,
@@ -32,6 +33,7 @@ class CheckpointManager:
         self.latest_proof: CheckpointProof | None = None
         self._last_share_sn = 0
         self._shares: dict[tuple[int, bytes], dict[int, SignatureShare]] = {}
+        self._elements: dict[tuple[int, bytes], int] = {}
         self._issued: set[tuple[int, bytes]] = set()
 
     def due(self, executed_sn: int) -> bool:
@@ -57,16 +59,26 @@ class CheckpointManager:
         if sender != share.share.signer:
             return None
         payload = checkpoint_payload(share.sn, share.state_digest)
-        if not self.scheme.verify_share(share.share, payload):
+        element = self._elements.get(key)
+        if element is None:
+            element = message_element(payload)
+        if not self.scheme.verify_share(share.share, payload,
+                                        element=element):
             return None
+        # Cache only for valid shares, so _elements keys mirror _shares
+        # buckets (and get the same stale-cleanup in on_proof).
+        self._elements.setdefault(key, element)
         bucket = self._shares.setdefault(key, {})
         bucket[sender] = share.share
         if len(bucket) < self.scheme.threshold:
             return None
         try:
-            combined = self.scheme.combine(list(bucket.values()), payload)
+            # Shares were verified on arrival; skip the one-by-one recheck.
+            combined = self.scheme.combine(list(bucket.values()), payload,
+                                           preverified=True)
         except ThresholdError:
             return None
+        self._elements.pop(key, None)
         self._issued.add(key)
         self._shares.pop(key, None)
         return CheckpointProof(share.sn, share.state_digest, combined)
@@ -83,4 +95,5 @@ class CheckpointManager:
         stale = [key for key in self._shares if key[0] <= proof.sn]
         for key in stale:
             del self._shares[key]
+            self._elements.pop(key, None)
         return True

@@ -107,6 +107,16 @@ class LeopardReplica:
         #: Injected by the simulator host: seconds of local egress backlog.
         self.backlog_probe: Callable[[], float] = lambda: 0.0
 
+    def attach_perf(self, counters) -> None:
+        """Share a run-wide :class:`repro.perf.PerfCounters` sink.
+
+        Routes this replica's data-plane instrumentation (erasure coding,
+        Merkle hashing in the retrieval path) into the experiment's
+        metrics, so runs report coding/hashing wall-clock breakdowns
+        alongside protocol throughput/latency.
+        """
+        self.retrieval.perf = counters
+
     # ------------------------------------------------------------------
     # Role helpers
     # ------------------------------------------------------------------

@@ -28,6 +28,7 @@ from repro.core.datablock_pool import DatablockPool
 from repro.crypto.merkle import MerkleTree, verify_proof
 from repro.crypto.reed_solomon import ReedSolomonError, leopard_code
 from repro.messages.leopard import ChunkResponse, Datablock, Query
+from repro.perf.counters import PerfCounters
 
 
 @dataclass
@@ -65,6 +66,10 @@ class RetrievalManager:
         self._missing_since: dict[bytes, float] = {}
         #: (digest, seconds-from-detection-to-recovery) samples (Table V).
         self.recovery_times: list[tuple[bytes, float]] = []
+        #: Coding/hashing wall-clock instrumentation.  Cluster builders
+        #: replace this with the run's shared ``MetricsCollector.perf`` so
+        #: experiment reports break out data-plane time.
+        self.perf = PerfCounters()
 
     def awaiting(self, block_digest: bytes) -> bool:
         """Whether a recovery is in flight for ``block_digest``."""
@@ -121,10 +126,13 @@ class RetrievalManager:
             else:
                 fresh.append(datablock)
         for group in self._batched_by_bytes(fresh):
-            encoded = self._code.encode_many(
-                [datablock.body() for datablock in group])
+            with self.perf.timed("coding/encode"):
+                encoded = self._code.encode_many(
+                    [datablock.body() for datablock in group])
+            self.perf.incr("coding/encoded_datablocks", len(group))
             for datablock, chunks in zip(group, encoded):
-                tree = MerkleTree([chunk.data for chunk in chunks])
+                with self.perf.timed("hashing/merkle"):
+                    tree = MerkleTree([chunk.data for chunk in chunks])
                 entry = (chunks, tree)
                 out[datablock.digest()] = entry
                 self._encode_cache[datablock.digest()] = entry
@@ -207,8 +215,10 @@ class RetrievalManager:
         pending = self._pending.get(response.block_digest)
         if pending is None:
             return None
-        if not verify_proof(response.root, response.chunk_data,
-                            response.proof):
+        with self.perf.timed("hashing/verify_proof"):
+            proof_ok = verify_proof(response.root, response.chunk_data,
+                                    response.proof)
+        if not proof_ok:
             return None
         if response.meta.digest() != response.block_digest:
             return None
@@ -219,10 +229,12 @@ class RetrievalManager:
             return None
         from repro.crypto.reed_solomon import Chunk
         try:
-            body = self._code.decode(
-                [Chunk(i, data) for i, data in by_root.items()])
+            with self.perf.timed("coding/decode"):
+                body = self._code.decode(
+                    [Chunk(i, data) for i, data in by_root.items()])
         except ReedSolomonError:
             return None
+        self.perf.incr("coding/decoded_datablocks")
         meta = pending.meta_by_root[response.root]
         if body != meta.body():
             # A coalition of faulty responders fabricated a consistent

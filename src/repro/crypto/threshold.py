@@ -37,10 +37,20 @@ class ThresholdError(ValueError):
     """Raised on malformed shares or insufficient share sets."""
 
 
-def _message_element(message: bytes) -> int:
-    """Map a message to a nonzero field element via SHA-256."""
+def message_element(message: bytes) -> int:
+    """Map a message to a nonzero field element via SHA-256.
+
+    Exposed so aggregators verifying many shares on the *same* message can
+    derive the element once and pass it to :meth:`ThresholdScheme.
+    verify_share` / :meth:`ThresholdScheme.verify_shares` instead of
+    re-hashing per share.
+    """
     value = int.from_bytes(digest(message), "big") % shamir.PRIME
     return value or 1
+
+
+#: Backwards-compatible private alias.
+_message_element = message_element
 
 
 @dataclass(frozen=True)
@@ -107,27 +117,72 @@ class ThresholdScheme:
         return SignatureShare(
             signer, (_message_element(message) * secret) % shamir.PRIME)
 
-    def verify_share(self, share: SignatureShare, message: bytes) -> bool:
-        """``TVrf(tpk_i, σ̂_i, m)``: validate one share against its signer."""
+    def verify_share(self, share: SignatureShare, message: bytes,
+                     element: int | None = None) -> bool:
+        """``TVrf(tpk_i, σ̂_i, m)``: validate one share against its signer.
+
+        Args:
+            share: the share to check.
+            message: the signed message.
+            element: optional precomputed :func:`message_element` of
+                ``message`` — callers checking many shares on one message
+                pass it to skip the per-share hash.
+        """
         if not 0 <= share.signer < self.total:
             return False
-        expected = (_message_element(message)
-                    * self.public_key.share_secrets[share.signer]
+        if element is None:
+            element = message_element(message)
+        expected = (element * self.public_key.share_secrets[share.signer]
                     ) % shamir.PRIME
         return share.value == expected
 
-    def combine(self, shares: list[SignatureShare], message: bytes
-                ) -> ThresholdSignature:
+    def verify_shares(self, shares: list[SignatureShare], message: bytes
+                      ) -> list[SignatureShare]:
+        """Batch ``TVrf``: validate a whole share set in one pass.
+
+        Derives the message element once and checks every share against
+        it, so verifying the 2f+1 shares of a quorum costs one SHA-256
+        (plus one modular multiply per share) instead of 2f+1 hashes.
+        Returns the valid shares deduplicated by signer (first wins),
+        preserving input order.
+        """
+        element = message_element(message)
+        secrets = self.public_key.share_secrets
+        total = self.total
+        valid: list[SignatureShare] = []
+        seen: set[int] = set()
+        for share in shares:
+            signer = share.signer
+            if signer in seen or not 0 <= signer < total:
+                continue
+            if share.value == (element * secrets[signer]) % shamir.PRIME:
+                seen.add(signer)
+                valid.append(share)
+        return valid
+
+    def combine(self, shares: list[SignatureShare], message: bytes,
+                preverified: bool = False) -> ThresholdSignature:
         """``TSR(S)``: combine ≥ threshold valid shares into one signature.
+
+        Args:
+            shares: candidate shares.
+            message: the signed message.
+            preverified: skip per-share verification — for aggregators
+                that already validated each share on arrival (the
+                redundant one-by-one re-check was the quorum-path hot
+                spot this flag removes).
 
         Raises:
             ThresholdError: if fewer than ``threshold`` distinct valid
                 shares are supplied.
         """
-        valid = {}
-        for share in shares:
-            if self.verify_share(share, message):
+        if preverified:
+            valid: dict[int, SignatureShare] = {}
+            for share in shares:
                 valid.setdefault(share.signer, share)
+        else:
+            valid = {share.signer: share
+                     for share in self.verify_shares(shares, message)}
         if len(valid) < self.threshold:
             raise ThresholdError(
                 f"need {self.threshold} valid shares, got {len(valid)}")

@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate the paper's tables and figures.
+"""Command-line entry point: experiments and the live-cluster runtime.
 
 Usage::
 
@@ -6,26 +6,128 @@ Usage::
     python -m repro.harness.cli fig9 table3  # run selected experiments
     python -m repro.harness.cli all          # run everything (slow)
 
-Set ``REPRO_FULL=1`` for the paper-scale grids.
+    # Boot a real localhost cluster (asyncio TCP replicas + load client):
+    python -m repro.harness.cli run-live --replicas 4 --clients 1 \
+        --duration 5
+
+Set ``REPRO_FULL=1`` for the paper-scale grids.  ``run-live`` prints the
+same metrics schema the simulated experiments use, so a live localhost
+run is directly comparable with a simulated one.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
 import time
 
 from repro.harness.experiments import ALL_EXPERIMENTS, full_scale
 
 
+def _render_live_report(report: dict) -> str:
+    """Human-readable summary of a live run's standard report."""
+    latency = report["latency_s"]
+
+    def fmt_ms(value: float) -> str:
+        return "n/a" if math.isnan(value) else f"{value * 1e3:.1f} ms"
+
+    lines = [
+        f"live run: n={report['n']} leopard over TCP "
+        f"({report['duration_s']:.1f}s measured at replica "
+        f"{report['measure_replica']})",
+        f"  throughput: {report['throughput_rps']:.0f} req/s",
+        f"  latency:    mean {fmt_ms(latency['mean'])}, "
+        f"p50 {fmt_ms(latency['p50'])}, p99 {fmt_ms(latency['p99'])}",
+        f"  acked bundles: {report['acked_bundles']}",
+        f"  transport: dropped={report['transport']['dropped_frames']} "
+        f"unroutable={report['transport']['unroutable_frames']} "
+        f"decode_errors={report['transport']['decode_errors']} "
+        f"handler_errors={report['transport']['handler_errors']}",
+    ]
+    measure_bytes = report["bytes_by_class"].get(
+        report["measure_replica"], {"sent": {}, "recv": {}})
+    sent = ", ".join(f"{cls}={count}" for cls, count
+                     in sorted(measure_bytes["sent"].items()))
+    recv = ", ".join(f"{cls}={count}" for cls, count
+                     in sorted(measure_bytes["recv"].items()))
+    lines.append(f"  bytes sent by class: {sent or '-'}")
+    lines.append(f"  bytes recv by class: {recv or '-'}")
+    return "\n".join(lines)
+
+
+def run_live_command(argv: list[str]) -> int:
+    """The ``run-live`` subcommand: boot a localhost TCP cluster."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments run-live",
+        description="Run a live localhost Leopard cluster over real "
+                    "TCP sockets.")
+    parser.add_argument("--replicas", type=int, default=4,
+                        help="replica count n (3f+1; default 4)")
+    parser.add_argument("--clients", type=int, default=1,
+                        help="load-generating clients (default 1)")
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="seconds of real time to serve (default 5)")
+    parser.add_argument("--rate", type=float, default=4000.0,
+                        help="offered load, requests/second total")
+    parser.add_argument("--bundle-size", type=int, default=200,
+                        help="requests per client submission")
+    parser.add_argument("--payload", type=int, default=128,
+                        help="bytes per request payload")
+    parser.add_argument("--datablock-size", type=int, default=100,
+                        help="requests per datablock (the paper's alpha)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="determinism seed for key dealing")
+    parser.add_argument("--warmup", type=float, default=0.0,
+                        help="seconds of metrics warmup")
+    parser.add_argument("--min-committed", type=int, default=None,
+                        help="exit non-zero unless at least this many "
+                             "requests committed (smoke gating)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full report as JSON")
+    args = parser.parse_args(argv)
+
+    from repro.net.live import default_live_config, run_live_sync
+
+    config = default_live_config(
+        args.replicas, payload_size=args.payload,
+        datablock_size=args.datablock_size)
+    report = run_live_sync(
+        n=args.replicas, client_count=args.clients,
+        duration=args.duration, config=config, total_rate=args.rate,
+        bundle_size=args.bundle_size, seed=args.seed, warmup=args.warmup)
+
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(_render_live_report(report))
+
+    if args.min_committed is not None:
+        committed = report["executed_requests"].get(
+            report["measure_replica"], 0)
+        if committed < args.min_committed:
+            print(f"FAIL: {committed} requests committed "
+                  f"< required {args.min_committed}", file=sys.stderr)
+            return 1
+        print(f"live smoke OK: {committed} requests committed "
+              f">= {args.min_committed}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Run the requested experiments and print their tables."""
+    """Run the requested experiments (or the live cluster) and report."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "run-live":
+        return run_live_command(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
-        description="Regenerate the Leopard paper's tables and figures.")
+        description="Regenerate the Leopard paper's tables and figures, "
+                    "or boot a live cluster with 'run-live'.")
     parser.add_argument(
         "experiments", nargs="*",
-        help="experiment ids (e.g. fig9 table3), or 'all'")
+        help="experiment ids (e.g. fig9 table3), 'all', or 'run-live'")
     parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit")
     args = parser.parse_args(argv)
@@ -34,7 +136,9 @@ def main(argv: list[str] | None = None) -> int:
         print("available experiments:")
         for name in ALL_EXPERIMENTS:
             print(f"  {name}")
-        print(f"\npaper-scale grids: {'ON' if full_scale() else 'off'} "
+        print("\nlive cluster: run-live --replicas N --clients C "
+              "--duration S (see run-live --help)")
+        print(f"paper-scale grids: {'ON' if full_scale() else 'off'} "
               f"(set REPRO_FULL=1 to enable)")
         return 0
 

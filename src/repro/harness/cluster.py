@@ -28,7 +28,11 @@ from repro.core.replica import LeopardReplica
 from repro.crypto.keys import KeyRegistry
 from repro.errors import ConfigError
 from repro.sim.faults import HONEST, FaultBehavior
-from repro.sim.metrics import MetricsCollector, node_bandwidth_bps
+from repro.sim.metrics import (
+    MetricsCollector,
+    node_bandwidth_bps,
+    standard_report,
+)
 from repro.sim.network import DEFAULT_BANDWIDTH_BPS, Network
 from repro.sim.runner import Simulation
 
@@ -87,6 +91,24 @@ class Cluster:
         """The leader's total (send+receive) bandwidth utilization."""
         return node_bandwidth_bps(
             self.network, self.leader, self.run_seconds)
+
+    def report(self) -> dict:
+        """Backend-neutral run report (same schema as a live run's).
+
+        Replica byte counters come from the modelled NICs; a live cluster
+        produces the identical structure from real socket counters, so the
+        two are directly comparable (see :mod:`repro.net.live`).
+        """
+        return standard_report(
+            backend="sim",
+            protocol=self.protocol,
+            n=self.n,
+            duration=self.measurement_window(),
+            metrics=self.metrics,
+            byte_stats={node_id: self.network.stats(node_id)
+                        for node_id in range(self.n)},
+            measure_replica=self.measure_replica,
+        )
 
 
 def _pick_measure_replica(n: int, leader: int, faulty: set[int]) -> int:
@@ -167,6 +189,7 @@ def build_leopard_cluster(
         if trace_phases and replica_id == measure:
             replica_config = dc_replace(config, trace_phases=True)
         replica = LeopardReplica(replica_id, replica_config, registry)
+        replica.attach_perf(metrics.perf)
         sim.add_node(replica, cpu_model=leopard_cpu_model(costs),
                      fault=faults.get(replica_id, HONEST))
         replicas.append(replica)

@@ -1,0 +1,33 @@
+"""Live-cluster runtime: asyncio TCP transport for the sans-io cores.
+
+This package is the *real-deployment* execution backend promised by the
+repo's layering: the same :class:`repro.interfaces.ProtocolCore` state
+machines the discrete-event simulator drives (``repro.sim``) run here
+behind real sockets —
+
+* :mod:`repro.net.transport` — length-prefixed framing over asyncio TCP:
+  a :class:`Listener` for inbound fan-in, a :class:`PeerConnection` per
+  outbound link (reconnect with backoff, bounded write queue), and a
+  :class:`Router` tying one node's links together with per-message-class
+  byte accounting;
+* :mod:`repro.net.node` — :class:`LiveNode`, the effect interpreter that
+  hosts one unchanged protocol core (timers via the event loop, sends via
+  the router, metrics via the shared collector);
+* :mod:`repro.net.live` — :class:`LiveCluster` / :func:`run_live`, which
+  boot a full localhost deployment (n replicas + load clients) and emit
+  the same metrics schema as a simulated run.
+"""
+
+from repro.net.live import LiveCluster, run_live, run_live_sync
+from repro.net.node import LiveNode
+from repro.net.transport import Listener, PeerConnection, Router
+
+__all__ = [
+    "Listener",
+    "LiveCluster",
+    "LiveNode",
+    "PeerConnection",
+    "Router",
+    "run_live",
+    "run_live_sync",
+]

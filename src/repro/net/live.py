@@ -1,0 +1,231 @@
+"""Boot a real localhost Leopard deployment and measure it.
+
+:class:`LiveCluster` assembles what :func:`repro.harness.cluster.
+build_leopard_cluster` assembles for the simulator — a dealt key
+registry, ``n`` :class:`repro.core.replica.LeopardReplica` cores and a
+set of load-generating :class:`repro.core.client.LeopardClient` cores —
+but hosts every core in a :class:`repro.net.node.LiveNode` behind its own
+TCP listener on ``127.0.0.1``.  Every message really is encoded by
+:mod:`repro.wire`, pushed through a socket, decoded and dispatched; no
+simulated time exists, the event loop's clock is the protocol's ``now``.
+
+The result of a run is :meth:`LiveCluster.report` — the same
+:func:`repro.sim.metrics.standard_report` schema a simulated cluster
+emits, with real socket byte counters in place of modelled NIC stats, so
+``run-live`` output lines up column-for-column with an experiment run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core.client import LeopardClient
+from repro.core.config import LeopardConfig
+from repro.core.replica import LeopardReplica
+from repro.crypto.keys import KeyRegistry
+from repro.errors import ConfigError
+from repro.net.node import LiveNode
+from repro.net.transport import Router
+from repro.sim.metrics import MetricsCollector, standard_report
+
+
+def default_live_config(n: int, payload_size: int = 128,
+                        datablock_size: int = 100) -> LeopardConfig:
+    """A Leopard configuration tuned for a quick localhost cluster.
+
+    Smaller batches and tighter pacing timers than the paper-scale
+    defaults: a localhost smoke run should commit within a couple of
+    hundred milliseconds, not amortize 2000-request datablocks.
+    """
+    return LeopardConfig(
+        n=n,
+        payload_size=payload_size,
+        datablock_size=datablock_size,
+        bftblock_max_links=10,
+        generation_interval=0.005,
+        max_batch_delay=0.05,
+        proposal_interval=0.01,
+        max_proposal_delay=0.05,
+        retrieval_timeout=0.2,
+        checkpoint_period=20,
+        progress_timeout=2.0,
+    )
+
+
+class LiveCluster:
+    """A live localhost deployment: n replicas + clients over TCP.
+
+    Node ids follow the simulator's convention: ``0..n-1`` are replicas,
+    ``n..n+clients-1`` are clients.  Throughput is measured server-side
+    at an honest non-leader replica; latency client-side from
+    acknowledgements (paper §VI).
+
+    Args:
+        n: replica count (3f+1).
+        client_count: load-generating clients.
+        config: protocol configuration; defaults to
+            :func:`default_live_config`.
+        total_rate: offered load in requests/second across all clients.
+        bundle_size: requests per client submission.
+        seed: determinism seed for key dealing.
+        warmup: seconds of metrics warmup (live runs are short; 0 keeps
+            every commit).
+        host: bind address for all listeners.
+        resubmit: clients re-route unacknowledged bundles to the next
+            responsible replica (paper §IV-A1's f+1 re-routing; off for
+            clean throughput accounting).
+        client_timeout: seconds a client waits for an ack before
+            re-routing (only with ``resubmit``).
+    """
+
+    def __init__(self, n: int, client_count: int = 1,
+                 config: LeopardConfig | None = None,
+                 total_rate: float = 4000.0, bundle_size: int = 200,
+                 seed: int = 0, warmup: float = 0.0,
+                 host: str = "127.0.0.1", resubmit: bool = False,
+                 client_timeout: float = 2.0) -> None:
+        if client_count < 1:
+            raise ConfigError("need at least one client")
+        self.config = config if config is not None \
+            else default_live_config(n)
+        if self.config.n != n:
+            raise ConfigError(
+                "config.n must match the requested cluster size")
+        self.n = n
+        self.client_count = client_count
+        self.host = host
+        self.warmup = warmup
+        self.registry = KeyRegistry(n, self.config.f, seed=seed)
+        self.metrics = MetricsCollector(warmup=warmup)
+        self.leader = self.config.leader_of(1)
+        self.measure_replica = next(
+            replica_id for replica_id in range(n)
+            if replica_id != self.leader)
+        self.address_book: dict[int, tuple[str, int]] = {}
+        self.nodes: dict[int, LiveNode] = {}
+        self.replicas: list[LeopardReplica] = []
+        self.clients: list[LeopardClient] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._epoch: float | None = None
+        self._stopped_at: float | None = None
+
+        for replica_id in range(n):
+            replica = LeopardReplica(replica_id, self.config, self.registry)
+            replica.attach_perf(self.metrics.perf)
+            self.replicas.append(replica)
+        per_client_rate = total_rate / client_count
+        for index in range(client_count):
+            self.clients.append(LeopardClient(
+                n + index, self.config, rate=per_client_rate,
+                bundle_size=bundle_size, resubmit=resubmit,
+                client_timeout=client_timeout))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def clock(self) -> float:
+        """Seconds since the cluster booted (the live ``now``)."""
+        if self._loop is None or self._epoch is None:
+            return 0.0
+        return self._loop.time() - self._epoch
+
+    async def start(self) -> None:
+        """Bind every listener, then boot every core."""
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._epoch = loop.time()
+        for core in [*self.replicas, *self.clients]:
+            router = Router(core.node_id, self.address_book, host=self.host)
+            self.nodes[core.node_id] = LiveNode(
+                core, router, range(self.n), self.metrics, self.clock)
+        # All listeners must be routable before any core starts sending.
+        await asyncio.gather(
+            *(node.start() for node in self.nodes.values()))
+        for node in self.nodes.values():
+            node.boot()
+
+    async def run(self, duration: float) -> None:
+        """Let the cluster serve traffic for ``duration`` real seconds."""
+        await asyncio.sleep(duration)
+
+    async def kill_replica(self, replica_id: int) -> None:
+        """Crash-stop one replica mid-run (fault injection)."""
+        await self.nodes[replica_id].kill()
+
+    async def stop(self) -> None:
+        """Tear the whole cluster down."""
+        self._stopped_at = self.clock()
+        await asyncio.gather(
+            *(node.shutdown() for node in self.nodes.values()))
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+
+    def committed_requests(self, replica_id: int | None = None) -> int:
+        """Requests executed at a replica (default: the measure replica)."""
+        if replica_id is None:
+            replica_id = self.measure_replica
+        return self.metrics.executed_requests.get(replica_id, 0)
+
+    def measurement_window(self) -> float:
+        """Post-warmup seconds the metrics cover."""
+        elapsed = self._stopped_at if self._stopped_at is not None \
+            else self.clock()
+        return max(elapsed - self.warmup, 0.0)
+
+    def report(self) -> dict:
+        """The run report, in the simulator's schema (live backend)."""
+        byte_stats = {
+            node_id: self.nodes[node_id].router.stats
+            for node_id in range(self.n) if node_id in self.nodes}
+        report = standard_report(
+            backend="live",
+            protocol="leopard",
+            n=self.n,
+            duration=self.measurement_window(),
+            metrics=self.metrics,
+            byte_stats=byte_stats,
+            measure_replica=self.measure_replica,
+        )
+        report["transport"] = {
+            "dropped_frames": sum(
+                node.router.dropped_frames()
+                for node in self.nodes.values()),
+            "unroutable_frames": sum(
+                node.router.unroutable_frames
+                for node in self.nodes.values()),
+            "decode_errors": sum(
+                node.router.listener.decode_errors
+                for node in self.nodes.values()
+                if node.router.listener is not None),
+            "handler_errors": sum(
+                node.router.listener.handler_errors
+                for node in self.nodes.values()
+                if node.router.listener is not None),
+        }
+        return report
+
+
+async def run_live(n: int = 4, client_count: int = 1,
+                   duration: float = 5.0,
+                   config: LeopardConfig | None = None,
+                   total_rate: float = 4000.0, bundle_size: int = 200,
+                   seed: int = 0, warmup: float = 0.0) -> dict:
+    """Boot a localhost cluster, serve for ``duration`` s, return report."""
+    cluster = LiveCluster(
+        n, client_count=client_count, config=config,
+        total_rate=total_rate, bundle_size=bundle_size, seed=seed,
+        warmup=warmup)
+    await cluster.start()
+    try:
+        await cluster.run(duration)
+    finally:
+        await cluster.stop()
+    return cluster.report()
+
+
+def run_live_sync(**kwargs) -> dict:
+    """Synchronous wrapper around :func:`run_live` (CLI entry point)."""
+    return asyncio.run(run_live(**kwargs))

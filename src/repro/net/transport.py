@@ -1,0 +1,305 @@
+"""Asyncio TCP transport: framing, fan-in, reconnecting outbound links.
+
+Framing is the :mod:`repro.wire` codec's: a 4-byte big-endian length
+prefix followed by the frame payload.  One :class:`Listener` per node
+accepts any number of inbound connections and feeds decoded messages to a
+handler; one :class:`PeerConnection` per (node, peer) pair owns the
+outbound direction with a bounded write queue and automatic reconnect —
+the connection fan-in/fan-out shape of a real BFT deployment, where every
+replica dials every peer it sends to and a leader terminates n-1 inbound
+vote streams.
+
+Backpressure is two-layered: ``await writer.drain()`` propagates the
+kernel socket buffer's pushback into the per-peer writer task, and the
+write queue is bounded in *bytes* — when a peer is slow or dead the queue
+fills and further frames are dropped (and counted) instead of growing
+without bound.  BFT protocols tolerate message loss by design (timers and
+view-changes re-drive progress), so dropping at the transport edge is the
+correct overload behaviour, mirroring what the simulator's NIC backlog
+model charges as queueing delay.
+
+Byte accounting reuses :class:`repro.sim.network.NicStats` — the same
+per-message-class counters the simulator keeps for its modelled NICs —
+so live and simulated bandwidth breakdowns line up column-for-column.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Callable
+
+from repro.sim.network import NicStats
+from repro.wire import codec
+
+#: Default cap on one outbound peer queue (bytes).
+DEFAULT_MAX_QUEUE_BYTES = 32 * 1024 * 1024
+
+#: Reconnect backoff bounds (seconds).
+INITIAL_BACKOFF = 0.05
+MAX_BACKOFF = 1.0
+
+#: Assumed localhost link rate for backlog-seconds estimation (bits/s).
+DEFAULT_LINK_BPS = 1e9
+
+MessageHandler = Callable[[int, object], None]
+
+
+async def read_frame(reader: asyncio.StreamReader) -> bytes | None:
+    """Read one length-prefixed frame payload; ``None`` on clean EOF.
+
+    Raises:
+        codec.CodecError: if the peer announces an oversized frame.
+    """
+    try:
+        header = await reader.readexactly(codec.LENGTH_PREFIX)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    length = int.from_bytes(header, "big")
+    if length > codec.MAX_FRAME_BYTES:
+        raise codec.CodecError(f"frame length {length} exceeds cap")
+    try:
+        return await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+
+
+class Listener:
+    """Inbound side of one node: accepts peers, decodes, dispatches.
+
+    Args:
+        handler: called as ``handler(sender, msg)`` for every decoded
+            frame, inline on the reader coroutine.
+        stats: byte counters to record received frames into.
+        host: bind address.
+        port: bind port; 0 picks an ephemeral port (read :attr:`port`
+            after :meth:`start`).
+    """
+
+    def __init__(self, handler: MessageHandler, stats: NicStats,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.handler = handler
+        self.stats = stats
+        self.host = host
+        self.port = port
+        self.decode_errors = 0
+        self.handler_errors = 0
+        self._server: asyncio.base_events.Server | None = None
+
+    async def start(self) -> None:
+        """Bind and start serving; resolves :attr:`port` if ephemeral."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                payload = await read_frame(reader)
+                if payload is None:
+                    return
+                try:
+                    sender, msg = codec.decode_payload(payload)
+                except codec.CodecError:
+                    self.decode_errors += 1
+                    return  # drop the connection; peer is garbling
+                self.stats.record_recv(
+                    msg.msg_class, codec.LENGTH_PREFIX + len(payload))
+                try:
+                    self.handler(sender, msg)
+                except Exception:
+                    # A core bug must not tear down the TCP connection
+                    # (that would silently drop the peer's queued frames);
+                    # count it and keep serving.
+                    self.handler_errors += 1
+        except codec.CodecError:
+            self.decode_errors += 1
+        except asyncio.CancelledError:
+            raise
+        except OSError:
+            pass  # peer vanished mid-frame
+        finally:
+            writer.close()
+
+    async def close(self) -> None:
+        """Stop accepting and close the server socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+
+class PeerConnection:
+    """Outbound link to one peer: reconnect loop + bounded write queue.
+
+    Frames enqueue without blocking (the protocol core runs inline on the
+    event loop and must never stall on one slow peer); a dedicated writer
+    task drains the queue through the socket, honouring TCP backpressure
+    via ``drain()``.  While the peer is unreachable the task retries with
+    exponential backoff and the queue keeps absorbing frames up to
+    ``max_queue_bytes``, beyond which new frames are dropped and counted.
+    """
+
+    def __init__(self, peer_id: int, host: str, port: int,
+                 max_queue_bytes: int = DEFAULT_MAX_QUEUE_BYTES) -> None:
+        self.peer_id = peer_id
+        self.host = host
+        self.port = port
+        self.max_queue_bytes = max_queue_bytes
+        self.dropped_frames = 0
+        self.sent_frames = 0
+        self.connects = 0
+        self._queue: deque[bytes] = deque()
+        self._queued_bytes = 0
+        self._wakeup = asyncio.Event()
+        self._closed = False
+        self._task: asyncio.Task | None = None
+
+    def start(self) -> None:
+        """Spawn the writer/reconnect task."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    @property
+    def queued_bytes(self) -> int:
+        """Bytes waiting in the write queue (backpressure signal)."""
+        return self._queued_bytes
+
+    def send(self, frame: bytes) -> bool:
+        """Enqueue one frame; False if closed or the queue is full."""
+        if self._closed:
+            return False
+        if self._queued_bytes + len(frame) > self.max_queue_bytes:
+            self.dropped_frames += 1
+            return False
+        self._queue.append(frame)
+        self._queued_bytes += len(frame)
+        self._wakeup.set()
+        return True
+
+    async def _run(self) -> None:
+        backoff = INITIAL_BACKOFF
+        while not self._closed:
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.port)
+            except OSError:
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2.0, MAX_BACKOFF)
+                continue
+            self.connects += 1
+            backoff = INITIAL_BACKOFF
+            try:
+                await self._drain_loop(writer)
+            except (ConnectionError, OSError):
+                continue  # peer dropped us: reconnect, keep the queue
+            finally:
+                writer.close()
+
+    async def _drain_loop(self, writer: asyncio.StreamWriter) -> None:
+        while not self._closed:
+            while self._queue:
+                frame = self._queue.popleft()
+                self._queued_bytes -= len(frame)
+                writer.write(frame)
+                self.sent_frames += 1
+                await writer.drain()  # kernel-buffer backpressure
+            self._wakeup.clear()
+            if self._queue:
+                continue  # raced with a send between drain and clear
+            await self._wakeup.wait()
+
+    async def close(self) -> None:
+        """Stop the writer task and drop any queued frames."""
+        self._closed = True
+        self._wakeup.set()
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        self._queue.clear()
+        self._queued_bytes = 0
+
+
+class Router:
+    """One node's transport endpoint: listener + lazy outbound links.
+
+    Args:
+        node_id: this node's id (stamped into every outgoing frame).
+        address_book: shared ``node_id -> (host, port)`` map.  The
+            cluster bootstrapper fills it as listeners bind; lookups
+            happen lazily at first send, so boot order does not matter.
+        host: bind address for the listener.
+        port: bind port (0 = ephemeral).
+        link_bps: assumed link rate used to express the outbound backlog
+            in seconds (the protocol cores' ``backlog_probe`` pacing
+            contract, same unit as the simulator's NIC backlog).
+        max_queue_bytes: per-peer write-queue bound.
+    """
+
+    def __init__(self, node_id: int,
+                 address_book: dict[int, tuple[str, int]],
+                 host: str = "127.0.0.1", port: int = 0,
+                 link_bps: float = DEFAULT_LINK_BPS,
+                 max_queue_bytes: int = DEFAULT_MAX_QUEUE_BYTES) -> None:
+        self.node_id = node_id
+        self.address_book = address_book
+        self.host = host
+        self.link_bps = link_bps
+        self.max_queue_bytes = max_queue_bytes
+        self.stats = NicStats()
+        self.unroutable_frames = 0
+        self.listener: Listener | None = None
+        self._requested_port = port
+        self._peers: dict[int, PeerConnection] = {}
+        self._closed = False
+
+    async def start(self, handler: MessageHandler) -> None:
+        """Bind the listener and publish this node's address."""
+        self.listener = Listener(handler, self.stats, self.host,
+                                 self._requested_port)
+        await self.listener.start()
+        self.address_book[self.node_id] = (self.host, self.listener.port)
+
+    def send(self, dest: int, msg) -> bool:
+        """Encode and enqueue ``msg`` for ``dest``; False if dropped."""
+        if self._closed:
+            return False
+        frame = codec.encode(self.node_id, msg)
+        peer = self._peers.get(dest)
+        if peer is None:
+            address = self.address_book.get(dest)
+            if address is None:
+                self.unroutable_frames += 1
+                return False
+            peer = PeerConnection(dest, address[0], address[1],
+                                  self.max_queue_bytes)
+            peer.start()
+            self._peers[dest] = peer
+        accepted = peer.send(frame)
+        if accepted:
+            self.stats.record_send(msg.msg_class, len(frame))
+        return accepted
+
+    def backlog_seconds(self) -> float:
+        """Seconds of egress work queued across all peers at link rate."""
+        queued = sum(peer.queued_bytes for peer in self._peers.values())
+        return queued * 8.0 / self.link_bps
+
+    def dropped_frames(self) -> int:
+        """Frames dropped by full peer queues (overload indicator)."""
+        return sum(peer.dropped_frames for peer in self._peers.values())
+
+    async def close(self) -> None:
+        """Close the listener and every outbound link."""
+        self._closed = True
+        if self.listener is not None:
+            await self.listener.close()
+        peers = list(self._peers.values())
+        self._peers.clear()
+        for peer in peers:
+            await peer.close()

@@ -17,7 +17,10 @@ missing plumbing:
 from repro.perf.counters import PerfCounters, Timer, throughput_mbps
 from repro.perf.report import (
     compare_throughput,
+    find_regressions,
+    host_fingerprint,
     load_report,
+    select_gate_metric,
     write_report,
 )
 
@@ -26,6 +29,9 @@ __all__ = [
     "Timer",
     "throughput_mbps",
     "compare_throughput",
+    "find_regressions",
+    "host_fingerprint",
     "load_report",
+    "select_gate_metric",
     "write_report",
 ]

@@ -20,11 +20,19 @@ committed ``benchmarks/BENCH_micro_coding.json`` is the perf trajectory
 the regression gate compares against: absolute MB/s is machine-dependent,
 so the gate is generous (default 20 %) and keyed per (op, k, n, size)
 row — entries present in only one report are ignored.
+
+Re-baselining guard: every report records a :func:`host_fingerprint`.
+When the gate runs on a host whose fingerprint differs from the
+baseline's (or the baseline predates fingerprints), comparing absolute
+MB/s would be noise — :func:`select_gate_metric` then gates on the
+machine-independent ``speedup`` column instead (vectorized-over-seed
+measured in the same process, so host speed cancels out).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 from pathlib import Path
 from typing import Any
@@ -33,6 +41,33 @@ SCHEMA_VERSION = 1
 
 #: Fields identifying one measured configuration row.
 ROW_KEY = ("op", "k", "n", "size")
+
+
+def host_fingerprint() -> str:
+    """A stable id for the measuring machine (absolute MB/s context)."""
+    return "/".join([
+        platform.machine() or "unknown",
+        platform.system() or "unknown",
+        f"cpu{os.cpu_count() or 0}",
+        f"py{platform.python_version()}",
+    ])
+
+
+def select_gate_metric(baseline: dict[str, Any]) -> tuple[str, str]:
+    """Pick the regression-gate metric for a baseline report.
+
+    Returns ``(metric, reason)``: absolute ``vectorized_mbps`` when the
+    baseline was recorded on this very host, else the machine-independent
+    ``speedup`` column.
+    """
+    recorded = baseline.get("host")
+    current = host_fingerprint()
+    if recorded == current:
+        return "vectorized_mbps", f"same host ({current})"
+    if recorded is None:
+        return "speedup", "baseline has no host fingerprint"
+    return "speedup", (f"host differs (baseline {recorded!r}, "
+                       f"current {current!r})")
 
 
 def write_report(path: str | Path, name: str, mode: str,
@@ -44,6 +79,7 @@ def write_report(path: str | Path, name: str, mode: str,
         "name": name,
         "mode": mode,
         "python": platform.python_version(),
+        "host": host_fingerprint(),
         "results": results,
     }
     if extra:
@@ -66,17 +102,18 @@ def _row_key(row: dict[str, Any]) -> tuple:
     return tuple(row.get(field) for field in ROW_KEY)
 
 
-def compare_throughput(baseline: dict[str, Any], current: dict[str, Any],
-                       metric: str = "vectorized_mbps",
-                       tolerance: float = 0.20) -> list[str]:
-    """Find rows whose ``metric`` regressed more than ``tolerance``.
+def find_regressions(baseline: dict[str, Any], current: dict[str, Any],
+                     metric: str = "vectorized_mbps",
+                     tolerance: float = 0.20) -> dict[tuple, str]:
+    """Rows whose ``metric`` regressed more than ``tolerance``, keyed.
 
     Rows are matched on :data:`ROW_KEY`; a row present in only one report
     is skipped (grids may differ between smoke and full runs).  Returns
-    human-readable regression descriptions — empty means the gate passes.
+    ``row_key -> human-readable description`` — callers needing to
+    intersect regressions across metrics match on the keys.
     """
     current_rows = {_row_key(row): row for row in current.get("results", [])}
-    regressions: list[str] = []
+    regressions: dict[tuple, str] = {}
     for row in baseline.get("results", []):
         other = current_rows.get(_row_key(row))
         if other is None:
@@ -87,9 +124,18 @@ def compare_throughput(baseline: dict[str, Any], current: dict[str, Any],
             continue
         floor = base_value * (1.0 - tolerance)
         if new_value < floor:
-            regressions.append(
+            unit = " MB/s" if metric.endswith("_mbps") else "x"
+            regressions[_row_key(row)] = (
                 f"{row['op']} (k={row['k']}, n={row['n']}, "
-                f"size={row['size']}): {metric} {new_value:.1f} MB/s "
-                f"< {floor:.1f} MB/s "
-                f"(baseline {base_value:.1f} MB/s - {tolerance:.0%})")
+                f"size={row['size']}): {metric} {new_value:.1f}{unit} "
+                f"< {floor:.1f}{unit} "
+                f"(baseline {base_value:.1f}{unit} - {tolerance:.0%})")
     return regressions
+
+
+def compare_throughput(baseline: dict[str, Any], current: dict[str, Any],
+                       metric: str = "vectorized_mbps",
+                       tolerance: float = 0.20) -> list[str]:
+    """Human-readable regression lines — empty means the gate passes."""
+    return list(find_regressions(baseline, current, metric,
+                                 tolerance).values())

@@ -7,7 +7,16 @@ Collects exactly the quantities the paper reports:
 * request latency from client submission to acknowledgement (client-side);
 * per-node bandwidth, total and bucketed by message class, from
   :class:`repro.sim.network.NicStats` — Tables III, Figs. 2/11;
-* latency-phase traces for the Table IV breakdown.
+* latency-phase traces for the Table IV breakdown;
+* data-plane wall-clock breakdowns (erasure coding, hashing) via an
+  attached :class:`repro.perf.PerfCounters` — cluster builders hand the
+  collector's counters to each replica so experiment runs report
+  coding/hashing time alongside protocol metrics.
+
+:func:`standard_report` renders all of it into the backend-neutral report
+schema shared by the simulator and the live TCP runtime
+(:mod:`repro.net.live`), which is what makes simulated and real-socket
+runs directly comparable.
 """
 
 from __future__ import annotations
@@ -15,7 +24,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.sim.network import Network
+from repro.perf.counters import PerfCounters
+from repro.sim.network import Network, NicStats
 
 
 @dataclass
@@ -48,6 +58,9 @@ class MetricsCollector:
     latencies: list[LatencySample] = field(default_factory=list)
     phase_durations: dict[str, float] = field(default_factory=dict)
     phase_counts: dict[str, int] = field(default_factory=dict)
+    #: Data-plane instrumentation (coding/hashing wall-clock) shared with
+    #: every component the cluster builder attaches it to.
+    perf: PerfCounters = field(default_factory=PerfCounters)
 
     def record_execution(self, node_id: int, count: int, now: float) -> None:
         """Record ``count`` requests executed at ``node_id``."""
@@ -142,3 +155,52 @@ def node_bandwidth_bps(network: Network, node_id: int, duration: float
     if duration <= 0:
         return 0.0
     return (stats.total_sent() + stats.total_recv()) * 8.0 / duration
+
+
+#: Version of the backend-neutral run-report schema below.
+REPORT_SCHEMA = 1
+
+
+def standard_report(*, backend: str, protocol: str, n: int,
+                    duration: float, metrics: MetricsCollector,
+                    byte_stats: dict[int, NicStats],
+                    measure_replica: int) -> dict:
+    """The run report shared by the simulated and live backends.
+
+    Args:
+        backend: ``"sim"`` or ``"live"`` — how the cluster executed.
+        protocol: ``"leopard"`` / ``"hotstuff"`` / ``"pbft"``.
+        n: replica count.
+        duration: measurement-window seconds (post warmup).
+        metrics: the run's collector.
+        byte_stats: per-node byte counters — modelled NIC stats for the
+            simulator, real socket counters for the live transport.
+        measure_replica: honest non-leader replica whose execution point
+            defines throughput (paper §VI).
+
+    Identical keys from both backends make a live localhost run directly
+    comparable with a simulated one of the same shape.
+    """
+    return {
+        "schema": REPORT_SCHEMA,
+        "backend": backend,
+        "protocol": protocol,
+        "n": n,
+        "duration_s": duration,
+        "measure_replica": measure_replica,
+        "throughput_rps": metrics.throughput(measure_replica, duration),
+        "executed_requests": dict(metrics.executed_requests),
+        "acked_bundles": len(metrics.latencies),
+        "latency_s": {
+            "mean": metrics.mean_latency(),
+            "p50": metrics.latency_percentile(50),
+            "p90": metrics.latency_percentile(90),
+            "p99": metrics.latency_percentile(99),
+        },
+        "bytes_by_class": {
+            node_id: {"sent": dict(stats.sent_bytes),
+                      "recv": dict(stats.recv_bytes)}
+            for node_id, stats in sorted(byte_stats.items())
+        },
+        "perf": metrics.perf.snapshot(),
+    }

@@ -1,0 +1,25 @@
+"""Binary wire codec for running Leopard over real sockets.
+
+:mod:`repro.wire.codec` turns every protocol message in
+:mod:`repro.messages` into a compact length-prefixed binary frame and back,
+with the invariant that the encoded frame is exactly as large as the
+abstract cost model says (``len(encode(sender, msg)) == msg.size_bytes()``)
+— so the bytes the live transport pushes through TCP are the bytes the
+simulator charges to its modelled NICs.
+"""
+
+from repro.wire.codec import (
+    CodecError,
+    decode,
+    decode_payload,
+    encode,
+    registered_message_types,
+)
+
+__all__ = [
+    "CodecError",
+    "decode",
+    "decode_payload",
+    "encode",
+    "registered_message_types",
+]

@@ -235,3 +235,26 @@ class TestCommitPayload:
         assert a == b
         assert a != c
         assert len(a) == 32
+
+
+class TestVoteBucketPoisoning:
+    def test_unverifiable_vote_does_not_pin_payload(self, registry4):
+        """A junk-payload vote that fails TVrf must leave no bucket state,
+        or it would block the honest quorum for that (round, digest)."""
+        from repro.crypto.threshold import SignatureShare
+
+        aggregator = VoteAggregator(registry4.scheme)
+        block = block_at(1)
+        poison = Vote(ROUND_PREPARE, block.digest(), b"junk" * 8,
+                      SignatureShare(3, 12345))
+        assert aggregator.add_vote(3, poison) is None
+        assert aggregator.pending_votes(ROUND_PREPARE, block.digest()) == 0
+
+        payload = block.digest()
+        combined = None
+        for replica in range(3):
+            share = registry4.signer(replica).sign(payload)
+            combined = aggregator.add_vote(
+                replica, Vote(ROUND_PREPARE, payload, payload, share))
+        assert combined is not None
+        assert registry4.scheme.verify(combined, payload)

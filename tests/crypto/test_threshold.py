@@ -116,3 +116,56 @@ class TestGenerate:
         assert scheme.total == 7
         shares = [s.sign(b"x") for s in signers[2:7]]
         assert scheme.verify(scheme.combine(shares, b"x"), b"x")
+
+
+class TestBatchVerify:
+    """The aggregate verify_shares API (ROADMAP: batch share verification)."""
+
+    def test_all_valid_shares_pass(self, scheme_and_signers):
+        scheme, signers = scheme_and_signers
+        shares = [s.sign(b"m") for s in signers]
+        assert scheme.verify_shares(shares, b"m") == shares
+
+    def test_invalid_shares_filtered(self, scheme_and_signers):
+        scheme, signers = scheme_and_signers
+        good = [s.sign(b"m") for s in signers[:3]]
+        bad = [threshold.SignatureShare(3, 12345),
+               threshold.SignatureShare(99, 1)]
+        assert scheme.verify_shares(good + bad, b"m") == good
+
+    def test_duplicate_signers_deduped_first_wins(self, scheme_and_signers):
+        scheme, signers = scheme_and_signers
+        share = signers[0].sign(b"m")
+        forged_dup = threshold.SignatureShare(0, share.value + 1)
+        assert scheme.verify_shares([share, forged_dup], b"m") == [share]
+
+    def test_matches_single_share_verification(self, scheme_and_signers):
+        scheme, signers = scheme_and_signers
+        shares = [s.sign(b"payload") for s in signers]
+        shares.append(threshold.SignatureShare(1, 7))  # dup signer, bogus
+        batch = scheme.verify_shares(shares, b"payload")
+        singly = [s for s in shares[:4]
+                  if scheme.verify_share(s, b"payload")]
+        assert batch == singly
+
+    def test_precomputed_element_equivalent(self, scheme_and_signers):
+        scheme, signers = scheme_and_signers
+        share = signers[2].sign(b"m")
+        element = threshold.message_element(b"m")
+        assert scheme.verify_share(share, b"m", element=element)
+        assert not scheme.verify_share(share, b"other",
+                                       element=threshold.message_element(
+                                           b"other"))
+
+    def test_combine_preverified_skips_recheck(self, scheme_and_signers):
+        scheme, signers = scheme_and_signers
+        shares = [s.sign(b"m") for s in signers[:3]]
+        combined = scheme.combine(shares, b"m", preverified=True)
+        assert scheme.verify(combined, b"m")
+
+    def test_combine_preverified_still_needs_threshold(
+            self, scheme_and_signers):
+        scheme, signers = scheme_and_signers
+        shares = [s.sign(b"m") for s in signers[:2]]
+        with pytest.raises(threshold.ThresholdError):
+            scheme.combine(shares, b"m", preverified=True)

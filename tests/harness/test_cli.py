@@ -27,3 +27,36 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Leopard" in out
         assert "O(1)" in out
+
+
+class TestRunLiveCli:
+    def test_list_mentions_run_live(self, capsys):
+        assert main(["--list"]) == 0
+        assert "run-live" in capsys.readouterr().out
+
+    def test_run_live_smoke(self, capsys):
+        assert main([
+            "run-live", "--replicas", "4", "--clients", "1",
+            "--duration", "1.5", "--rate", "2000", "--bundle-size", "100",
+            "--min-committed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "live run: n=4" in out
+        assert "live smoke OK" in out
+
+    def test_run_live_json_output(self, capsys):
+        import json
+
+        assert main([
+            "run-live", "--replicas", "4", "--duration", "1.0",
+            "--rate", "1000", "--bundle-size", "50", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["backend"] == "live"
+        assert report["schema"] == 1
+
+    def test_run_live_min_committed_gate_fails_when_unmet(self, capsys):
+        # An impossible bar: more commits than the offered load allows.
+        assert main([
+            "run-live", "--replicas", "4", "--duration", "1.0",
+            "--rate", "1000", "--bundle-size", "50",
+            "--min-committed", "10000000"]) == 1
+        assert "FAIL" in capsys.readouterr().err

@@ -1,0 +1,229 @@
+"""Transport-layer tests: framing over real sockets, reconnect, drops."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.messages.leopard import Ready
+from repro.net.transport import Listener, PeerConnection, Router
+from repro.sim.network import NicStats
+from repro.wire import codec
+
+DIGEST = bytes(range(32))
+DIGEST2 = bytes(range(32, 64))
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestListenerFraming:
+    def test_frame_split_across_writes_reassembles(self):
+        """TCP is a byte stream: frames must survive arbitrary chunking."""
+        async def scenario():
+            received = []
+            listener = Listener(
+                lambda sender, msg: received.append((sender, msg)),
+                NicStats())
+            await listener.start()
+            frame = codec.encode(7, Ready(DIGEST))
+            _, writer = await asyncio.open_connection(
+                "127.0.0.1", listener.port)
+            for i in range(len(frame)):  # one byte at a time
+                writer.write(frame[i:i + 1])
+                await writer.drain()
+            await asyncio.sleep(0.05)
+            writer.close()
+            await listener.close()
+            return received
+
+        received = run(scenario())
+        assert received == [(7, Ready(DIGEST))]
+
+    def test_back_to_back_frames_in_one_write(self):
+        async def scenario():
+            received = []
+            listener = Listener(
+                lambda sender, msg: received.append(msg), NicStats())
+            await listener.start()
+            frames = b"".join(
+                codec.encode(1, Ready(bytes([i]) * 32)) for i in range(5))
+            _, writer = await asyncio.open_connection(
+                "127.0.0.1", listener.port)
+            writer.write(frames)
+            await writer.drain()
+            await asyncio.sleep(0.05)
+            writer.close()
+            await listener.close()
+            return received
+
+        received = run(scenario())
+        assert [msg.block_digest[0] for msg in received] == [0, 1, 2, 3, 4]
+
+    def test_garbage_frame_counted_and_connection_dropped(self):
+        async def scenario():
+            listener = Listener(lambda *a: None, NicStats())
+            await listener.start()
+            _, writer = await asyncio.open_connection(
+                "127.0.0.1", listener.port)
+            # Valid length prefix, unknown type tag 255.
+            writer.write((6).to_bytes(4, "big") + bytes([255]) + bytes(5))
+            await writer.drain()
+            await asyncio.sleep(0.05)
+            writer.close()
+            errors = listener.decode_errors
+            await listener.close()
+            return errors
+
+        assert run(scenario()) == 1
+
+    def test_byte_accounting_matches_wire_size(self):
+        async def scenario():
+            stats = NicStats()
+            listener = Listener(lambda *a: None, stats)
+            await listener.start()
+            msg = Ready(DIGEST)
+            _, writer = await asyncio.open_connection(
+                "127.0.0.1", listener.port)
+            writer.write(codec.encode(0, msg))
+            await writer.drain()
+            await asyncio.sleep(0.05)
+            writer.close()
+            await listener.close()
+            return stats
+
+        stats = run(scenario())
+        assert stats.recv_bytes == {"ready": Ready(DIGEST).size_bytes()}
+        assert stats.recv_msgs == {"ready": 1}
+
+
+class TestPeerConnection:
+    def test_queued_frames_flush_once_peer_appears(self):
+        """Reconnect loop: sends before the peer listens are not lost."""
+        async def scenario():
+            received = []
+            listener = Listener(
+                lambda sender, msg: received.append(msg), NicStats())
+            # Reserve a port, then close it so the peer starts dialling
+            # a dead address.
+            await listener.start()
+            port = listener.port
+            await listener.close()
+
+            peer = PeerConnection(1, "127.0.0.1", port)
+            peer.start()
+            assert peer.send(codec.encode(0, Ready(DIGEST)))
+            await asyncio.sleep(0.15)  # a few failed dials
+            listener.port = port
+            await listener.start()
+            await asyncio.sleep(0.5)
+            await peer.close()
+            await listener.close()
+            return received
+
+        received = run(scenario())
+        assert received == [Ready(DIGEST)]
+
+    def test_full_queue_drops_and_counts(self):
+        async def scenario():
+            frame = codec.encode(0, Ready(DIGEST))
+            peer = PeerConnection(1, "127.0.0.1", 1, len(frame) * 2)
+            peer.start()  # port 1: nothing listens; queue only fills
+            results = [peer.send(frame) for _ in range(5)]
+            dropped = peer.dropped_frames
+            queued = peer.queued_bytes
+            await peer.close()
+            return results, dropped, queued
+
+        results, dropped, queued = run(scenario())
+        assert results == [True, True, False, False, False]
+        assert dropped == 3
+        assert queued == 2 * Ready(DIGEST).size_bytes()
+
+    def test_close_rejects_further_sends(self):
+        async def scenario():
+            peer = PeerConnection(1, "127.0.0.1", 1)
+            peer.start()
+            await peer.close()
+            return peer.send(b"x")
+
+        assert run(scenario()) is False
+
+
+class TestRouter:
+    def test_bidirectional_send_with_stats(self):
+        async def scenario():
+            book: dict[int, tuple[str, int]] = {}
+            inbox_a, inbox_b = [], []
+            router_a = Router(0, book)
+            router_b = Router(1, book)
+            await router_a.start(lambda s, m: inbox_a.append((s, m)))
+            await router_b.start(lambda s, m: inbox_b.append((s, m)))
+            router_a.send(1, Ready(DIGEST))
+            router_b.send(0, Ready(DIGEST))
+            await asyncio.sleep(0.2)
+            await router_a.close()
+            await router_b.close()
+            return inbox_a, inbox_b, router_a.stats
+
+        inbox_a, inbox_b, stats_a = run(scenario())
+        assert inbox_b == [(0, Ready(DIGEST))]
+        assert inbox_a == [(1, Ready(DIGEST))]
+        assert stats_a.sent_bytes == {"ready": Ready(DIGEST).size_bytes()}
+        assert stats_a.recv_bytes == {"ready": Ready(DIGEST).size_bytes()}
+
+    def test_unknown_destination_counted_not_crashing(self):
+        async def scenario():
+            router = Router(0, {})
+            await router.start(lambda *a: None)
+            ok = router.send(99, Ready(DIGEST))
+            count = router.unroutable_frames
+            await router.close()
+            return ok, count
+
+        ok, count = run(scenario())
+        assert ok is False
+        assert count == 1
+
+    def test_backlog_seconds_reflects_queued_bytes(self):
+        async def scenario():
+            book = {1: ("127.0.0.1", 1)}  # dead port: frames queue
+            router = Router(0, book, link_bps=8.0)  # 1 byte/second
+            await router.start(lambda *a: None)
+            router.send(1, Ready(DIGEST))
+            backlog = router.backlog_seconds()
+            await router.close()
+            return backlog
+
+        # 96 wire bytes at 1 byte/s == 96 seconds of backlog.
+        assert run(scenario()) == Ready(DIGEST).size_bytes()
+
+
+class TestHandlerFailures:
+    def test_handler_exception_keeps_connection_alive(self):
+        """A crashing handler must not drop the peer's queued frames."""
+        async def scenario():
+            received = []
+
+            def handler(sender, msg):
+                if not received:
+                    received.append("boom")
+                    raise RuntimeError("core bug")
+                received.append(msg)
+
+            listener = Listener(handler, NicStats())
+            await listener.start()
+            _, writer = await asyncio.open_connection(
+                "127.0.0.1", listener.port)
+            writer.write(codec.encode(0, Ready(DIGEST)))
+            writer.write(codec.encode(0, Ready(DIGEST2)))
+            await writer.drain()
+            await asyncio.sleep(0.1)
+            writer.close()
+            errors = listener.handler_errors
+            await listener.close()
+            return received, errors
+
+        received, errors = run(scenario())
+        assert errors == 1
+        assert received == ["boom", Ready(DIGEST2)]

@@ -123,3 +123,67 @@ class TestRegressionGate:
         baseline = {"results": [rows()]}
         current = {"results": [rows(vectorized_mbps=500.0)]}
         assert compare_throughput(baseline, current) == []
+
+
+class TestHostFingerprintGate:
+    """Re-baseline guard: gate on speedup when the host differs."""
+
+    def test_fingerprint_stable_within_process(self):
+        from repro.perf import host_fingerprint
+        assert host_fingerprint() == host_fingerprint()
+        assert "py" in host_fingerprint()
+
+    def test_written_reports_record_host(self, tmp_path):
+        from repro.perf import host_fingerprint, load_report, write_report
+        path = tmp_path / "r.json"
+        write_report(path, name="x", mode="smoke", results=[])
+        assert load_report(path)["host"] == host_fingerprint()
+
+    def test_same_host_gates_on_absolute_mbps(self):
+        from repro.perf import host_fingerprint, select_gate_metric
+        metric, reason = select_gate_metric({"host": host_fingerprint()})
+        assert metric == "vectorized_mbps"
+        assert "same host" in reason
+
+    def test_different_host_gates_on_speedup(self):
+        from repro.perf import select_gate_metric
+        metric, reason = select_gate_metric({"host": "sparc/SunOS/cpu1"})
+        assert metric == "speedup"
+        assert "differs" in reason
+
+    def test_missing_fingerprint_gates_on_speedup(self):
+        from repro.perf import select_gate_metric
+        metric, reason = select_gate_metric({})
+        assert metric == "speedup"
+        assert "no host fingerprint" in reason
+
+    def test_speedup_regression_detected_with_unit(self):
+        from repro.perf import compare_throughput
+        baseline = {"results": [
+            {"op": "encode", "k": 3, "n": 10, "size": 1, "speedup": 10.0}]}
+        current = {"results": [
+            {"op": "encode", "k": 3, "n": 10, "size": 1, "speedup": 1.0}]}
+        lines = compare_throughput(baseline, current, metric="speedup",
+                                   tolerance=0.2)
+        assert len(lines) == 1
+        assert "speedup 1.0x" in lines[0]
+
+    def test_find_regressions_keys_rows(self):
+        from repro.perf import find_regressions
+        baseline = {"results": [
+            {"op": "encode", "k": 3, "n": 10, "size": 1,
+             "vectorized_mbps": 100.0, "speedup": 10.0},
+            {"op": "decode", "k": 3, "n": 10, "size": 1,
+             "vectorized_mbps": 100.0, "speedup": 10.0}]}
+        current = {"results": [
+            {"op": "encode", "k": 3, "n": 10, "size": 1,
+             "vectorized_mbps": 50.0, "speedup": 10.0},   # load noise
+            {"op": "decode", "k": 3, "n": 10, "size": 1,
+             "vectorized_mbps": 50.0, "speedup": 1.0}]}   # real regression
+        by_abs = find_regressions(baseline, current,
+                                  metric="vectorized_mbps")
+        by_speedup = find_regressions(baseline, current, metric="speedup")
+        assert set(by_abs) == {("encode", 3, 10, 1), ("decode", 3, 10, 1)}
+        assert set(by_speedup) == {("decode", 3, 10, 1)}
+        # Intersection isolates the genuine regression.
+        assert set(by_abs) & set(by_speedup) == {("decode", 3, 10, 1)}

@@ -113,3 +113,63 @@ class TestBandwidthReports:
         network = self._loaded_network()
         assert node_bandwidth_bps(network, 0, 1.0) == pytest.approx(8080.0)
         assert node_bandwidth_bps(network, 0, 0.0) == 0.0
+
+
+class TestPerfWiring:
+    """MetricsCollector carries data-plane perf counters (ROADMAP item)."""
+
+    def test_collector_has_perf_counters(self):
+        from repro.sim.metrics import MetricsCollector
+        collector = MetricsCollector()
+        collector.perf.incr("coding/encoded_datablocks")
+        with collector.perf.timed("coding/encode"):
+            pass
+        snapshot = collector.perf.snapshot()
+        assert snapshot["counts"]["coding/encoded_datablocks"] == 1
+        assert "coding/encode" in snapshot["seconds"]
+
+    def test_retrieval_records_into_attached_counters(self):
+        from repro.core.datablock_pool import DatablockPool
+        from repro.core.retrieval import RetrievalManager
+        from repro.messages.leopard import Datablock, Query
+        from repro.perf import PerfCounters
+
+        perf = PerfCounters()
+        responder = RetrievalManager(4, 1, replica_id=0)
+        responder.perf = perf
+        datablock = Datablock(2, 1, 10, 128)
+        pool = DatablockPool()
+        pool.add(datablock)
+        responses = responder.make_responses(
+            3, Query((datablock.digest(),)), pool)
+        assert len(responses) == 1
+        snapshot = perf.snapshot()
+        assert snapshot["counts"]["coding/encoded_datablocks"] == 1
+        assert snapshot["seconds"]["coding/encode"] > 0
+        assert snapshot["seconds"]["hashing/merkle"] > 0
+
+        # Decode side: feed chunks to a querier wired to the same sink.
+        querier = RetrievalManager(4, 1, replica_id=3)
+        querier.perf = perf
+        querier.note_missing(datablock.digest())
+        recovered = None
+        for index in range(4):
+            other = RetrievalManager(4, 1, replica_id=index)
+            response = other.make_responses(
+                3, Query((datablock.digest(),)), pool)[0]
+            recovered = querier.on_response(response) or recovered
+        assert recovered == datablock
+        assert perf.snapshot()["counts"]["coding/decoded_datablocks"] >= 1
+        assert perf.snapshot()["seconds"]["coding/decode"] > 0
+
+    def test_cluster_report_includes_perf_breakdown(self):
+        from repro.harness.cluster import build_leopard_cluster
+
+        cluster = build_leopard_cluster(4, seed=0, warmup=0.1)
+        cluster.run(0.5)
+        report = cluster.report()
+        assert report["backend"] == "sim"
+        assert set(report["perf"]) == {"counts", "seconds"}
+        # Every replica shares the collector's counters object.
+        for replica in cluster.replicas:
+            assert replica.retrieval.perf is cluster.metrics.perf
