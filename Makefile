@@ -1,14 +1,17 @@
 # Developer entry points.  `make check` is the one-stop gate: tier-1 tests,
 # the smoke-mode micro-benchmark regression check (refuses a >20%
 # throughput regression against benchmarks/BENCH_micro_coding.json; falls
-# back to the machine-independent speedup column on a different host), and
+# back to the machine-independent speedup column on a different host), the
+# simulator macro-benchmark gate (events/sec + engine speedup against
+# benchmarks/BENCH_sim_eventloop.json, same host-fingerprint policy), and
 # a live-cluster smoke run (4 asyncio TCP replicas + 1 client committing
 # real requests on localhost).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-micro bench-micro-full live-smoke check
+.PHONY: test bench-micro bench-micro-full bench-sim bench-sim-full \
+	live-smoke check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,8 +23,15 @@ bench-micro-full:
 	$(PYTHON) benchmarks/run_micro.py --mode full \
 		--output benchmarks/BENCH_micro_coding.json
 
+bench-sim:
+	$(PYTHON) benchmarks/run_sim_bench.py --mode smoke --check
+
+bench-sim-full:
+	$(PYTHON) benchmarks/run_sim_bench.py --mode full \
+		--output benchmarks/BENCH_sim_eventloop.json
+
 live-smoke:
 	$(PYTHON) -m repro.harness.cli run-live --replicas 4 --clients 1 \
 		--duration 5 --min-committed 1
 
-check: test bench-micro live-smoke
+check: test bench-micro bench-sim live-smoke

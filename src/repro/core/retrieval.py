@@ -177,6 +177,10 @@ class RetrievalManager:
         (Algorithm 3, "Response" precondition), bounding the cost a
         Byzantine querier can impose.
         """
+        if self.replica_id >= self._code.total_shards:
+            # Past the GF(256) striping cap (n > 256): this replica holds
+            # no chunk, so it has nothing to answer with.
+            return []
         to_answer: list[tuple[bytes, Datablock]] = []
         for block_digest in query.block_digests:
             if (block_digest, requester) in self._answered:

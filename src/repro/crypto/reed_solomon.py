@@ -311,6 +311,22 @@ class ReedSolomonCode:
         return framed[4: 4 + length]
 
 
+#: A GF(256) code has at most 256 distinct shards; deployments larger
+#: than that stripe one chunk per replica over the *first* 256 replicas
+#: (``klauspost/reedsolomon`` enforces the identical field limit — a
+#: GF(2^16) backend lifting it is a ROADMAP item).
+MAX_SHARDS = 256
+
+
 def leopard_code(faults: int, replicas: int) -> ReedSolomonCode:
-    """The (f+1, n) code the paper prescribes for datablock retrieval."""
-    return ReedSolomonCode(faults + 1, replicas)
+    """The (f+1, n) code the paper prescribes for datablock retrieval.
+
+    For ``replicas > 256`` the shard count is capped at
+    :data:`MAX_SHARDS`: replicas with ids past the cap hold no chunk and
+    simply do not answer retrieval queries.  Recovery stays
+    Byzantine-safe while ``f + 1 <= MAX_SHARDS - f`` (n <= 382, which
+    covers the paper's n = 300 headline point); beyond that the capped
+    code still supports fault-free paper-scale throughput runs, where
+    the happy path never retrieves.
+    """
+    return ReedSolomonCode(faults + 1, min(replicas, MAX_SHARDS))

@@ -62,10 +62,15 @@ class Cluster:
         """The shared network model."""
         return self.sim.network
 
-    def run(self, seconds: float) -> None:
-        """Advance the simulation by ``seconds`` of virtual time."""
-        self.sim.run(seconds)
+    def run(self, seconds: float) -> int:
+        """Advance the simulation by ``seconds`` of virtual time.
+
+        Returns:
+            Number of events the engine executed during this call.
+        """
+        executed = self.sim.run(seconds)
         self.run_seconds = self.sim.now
+        return executed
 
     def measurement_window(self) -> float:
         """Seconds of post-warmup time the metrics cover."""
@@ -108,6 +113,8 @@ class Cluster:
             byte_stats={node_id: self.network.stats(node_id)
                         for node_id in range(self.n)},
             measure_replica=self.measure_replica,
+            events_processed=self.sim.events_processed,
+            events_per_sec=self.sim.events_per_sec(),
         )
 
 
@@ -184,17 +191,22 @@ def build_leopard_cluster(
     measure = _pick_measure_replica(n, leader, set(faults))
 
     replicas = []
+    # One shared cost-model closure per role: every replica host holding
+    # the same callable lets the broadcast fast path memoize the
+    # per-message CPU cost across all n-1 copies.
+    replica_cpu = leopard_cpu_model(costs)
     for replica_id in range(n):
         replica_config = config
         if trace_phases and replica_id == measure:
             replica_config = dc_replace(config, trace_phases=True)
         replica = LeopardReplica(replica_id, replica_config, registry)
         replica.attach_perf(metrics.perf)
-        sim.add_node(replica, cpu_model=leopard_cpu_model(costs),
+        sim.add_node(replica, cpu_model=replica_cpu,
                      fault=faults.get(replica_id, HONEST))
         replicas.append(replica)
 
     clients = []
+    client_cpu = client_cpu_model(costs)
     per_client_rate = total_rate / client_count
     for index in range(client_count):
         client_id = n + index
@@ -202,7 +214,7 @@ def build_leopard_cluster(
             client_id, config, rate=per_client_rate,
             bundle_size=bundle_size, resubmit=resubmit,
             trace_phases=trace_phases)
-        sim.add_node(client, cpu_model=client_cpu_model(costs))
+        sim.add_node(client, cpu_model=client_cpu)
         clients.append(client)
 
     cluster = Cluster(sim=sim, protocol="leopard", n=n, replicas=replicas,
@@ -279,19 +291,21 @@ def build_hotstuff_cluster(
     measure = _pick_measure_replica(n, leader, set(faults))
 
     replicas = []
+    replica_cpu = hotstuff_cpu_model(costs)
     for replica_id in range(n):
         replica = HotStuffReplica(replica_id, config)
-        sim.add_node(replica, cpu_model=hotstuff_cpu_model(costs),
+        sim.add_node(replica, cpu_model=replica_cpu,
                      fault=faults.get(replica_id, HONEST))
         replicas.append(replica)
 
     clients = []
+    client_cpu = client_cpu_model(costs)
     per_client_rate = total_rate / client_count
     for index in range(client_count):
         client = BaselineClient(
             n + index, target=leader, rate=per_client_rate,
             payload_size=config.payload_size, bundle_size=bundle_size)
-        sim.add_node(client, cpu_model=client_cpu_model(costs))
+        sim.add_node(client, cpu_model=client_cpu)
         clients.append(client)
 
     return Cluster(sim=sim, protocol="hotstuff", n=n, replicas=replicas,
@@ -336,19 +350,21 @@ def build_pbft_cluster(
     measure = _pick_measure_replica(n, leader, set(faults))
 
     replicas = []
+    replica_cpu = pbft_cpu_model(costs)
     for replica_id in range(n):
         replica = PbftReplica(replica_id, config)
-        sim.add_node(replica, cpu_model=pbft_cpu_model(costs),
+        sim.add_node(replica, cpu_model=replica_cpu,
                      fault=faults.get(replica_id, HONEST))
         replicas.append(replica)
 
     clients = []
+    client_cpu = client_cpu_model(costs)
     per_client_rate = total_rate / client_count
     for index in range(client_count):
         client = BaselineClient(
             n + index, target=leader, rate=per_client_rate,
             payload_size=config.payload_size, bundle_size=bundle_size)
-        sim.add_node(client, cpu_model=client_cpu_model(costs))
+        sim.add_node(client, cpu_model=client_cpu)
         clients.append(client)
 
     return Cluster(sim=sim, protocol="pbft", n=n, replicas=replicas,

@@ -33,6 +33,14 @@ class Message(Protocol):
         ...
 
 
+#: Message classes processed on the data plane.  Modelled nodes have two
+#: processing lanes (the paper's c5.xlarge instances have 4 vCPUs): heavy
+#: per-request payload work (datablock/client/chunk processing) must not
+#: head-of-line-block the consensus-critical control messages (votes,
+#: proofs, readies), exactly as a threaded implementation separates them.
+DATA_PLANE_CLASSES = frozenset({"datablock", "client", "resp", "block"})
+
+
 class Effect:
     """Base class for protocol-core outputs."""
 

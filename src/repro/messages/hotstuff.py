@@ -10,7 +10,7 @@ vote round per block amortized).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.crypto.hashing import digest
 from repro.messages.base import HASH_SIZE, HEADER_SIZE, SIG_SIZE
@@ -51,6 +51,8 @@ class HSBlock:
     payload_size: int
     spans: tuple[BundleSpan, ...] = ()
     proposed_at: float = 0.0
+    _digest_cache: bytes | None = field(
+        default=None, init=False, repr=False, compare=False)
 
     msg_class = "block"
 
@@ -67,7 +69,13 @@ class HSBlock:
         ])
 
     def digest(self) -> bytes:
-        return digest(self.canonical_bytes())
+        """SHA-256 identity of this block (memoized — the instance is
+        frozen, so every chain/vote/execute lookup reuses one hash)."""
+        cached = self._digest_cache
+        if cached is None:
+            cached = digest(self.canonical_bytes())
+            object.__setattr__(self, "_digest_cache", cached)
+        return cached
 
     def size_bytes(self) -> int:
         justify_size = (self.justify.size_bytes()

@@ -8,7 +8,7 @@ PBFT its scaling profile in the paper's Fig. 1 and Table I.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.crypto.hashing import digest
 from repro.messages.base import HASH_SIZE, HEADER_SIZE, SIG_SIZE
@@ -25,6 +25,8 @@ class PrePrepare:
     payload_size: int
     spans: tuple[BundleSpan, ...] = ()
     proposed_at: float = 0.0
+    _digest_cache: bytes | None = field(
+        default=None, init=False, repr=False, compare=False)
 
     msg_class = "block"
 
@@ -38,7 +40,13 @@ class PrePrepare:
         ])
 
     def digest(self) -> bytes:
-        return digest(self.canonical_bytes())
+        """SHA-256 identity of this pre-prepare (memoized — the instance
+        is frozen, so every prepare/commit lookup reuses one hash)."""
+        cached = self._digest_cache
+        if cached is None:
+            cached = digest(self.canonical_bytes())
+            object.__setattr__(self, "_digest_cache", cached)
+        return cached
 
     def size_bytes(self) -> int:
         return (HEADER_SIZE + 16 + SIG_SIZE

@@ -10,8 +10,8 @@ TCP listener on ``127.0.0.1``.  Every message really is encoded by
 simulated time exists, the event loop's clock is the protocol's ``now``.
 
 The result of a run is :meth:`LiveCluster.report` — the same
-:func:`repro.sim.metrics.standard_report` schema a simulated cluster
-emits, with real socket byte counters in place of modelled NIC stats, so
+:func:`repro.stats.standard_report` schema a simulated cluster emits,
+with real socket byte counters in place of modelled NIC stats, so
 ``run-live`` output lines up column-for-column with an experiment run.
 """
 
@@ -26,7 +26,7 @@ from repro.crypto.keys import KeyRegistry
 from repro.errors import ConfigError
 from repro.net.node import LiveNode
 from repro.net.transport import Router
-from repro.sim.metrics import MetricsCollector, standard_report
+from repro.stats import MetricsCollector, standard_report
 
 
 def default_live_config(n: int, payload_size: int = 128,
@@ -180,14 +180,26 @@ class LiveCluster:
         byte_stats = {
             node_id: self.nodes[node_id].router.stats
             for node_id in range(self.n) if node_id in self.nodes}
+        duration = self.measurement_window()
+        # The live analogue of the simulator's event count: every frame
+        # delivered to a core.  The rate divides whole-run events by
+        # whole-run elapsed time (wall-clock and protocol time coincide
+        # here), mirroring the sim's events_processed / wall_seconds —
+        # NOT by the post-warmup window, which would inflate it.
+        events = sum(node.router.stats.total_recv_msgs()
+                     for node in self.nodes.values())
+        elapsed = self._stopped_at if self._stopped_at is not None \
+            else self.clock()
         report = standard_report(
             backend="live",
             protocol="leopard",
             n=self.n,
-            duration=self.measurement_window(),
+            duration=duration,
             metrics=self.metrics,
             byte_stats=byte_stats,
             measure_replica=self.measure_replica,
+            events_processed=events,
+            events_per_sec=events / elapsed if elapsed > 0 else 0.0,
         )
         report["transport"] = {
             "dropped_frames": sum(

@@ -27,7 +27,7 @@ from repro.interfaces import (
     Trace,
 )
 from repro.net.transport import Router
-from repro.sim.metrics import MetricsCollector
+from repro.stats import MetricsCollector
 
 
 class LiveNode:

@@ -18,9 +18,10 @@ view-changes re-drive progress), so dropping at the transport edge is the
 correct overload behaviour, mirroring what the simulator's NIC backlog
 model charges as queueing delay.
 
-Byte accounting reuses :class:`repro.sim.network.NicStats` — the same
-per-message-class counters the simulator keeps for its modelled NICs —
-so live and simulated bandwidth breakdowns line up column-for-column.
+Byte accounting records into :class:`repro.stats.NicStats` — the shared
+per-message-class counters the simulator also keeps for its modelled
+NICs — so live and simulated bandwidth breakdowns line up
+column-for-column without the transport importing simulator machinery.
 """
 
 from __future__ import annotations
@@ -29,7 +30,7 @@ import asyncio
 from collections import deque
 from typing import Callable
 
-from repro.sim.network import NicStats
+from repro.stats import NicStats
 from repro.wire import codec
 
 #: Default cap on one outbound peer queue (bytes).

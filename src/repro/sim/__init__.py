@@ -1,6 +1,6 @@
 """Discrete-event simulation substrate (the paper's EC2 testbed stand-in)."""
 
-from repro.sim.events import EventQueue
+from repro.sim.events import EventQueue, EventRecord
 from repro.sim.metrics import (
     MetricsCollector,
     bandwidth_report,
@@ -13,6 +13,7 @@ from repro.sim.runner import Simulation
 
 __all__ = [
     "EventQueue",
+    "EventRecord",
     "MetricsCollector",
     "Network",
     "Nic",

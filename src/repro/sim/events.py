@@ -1,24 +1,59 @@
 """Deterministic discrete-event engine.
 
-A single binary heap of ``(time, sequence, callback)`` entries.  The
+A single binary heap of ``(time, sequence, callback, arg)`` entries.  The
 ``sequence`` tiebreaker makes execution order fully deterministic for equal
 timestamps, which in turn makes every experiment in this repository
 reproducible bit-for-bit from its seed (DESIGN.md §5).
+
+Three allocation-control mechanisms keep the engine out of the profile at
+paper scale (n = 300–600, where one broadcast is ~600 events):
+
+* **Payload-carrying entries**: every heap entry carries an optional
+  argument for its callback (:meth:`EventQueue.schedule_call`), so hot
+  paths enqueue a *shared* bound method plus a small payload (a
+  destination id, a ``(sender, msg)`` pair) instead of binding a fresh
+  closure per event.
+* **Typed event records** (:class:`EventRecord`): per-transmission state
+  lives in one ``__slots__`` record whose bound methods are the heap
+  callbacks — a broadcast allocates one record for all n-1 copies, not
+  two closures per copy.
+* **Bulk scheduling** (:meth:`EventQueue.schedule_fanout` /
+  :meth:`EventQueue.schedule_many`): a multicast enqueues all its
+  arrival events in one call; large batches are appended and
+  re-heapified in one C-level pass instead of n-1 ``heappush`` rounds.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable
+from collections import deque
+from itertools import repeat
+from typing import Callable, Iterable, Sequence
 
 from repro.errors import SimulationError
+
+#: Sentinel marking an entry whose callback takes no argument.
+_NO_ARG = object()
+
+
+class EventRecord:
+    """Base class for typed, allocation-light event payloads.
+
+    Subclasses declare ``__slots__`` for their state; their bound methods
+    (or the instance itself, via ``__call__``) go into the heap where a
+    closure would otherwise be allocated.  The heap never compares
+    callbacks (the sequence number always breaks timestamp ties first),
+    so records need no ordering methods.
+    """
+
+    __slots__ = ()
 
 
 class EventQueue:
     """A minimal, fast discrete-event scheduler."""
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, int, Callable, object]] = []
         self._sequence = 0
         self._now = 0.0
         self._processed = 0
@@ -39,7 +74,7 @@ class EventQueue:
         return self._processed
 
     def schedule(self, when: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` to run at absolute time ``when``.
+        """Schedule zero-argument ``callback`` at absolute time ``when``.
 
         Raises:
             SimulationError: if ``when`` is in the past.
@@ -48,11 +83,98 @@ class EventQueue:
             raise SimulationError(
                 f"cannot schedule event at {when} before now={self._now}")
         self._sequence += 1
-        heapq.heappush(self._heap, (when, self._sequence, callback))
+        heapq.heappush(self._heap, (when, self._sequence, callback, _NO_ARG))
 
     def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         self.schedule(self._now + delay, callback)
+
+    def schedule_call(self, when: float, callback: Callable,
+                      arg: object) -> None:
+        """Schedule ``callback(arg)`` at absolute time ``when``.
+
+        The allocation-light sibling of :meth:`schedule`: the payload
+        rides in the heap entry itself, so hot paths pass a shared bound
+        method plus an argument instead of binding a closure per event.
+
+        Raises:
+            SimulationError: if ``when`` is in the past.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {when} before now={self._now}")
+        self._sequence += 1
+        heapq.heappush(self._heap, (when, self._sequence, callback, arg))
+
+    def _bulk_insert(self, batch: list[tuple[float, int, Callable, object]]
+                     ) -> None:
+        heap = self._heap
+        # heapify is O(len(heap) + m); m pushes are O(m log len(heap)).
+        if len(batch) > 8 and len(batch) * 10 >= len(heap):
+            heap.extend(batch)
+            heapq.heapify(heap)
+        else:
+            # Drive the push loop from C (map over the C heappush).
+            deque(map(heapq.heappush, repeat(heap), batch), maxlen=0)
+
+    def schedule_many(
+            self,
+            events: Iterable[tuple[float, Callable[[], None]]]) -> int:
+        """Schedule a batch of ``(when, callback)`` events in one call.
+
+        Sequence numbers are assigned in iteration order, so equal
+        timestamps within a batch execute in the order given — identical
+        to a loop of :meth:`schedule` calls.  Large batches (relative to
+        the pending heap) are appended and re-heapified in one pass.
+
+        Returns:
+            Number of events scheduled.
+
+        Raises:
+            SimulationError: if any ``when`` is in the past (no events
+                from the batch are scheduled).
+        """
+        now = self._now
+        sequence = self._sequence
+        batch: list[tuple[float, int, Callable, object]] = []
+        for when, callback in events:
+            if when < now:
+                raise SimulationError(
+                    f"cannot schedule event at {when} before now={now}")
+            sequence += 1
+            batch.append((when, sequence, callback, _NO_ARG))
+        self._sequence = sequence
+        self._bulk_insert(batch)
+        return len(batch)
+
+    def schedule_fanout(self, times: Sequence[float], callback: Callable,
+                        args: Sequence) -> int:
+        """Schedule ``callback(args[i])`` at ``times[i]`` for every ``i``.
+
+        The broadcast fast path: one shared callback (typically a bound
+        method of an :class:`EventRecord`), one batch of timestamps, one
+        batch of per-event payloads — zero per-event closures, one bulk
+        heap insert.  Sequence order follows index order, so equal
+        timestamps fire in fan-out order.
+
+        Raises:
+            SimulationError: if any time is in the past (nothing is
+                scheduled).
+        """
+        count = len(times)
+        if count == 0:
+            return 0
+        if min(times) < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {min(times)} before "
+                f"now={self._now}")
+        sequence = self._sequence
+        # zip builds the heap entries entirely in C.
+        batch = list(zip(times, range(sequence + 1, sequence + 1 + count),
+                         repeat(callback), args))
+        self._sequence = sequence + count
+        self._bulk_insert(batch)
+        return count
 
     def run_until(self, deadline: float, max_events: int | None = None
                   ) -> int:
@@ -69,14 +191,19 @@ class EventQueue:
         """
         executed = 0
         heap = self._heap
+        pop = heapq.heappop
+        no_arg = _NO_ARG
         while heap and heap[0][0] <= deadline:
             if max_events is not None and executed >= max_events:
                 break
-            when, _, callback = heapq.heappop(heap)
+            when, _, callback, arg = pop(heap)
             self._now = when
             self._processed += 1
             executed += 1
-            callback()
+            if arg is no_arg:
+                callback()
+            else:
+                callback(arg)
         if not heap or heap[0][0] > deadline:
             self._now = max(self._now, deadline)
         return executed
@@ -85,10 +212,15 @@ class EventQueue:
         """Run until the queue drains (bounded by ``max_events``)."""
         executed = 0
         heap = self._heap
+        pop = heapq.heappop
+        no_arg = _NO_ARG
         while heap and executed < max_events:
-            when, _, callback = heapq.heappop(heap)
+            when, _, callback, arg = pop(heap)
             self._now = when
             self._processed += 1
             executed += 1
-            callback()
+            if arg is no_arg:
+                callback()
+            else:
+                callback(arg)
         return executed

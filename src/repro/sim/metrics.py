@@ -6,113 +6,31 @@ Collects exactly the quantities the paper reports:
   measured at an honest replica's execution point (server-side, §VI);
 * request latency from client submission to acknowledgement (client-side);
 * per-node bandwidth, total and bucketed by message class, from
-  :class:`repro.sim.network.NicStats` — Tables III, Figs. 2/11;
+  :class:`repro.stats.NicStats` — Tables III, Figs. 2/11;
 * latency-phase traces for the Table IV breakdown;
 * data-plane wall-clock breakdowns (erasure coding, hashing) via an
   attached :class:`repro.perf.PerfCounters` — cluster builders hand the
   collector's counters to each replica so experiment runs report
   coding/hashing time alongside protocol metrics.
 
-:func:`standard_report` renders all of it into the backend-neutral report
-schema shared by the simulator and the live TCP runtime
-(:mod:`repro.net.live`), which is what makes simulated and real-socket
-runs directly comparable.
+The backend-neutral pieces — :class:`MetricsCollector`,
+:class:`LatencySample`, :class:`NicStats` and :func:`standard_report` —
+live in :mod:`repro.stats` (shared with the live TCP runtime, which must
+not import simulator machinery for accounting) and are re-exported here
+for the simulator-facing callers.  This module keeps only the helpers
+coupled to the modelled :class:`repro.sim.network.Network`.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-
-from repro.perf.counters import PerfCounters
-from repro.sim.network import Network, NicStats
-
-
-@dataclass
-class LatencySample:
-    """One acknowledged client bundle."""
-
-    submitted_at: float
-    acked_at: float
-
-    @property
-    def latency(self) -> float:
-        """Seconds from submission to acknowledgement."""
-        return self.acked_at - self.submitted_at
-
-
-@dataclass
-class MetricsCollector:
-    """Mutable sink the simulation writes into while running.
-
-    Attributes:
-        warmup: executions/acks before this simulated time are ignored so
-            that steady state, not ramp-up, is measured (paper: "each
-            lasting until the measurement is stabilized").
-    """
-
-    warmup: float = 0.0
-    executed_requests: dict[int, int] = field(default_factory=dict)
-    first_execution: dict[int, float] = field(default_factory=dict)
-    last_execution: dict[int, float] = field(default_factory=dict)
-    latencies: list[LatencySample] = field(default_factory=list)
-    phase_durations: dict[str, float] = field(default_factory=dict)
-    phase_counts: dict[str, int] = field(default_factory=dict)
-    #: Data-plane instrumentation (coding/hashing wall-clock) shared with
-    #: every component the cluster builder attaches it to.
-    perf: PerfCounters = field(default_factory=PerfCounters)
-
-    def record_execution(self, node_id: int, count: int, now: float) -> None:
-        """Record ``count`` requests executed at ``node_id``."""
-        if now < self.warmup:
-            return
-        self.executed_requests[node_id] = (
-            self.executed_requests.get(node_id, 0) + count)
-        self.first_execution.setdefault(node_id, now)
-        self.last_execution[node_id] = now
-
-    def record_ack(self, submitted_at: float, now: float) -> None:
-        """Record a client acknowledgement (one bundle)."""
-        if now < self.warmup:
-            return
-        self.latencies.append(LatencySample(submitted_at, now))
-
-    def record_phase(self, phase: str, duration: float, now: float) -> None:
-        """Accumulate time attributed to a protocol phase (Table IV)."""
-        if now < self.warmup:
-            return
-        self.phase_durations[phase] = (
-            self.phase_durations.get(phase, 0.0) + duration)
-        self.phase_counts[phase] = self.phase_counts.get(phase, 0) + 1
-
-    def throughput(self, node_id: int, duration: float) -> float:
-        """Requests/second executed at ``node_id`` over ``duration`` seconds."""
-        if duration <= 0:
-            return 0.0
-        return self.executed_requests.get(node_id, 0) / duration
-
-    def mean_latency(self) -> float:
-        """Mean client latency in seconds (NaN when no samples)."""
-        if not self.latencies:
-            return math.nan
-        return sum(s.latency for s in self.latencies) / len(self.latencies)
-
-    def latency_percentile(self, pct: float) -> float:
-        """Latency percentile in seconds (NaN when no samples)."""
-        if not self.latencies:
-            return math.nan
-        ordered = sorted(s.latency for s in self.latencies)
-        rank = min(len(ordered) - 1,
-                   max(0, int(round(pct / 100.0 * (len(ordered) - 1)))))
-        return ordered[rank]
-
-    def phase_breakdown(self) -> dict[str, float]:
-        """Fraction of total phase time per phase (sums to 1.0)."""
-        total = sum(self.phase_durations.values())
-        if total <= 0:
-            return {}
-        return {phase: duration / total
-                for phase, duration in self.phase_durations.items()}
+from repro.sim.network import Network
+from repro.stats import (  # noqa: F401  (re-exported sim-facing API)
+    REPORT_SCHEMA,
+    LatencySample,
+    MetricsCollector,
+    NicStats,
+    standard_report,
+)
 
 
 def bandwidth_report(network: Network, node_id: int, duration: float
@@ -155,52 +73,3 @@ def node_bandwidth_bps(network: Network, node_id: int, duration: float
     if duration <= 0:
         return 0.0
     return (stats.total_sent() + stats.total_recv()) * 8.0 / duration
-
-
-#: Version of the backend-neutral run-report schema below.
-REPORT_SCHEMA = 1
-
-
-def standard_report(*, backend: str, protocol: str, n: int,
-                    duration: float, metrics: MetricsCollector,
-                    byte_stats: dict[int, NicStats],
-                    measure_replica: int) -> dict:
-    """The run report shared by the simulated and live backends.
-
-    Args:
-        backend: ``"sim"`` or ``"live"`` — how the cluster executed.
-        protocol: ``"leopard"`` / ``"hotstuff"`` / ``"pbft"``.
-        n: replica count.
-        duration: measurement-window seconds (post warmup).
-        metrics: the run's collector.
-        byte_stats: per-node byte counters — modelled NIC stats for the
-            simulator, real socket counters for the live transport.
-        measure_replica: honest non-leader replica whose execution point
-            defines throughput (paper §VI).
-
-    Identical keys from both backends make a live localhost run directly
-    comparable with a simulated one of the same shape.
-    """
-    return {
-        "schema": REPORT_SCHEMA,
-        "backend": backend,
-        "protocol": protocol,
-        "n": n,
-        "duration_s": duration,
-        "measure_replica": measure_replica,
-        "throughput_rps": metrics.throughput(measure_replica, duration),
-        "executed_requests": dict(metrics.executed_requests),
-        "acked_bundles": len(metrics.latencies),
-        "latency_s": {
-            "mean": metrics.mean_latency(),
-            "p50": metrics.latency_percentile(50),
-            "p90": metrics.latency_percentile(90),
-            "p99": metrics.latency_percentile(99),
-        },
-        "bytes_by_class": {
-            node_id: {"sent": dict(stats.sent_bytes),
-                      "recv": dict(stats.recv_bytes)}
-            for node_id, stats in sorted(byte_stats.items())
-        },
-        "perf": metrics.perf.snapshot(),
-    }

@@ -11,19 +11,46 @@ block serializes ``(n-1)`` copies one after another.
 Propagation uses the partial-synchrony model of Dwork et al. adopted by the
 paper (§III-A): after GST messages take ``base_delay`` (plus small jitter);
 before GST an adversarial extra delay of up to ``pre_gst_extra_delay`` is
-added.
+added.  Whether a message is "before GST" is judged by its **wire-departure
+time** — a message that queues behind a NIC backlog and only departs after
+GST is *not* subject to the adversarial delay (the adversary controls the
+network, not a sender's local queue).
 
 Every transmission is tagged with its message class, feeding the byte
-accounting behind Tables III and Figs. 2/11/12/13.
+accounting behind Tables III and Figs. 2/11/12/13 via the shared
+:class:`repro.stats.NicStats` counters (the live TCP transport records
+into the identical structure).
+
+Determinism (draw-order version 2): jitter comes from one
+``numpy.random.Generator`` seeded per network.  Scalar sends draw one
+uniform for jitter (plus one for the pre-GST extra when departing before
+GST); :meth:`Network.send_broadcast` draws one *batch* of n-1 jitter
+samples (plus one batch of pre-GST extras if any copy departs before GST).
+Runs are bit-reproducible for a fixed seed and workload, but the stream
+differs from draw-order version 1 (per-copy ``random.Random`` draws), so
+seed-sensitive expectations were re-baselined when v2 landed.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
+from heapq import heappush
+
+import numpy as np
 
 from repro.errors import ConfigError
-from repro.interfaces import Message
+from repro.interfaces import DATA_PLANE_CLASSES, Message
+from repro.sim.events import EventQueue, EventRecord
+from repro.stats import NicStats, intern_class
+
+__all__ = [
+    "DEFAULT_BANDWIDTH_BPS",
+    "DEFAULT_BASE_DELAY",
+    "DRAW_ORDER_VERSION",
+    "Network",
+    "Nic",
+    "NicStats",
+    "Transmission",
+]
 
 #: Default per-node NIC capacity — *total*, split half per direction.
 #: Calibrated against the paper's c5.xlarge instances (nominal 9.8 Gbps
@@ -34,33 +61,8 @@ DEFAULT_BANDWIDTH_BPS = 12e9
 #: Default one-way propagation delay (single-datacenter, as in the paper).
 DEFAULT_BASE_DELAY = 1e-3
 
-
-@dataclass
-class NicStats:
-    """Byte counters for one node, bucketed by message class."""
-
-    sent_bytes: dict[str, int] = field(default_factory=dict)
-    recv_bytes: dict[str, int] = field(default_factory=dict)
-    sent_msgs: dict[str, int] = field(default_factory=dict)
-    recv_msgs: dict[str, int] = field(default_factory=dict)
-
-    def record_send(self, msg_class: str, size: int) -> None:
-        """Account one outgoing message."""
-        self.sent_bytes[msg_class] = self.sent_bytes.get(msg_class, 0) + size
-        self.sent_msgs[msg_class] = self.sent_msgs.get(msg_class, 0) + 1
-
-    def record_recv(self, msg_class: str, size: int) -> None:
-        """Account one incoming message."""
-        self.recv_bytes[msg_class] = self.recv_bytes.get(msg_class, 0) + size
-        self.recv_msgs[msg_class] = self.recv_msgs.get(msg_class, 0) + 1
-
-    def total_sent(self) -> int:
-        """Total bytes sent across all classes."""
-        return sum(self.sent_bytes.values())
-
-    def total_recv(self) -> int:
-        """Total bytes received across all classes."""
-        return sum(self.recv_bytes.values())
+#: Version of the jitter draw-order policy (see module docstring).
+DRAW_ORDER_VERSION = 2
 
 
 class Nic:
@@ -95,20 +97,130 @@ class Nic:
     def occupy_tx(self, now: float, size_bytes: int) -> float:
         """Serialize an outgoing message; returns wire-departure time."""
         start = self.tx_busy_until if self.tx_busy_until > now else now
-        self.tx_busy_until = start + (size_bytes * 8.0) / self.directional_bps
+        # size * 8 / (bandwidth / 2), with the division folded in.
+        self.tx_busy_until = start + (size_bytes * 16.0) / self.bandwidth_bps
         return self.tx_busy_until
 
     def occupy_rx(self, arrival_start: float, size_bytes: int) -> float:
         """Serialize an incoming message; returns delivery-complete time."""
         start = self.rx_busy_until if self.rx_busy_until > arrival_start \
             else arrival_start
-        self.rx_busy_until = start + (size_bytes * 8.0) / self.directional_bps
+        self.rx_busy_until = start + (size_bytes * 16.0) / self.bandwidth_bps
         return self.rx_busy_until
 
     def backlog(self, now: float) -> float:
         """Seconds of queued egress work (0 when idle)."""
         remaining = self.tx_busy_until - now
         return remaining if remaining > 0 else 0.0
+
+
+class Transmission(EventRecord):
+    """Typed event record for one message in flight to 1..n-1 destinations.
+
+    *One* record is allocated per send — unicast or whole multicast —
+    and its bound methods serve as the heap callbacks for every copy,
+    with the destination id riding in the heap entry's payload slot:
+
+    * :meth:`arrive` fires at a copy's wire-arrival time, reserves the
+      destination's ingress serializer and re-enqueues :meth:`deliver`
+      at delivery-complete time;
+    * :meth:`deliver` hands the copy to the router.
+
+    ``size`` and the interned stats class id are captured once at send
+    time, so ``msg.size_bytes()`` and the class-name lookup happen once
+    per *transmission*, not once per phase per destination.
+
+    :meth:`arrive` fires at a copy's wire-arrival time: it reserves the
+    destination's ingress serializer and hands the copy — together with
+    its computed delivery-complete time — to the router, which reserves
+    the destination's CPU lane and schedules the core callback in one
+    event.  Reserving in arrival order is equivalent to the two-phase
+    reserve-at-delivery pipeline: both the rx serializer and the CPU
+    lanes are FIFO, so a node's delivery-complete times are monotone in
+    arrival order and the resulting schedules coincide.
+    """
+
+    __slots__ = ("network", "queue", "router", "nodes", "src", "msg",
+                 "size", "class_id", "data_plane", "cost_model",
+                 "recv_cost")
+
+    def __init__(self, network: Network, queue: EventQueue, router,
+                 src: int, msg: Message, size: int) -> None:
+        self.network = network
+        self.queue = queue
+        self.router = router
+        # Routers exposing a ``nodes`` map (the Simulation does) get the
+        # flat fast path: arrivals hand off to the destination host with
+        # no per-copy router dispatch.
+        self.nodes = getattr(router, "nodes", None)
+        self.src = src
+        self.msg = msg
+        self.size = size
+        self.class_id = intern_class(msg.msg_class)
+        self.data_plane = msg.msg_class in DATA_PLANE_CLASSES
+        # Per-flight CPU-cost memo: every copy of a multicast lands on
+        # hosts sharing one cost model, so the model runs once.
+        self.cost_model = None
+        self.recv_cost = 0.0
+
+    def arrive(self, dest: int) -> None:
+        """One copy reached ``dest``'s NIC: serialize in, then deliver.
+
+        This is the innermost per-copy frame of the batched pipeline: rx
+        serialization, byte accounting, CPU-lane reservation and the
+        core-callback heap insert all happen here, against the host's
+        documented hot-path fields (``_honest``, the two lane clocks,
+        ``_deliver_ready``).  Faulty hosts and routers without a
+        ``nodes`` map take the general :meth:`SimNode.receive_at` path.
+        """
+        nic = self.network.nics[dest]
+        queue = self.queue
+        now = queue._now
+        size = self.size
+        busy = nic.rx_busy_until
+        start = busy if busy > now else now
+        delivered = nic.rx_busy_until = (
+            start + size * 16.0 / nic.bandwidth_bps)
+        stats = nic.stats
+        class_id = self.class_id
+        try:
+            stats._recv_bytes[class_id] += size
+            stats._recv_msgs[class_id] += 1
+        except IndexError:
+            # First message of a newly interned class at this NIC: take
+            # the growing path (the failed += left nothing applied).
+            stats.bump_recv(class_id, size)
+        nodes = self.nodes
+        if nodes is None:
+            self.router.deliver_at(self.src, dest, self.msg, delivered)
+            return
+        node = nodes.get(dest)
+        if node is None:
+            return
+        if not node._honest:
+            node.receive_at(self.src, self.msg, delivered)
+            return
+        msg = self.msg
+        model = node.cpu_model
+        if model is self.cost_model:
+            cost = self.recv_cost
+        else:
+            cost = model(msg, True)
+            self.cost_model = model
+            self.recv_cost = cost
+        if self.data_plane:
+            busy = node.data_busy_until
+            start = busy if busy > delivered else delivered
+            ready_at = node.data_busy_until = start + cost
+        else:
+            busy = node.ctrl_busy_until
+            start = busy if busy > delivered else delivered
+            ready_at = node.ctrl_busy_until = start + cost
+        sequence = queue._sequence + 1
+        queue._sequence = sequence
+        heappush(queue._heap,
+                 (ready_at, sequence, node._deliver_ready,
+                  (self.src, msg)))
 
 
 class Network:
@@ -140,7 +252,10 @@ class Network:
         self.gst = gst
         self.pre_gst_extra_delay = pre_gst_extra_delay
         self.nics = [Nic(bandwidth_bps) for _ in range(node_count)]
-        self._rng = random.Random(seed)
+        self._rng = np.random.default_rng(seed)
+        # Reusable 1..m ramp for broadcast departure cumsums (sliced per
+        # call; grown on demand).
+        self._ramp = np.arange(1.0, float(node_count) + 1.0)
 
     def set_bandwidth(self, node_id: int, bandwidth_bps: float) -> None:
         """Throttle (or boost) one node's NIC — the NetEm stand-in (§VI-B)."""
@@ -153,14 +268,23 @@ class Network:
         for node_id in range(self.node_count):
             self.set_bandwidth(node_id, bandwidth_bps)
 
-    def propagation_delay(self, now: float) -> float:
-        """Sample the one-way propagation delay for a message sent at ``now``."""
+    def propagation_delay(self, departure: float) -> float:
+        """Sample the one-way delay for a message *departing* at ``departure``.
+
+        The pre-GST adversarial extra applies only when the wire-departure
+        time is before GST; a message that queued through GST behind a NIC
+        backlog propagates at the post-GST delay.
+        """
         delay = self.base_delay
         if self.jitter > 0:
-            delay += self._rng.uniform(0.0, self.jitter)
-        if now < self.gst:
-            delay += self._rng.uniform(0.0, self.pre_gst_extra_delay)
+            delay += float(self._rng.random()) * self.jitter
+        if departure < self.gst:
+            delay += float(self._rng.random()) * self.pre_gst_extra_delay
         return delay
+
+    # ------------------------------------------------------------------
+    # Scalar two-phase transmission (unicast + tests)
+    # ------------------------------------------------------------------
 
     def send_phase(self, src: int, msg: Message, now: float) -> float:
         """Egress half of a unicast: serialize at the sender, propagate.
@@ -173,7 +297,7 @@ class Network:
         src_nic = self.nics[src]
         departed = src_nic.occupy_tx(now, size)
         src_nic.stats.record_send(msg.msg_class, size)
-        return departed + self.propagation_delay(now)
+        return departed + self.propagation_delay(departed)
 
     def receive_phase(self, dst: int, msg: Message, now: float) -> float:
         """Ingress half: serialize through the receiver's NIC at arrival.
@@ -185,6 +309,76 @@ class Network:
         delivered = dst_nic.occupy_rx(now, size)
         dst_nic.stats.record_recv(msg.msg_class, size)
         return delivered
+
+    # ------------------------------------------------------------------
+    # Batched transmission fast path
+    # ------------------------------------------------------------------
+
+    def send_unicast(self, src: int, dest: int, msg: Message, now: float,
+                     queue: EventQueue, router) -> float:
+        """Full unicast pipeline: egress, propagation, arrival scheduling.
+
+        Computes ``size_bytes()`` once and enqueues a single
+        :class:`Transmission` record covering both receiver-side phases.
+        ``router is None`` (host-less unit tests) accounts egress only.
+        Returns the wire-departure time.
+        """
+        size = msg.size_bytes()
+        src_nic = self.nics[src]
+        departed = src_nic.occupy_tx(now, size)
+        src_nic.stats.record_send(msg.msg_class, size)
+        if router is not None:
+            arrival = departed + self.propagation_delay(departed)
+            flight = Transmission(self, queue, router, src, msg, size)
+            queue.schedule_call(arrival, flight.arrive, dest)
+        return departed
+
+    def send_broadcast(self, src: int, dests: list[int], msg: Message,
+                       now: float, queue: EventQueue, router) -> float:
+        """Serialize one message to every destination in a single pass.
+
+        The batched counterpart of n-1 :meth:`send_unicast` calls, with
+        identical cost-model semantics:
+
+        * ``size_bytes()`` is computed **once** for the whole multicast;
+        * egress departure times are the running cumulative sum over the
+          copies' serialization times (Eq. (1)'s leader bottleneck),
+          computed as one vectorized ramp;
+        * propagation jitter (and the pre-GST extra for copies departing
+          before GST) is sampled in one batched RNG draw;
+        * byte accounting is two array increments
+          (:meth:`repro.stats.NicStats.record_send_many`);
+        * all arrival events enqueue through one
+          :meth:`EventQueue.schedule_fanout` call sharing a single
+          :class:`Transmission` record.
+
+        Returns the wire-departure time of the last copy.
+        """
+        count = len(dests)
+        if count == 0:
+            return now
+        size = msg.size_bytes()
+        src_nic = self.nics[src]
+        per_copy = (size * 16.0) / src_nic.bandwidth_bps
+        busy = src_nic.tx_busy_until
+        start = busy if busy > now else now
+        ramp = self._ramp
+        if count > len(ramp):
+            ramp = self._ramp = np.arange(1.0, float(count) + 1.0)
+        departures = start + per_copy * ramp[:count]
+        src_nic.tx_busy_until = float(departures[-1])
+        src_nic.stats.record_send_many(msg.msg_class, size, count)
+        if router is None:
+            return src_nic.tx_busy_until
+        arrivals = departures + self.base_delay
+        if self.jitter > 0:
+            arrivals += self._rng.random(count) * self.jitter
+        if departures[0] < self.gst:
+            extra = self._rng.random(count) * self.pre_gst_extra_delay
+            arrivals += np.where(departures < self.gst, extra, 0.0)
+        flight = Transmission(self, queue, router, src, msg, size)
+        queue.schedule_fanout(arrivals.tolist(), flight.arrive, dests)
+        return src_nic.tx_busy_until
 
     def stats(self, node_id: int) -> NicStats:
         """Byte counters for ``node_id``."""

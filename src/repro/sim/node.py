@@ -15,9 +15,11 @@ two cross-cutting models:
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Callable, Hashable, Iterable
 
 from repro.interfaces import (
+    DATA_PLANE_CLASSES,
     Broadcast,
     CancelTimer,
     Effect,
@@ -34,13 +36,6 @@ from repro.sim.metrics import MetricsCollector
 from repro.sim.network import Network
 
 CpuModel = Callable[[Message, bool], float]
-
-#: Message classes processed on the data plane.  Modelled nodes have two
-#: processing lanes (the paper's c5.xlarge instances have 4 vCPUs): heavy
-#: per-request payload work (datablock/client/chunk processing) must not
-#: head-of-line-block the consensus-critical control messages (votes,
-#: proofs, readies), exactly as a threaded implementation separates them.
-DATA_PLANE_CLASSES = frozenset({"datablock", "client", "resp", "block"})
 
 
 def zero_cpu(msg: Message, receiving: bool) -> float:
@@ -61,6 +56,17 @@ class SimNode:
         fault: Byzantine behaviour wrapper (honest by default).
     """
 
+    #: Engine selector.  ``True`` (default) routes transmissions through
+    #: the batched pipeline (:meth:`Network.send_broadcast` /
+    #: :meth:`Network.send_unicast`, typed event records, bulk heap
+    #: inserts).  ``False`` falls back to the pre-batching per-copy
+    #: closure engine (:meth:`_transmit`), kept as the measured reference
+    #: implementation for ``benchmarks/run_sim_bench.py`` — the same
+    #: pattern the coding plane uses (scalar gf256 kernels stay
+    #: importable for ``run_micro.py``).  Class attribute so the bench
+    #: can flip one global switch.
+    batched = True
+
     def __init__(self, core: ProtocolCore, network: Network,
                  queue: EventQueue, metrics: MetricsCollector,
                  replica_ids: Iterable[int],
@@ -74,14 +80,27 @@ class SimNode:
         self.replica_ids = tuple(replica_ids)
         self.cpu_model = cpu_model
         self.fault = fault
+        #: Fast-path flag: honest nodes skip the crash/drop checks and
+        #: the effect-rewrite hook on every delivery.
+        self._honest = fault is HONEST
         self.data_busy_until = 0.0
         self.ctrl_busy_until = 0.0
         self._timer_generation: dict[Hashable, int] = {}
         # Give cores that pace themselves (datablock generators) a view of
         # their own NIC backlog, without coupling core code to the simulator.
         if hasattr(core, "backlog_probe"):
-            core.backlog_probe = (
-                lambda: network.backlog(self.node_id, queue.now))
+            core.backlog_probe = self._backlog_probe
+
+    def _backlog_probe(self) -> float:
+        """Seconds of queued egress work at this node's NIC (one frame).
+
+        Called on every generation tick by pacing cores, so the NIC
+        lookup is inlined rather than routed through
+        :meth:`Network.backlog`.
+        """
+        remaining = (self.network.nics[self.node_id].tx_busy_until
+                     - self.queue._now)
+        return remaining if remaining > 0 else 0.0
 
     def boot(self) -> None:
         """Schedule the core's start at the current simulated time."""
@@ -95,7 +114,7 @@ class SimNode:
 
         Returns the time the work completes.
         """
-        now = self.queue.now
+        now = self.queue._now
         if msg_class in DATA_PLANE_CLASSES:
             start = self.data_busy_until if self.data_busy_until > now \
                 else now
@@ -106,7 +125,15 @@ class SimNode:
         return self.ctrl_busy_until
 
     def deliver(self, sender: int, msg: Message) -> None:
-        """Called by the transport when a message finishes arriving."""
+        """Called when a message finishes arriving *now*.
+
+        The delivery entry point of the legacy two-phase pipeline (and of
+        direct test/prime injections): CPU-lane reservation happens at
+        delivery-complete time, and the ready callback binds a closure —
+        kept structurally seed-faithful so the sim macro-benchmark's
+        reference mode measures the pre-refactor cost profile.  Batched
+        transmissions enter through :meth:`receive_at` instead.
+        """
         now = self.queue.now
         if self.fault.crashed:
             return
@@ -122,33 +149,145 @@ class SimNode:
                 lambda: self._apply(
                     self.core.on_message(sender, msg, self.queue.now)))
 
-    def _fire_timer(self, key: Hashable, generation: int) -> None:
-        if self._timer_generation.get(key) != generation:
-            return  # re-armed or cancelled since scheduling
-        del self._timer_generation[key]
-        if self.fault.crashed:
+    def receive_at(self, sender: int, msg: Message, delivered: float
+                   ) -> None:
+        """Reserve the CPU lane for a message that completes at ``delivered``.
+
+        Called at wire-*arrival* time by the batched pipeline
+        (:meth:`repro.sim.network.Transmission.arrive`), which merges the
+        rx-completion and CPU-ready events into one: the lane is reserved
+        immediately from ``max(lane_busy, delivered)`` and a single event
+        fires the core when the work completes.  Lane reservations made
+        in arrival order are the schedule the two-phase pipeline produces
+        — delivery-complete times are FIFO-monotone per node — so the
+        cost model is unchanged; only the event count per message drops
+        from three to two.
+
+        Fault timing: crash/drop checks run at arrival time (and a
+        crashed node re-checks at the core callback), which brackets the
+        legacy check at delivery-complete time.
+        """
+        queue = self.queue
+        if not self._honest:
+            if self.fault.crashed:
+                return
+            if self.fault.drop_incoming(sender, msg, queue._now):
+                return
+        cost = self.cpu_model(msg, True)
+        if msg.msg_class in DATA_PLANE_CLASSES:
+            busy = self.data_busy_until
+            start = busy if busy > delivered else delivered
+            ready_at = self.data_busy_until = start + cost
+        else:
+            busy = self.ctrl_busy_until
+            start = busy if busy > delivered else delivered
+            ready_at = self.ctrl_busy_until = start + cost
+        # Inlined schedule_call: ready_at >= delivered >= now by
+        # construction, so the past-check is redundant on this path.
+        sequence = queue._sequence + 1
+        queue._sequence = sequence
+        heappush(queue._heap,
+                 (ready_at, sequence, self._deliver_ready, (sender, msg)))
+
+    def _deliver_ready(self, pending: tuple[int, Message]) -> None:
+        """CPU-lane completion: run the core on a delayed message."""
+        sender, msg = pending
+        if not self._honest and self.fault.crashed:
             return
-        self._apply(self.core.on_timer(key, self.queue.now))
+        effects = self.core.on_message(sender, msg, self.queue._now)
+        if effects or not self._honest:
+            self._apply(effects)
+
+    def _fire_timer(self, armed: tuple[Hashable, int]) -> None:
+        key, generation = armed
+        generations = self._timer_generation
+        if generations.get(key) != generation:
+            return  # re-armed or cancelled since scheduling
+        if self.fault.crashed:
+            del generations[key]
+            return
+        effects = self.core.on_timer(key, self.queue._now)
+        # Recurring-tick fast path: an *honest* core that answers its
+        # own timer with exactly one re-arm of the same key (the
+        # generation / proposal / progress heartbeat pattern, the bulk
+        # of all timer traffic at paper scale) skips the full effect
+        # interpreter.  Faulty nodes always go through ``_apply`` so
+        # time-dependent behaviours (``Crash``) see every tick.
+        if self.batched and self._honest and len(effects) == 1:
+            effect = effects[0]
+            if (type(effect) is SetTimer and effect.key == key
+                    and effect.delay >= 0.0):
+                generation += 1
+                generations[key] = generation
+                queue = self.queue
+                sequence = queue._sequence + 1
+                queue._sequence = sequence
+                heappush(queue._heap,
+                         (queue._now + effect.delay, sequence,
+                          self._fire_timer, (key, generation)))
+                return
+        del generations[key]
+        self._apply(effects)
 
     def _apply(self, effects: list[Effect]) -> None:
-        now = self.queue.now
-        effects = self.fault.filter_effects(effects, now)
+        batched = self.batched
+        if not self._honest or not batched:
+            # Honest pass-through is the identity; the batched engine
+            # skips it, the reference engine keeps the seed's
+            # unconditional rewrite hook.
+            effects = self.fault.filter_effects(effects, self.queue._now)
+        if not effects:
+            return
+        now = self.queue._now
         for effect in effects:
             if isinstance(effect, Send):
-                self._transmit(effect.dest, effect.msg)
+                if batched:
+                    msg = effect.msg
+                    self._charge_cpu(
+                        self.cpu_model(msg, False), msg.msg_class)
+                    self.network.send_unicast(
+                        self.node_id, effect.dest, msg, self.queue.now,
+                        self.queue, self.router)
+                else:
+                    self._transmit(effect.dest, effect.msg)
             elif isinstance(effect, Broadcast):
+                msg = effect.msg
                 excluded = set(effect.exclude)
                 excluded.add(self.node_id)
-                for dest in self.replica_ids:
-                    if dest not in excluded:
-                        self._transmit(dest, effect.msg)
+                dests = [dest for dest in self.replica_ids
+                         if dest not in excluded]
+                if not dests:
+                    continue
+                if batched:
+                    # All copies charge the same cost back-to-back on the
+                    # same lane, so one combined charge is equivalent to
+                    # the per-copy loop.
+                    self._charge_cpu(
+                        self.cpu_model(msg, False) * len(dests),
+                        msg.msg_class)
+                    self.network.send_broadcast(
+                        self.node_id, dests, msg, self.queue.now,
+                        self.queue, self.router)
+                else:
+                    for dest in dests:
+                        self._transmit(dest, msg)
             elif isinstance(effect, SetTimer):
                 generation = self._timer_generation.get(effect.key, 0) + 1
                 self._timer_generation[effect.key] = generation
-                key = effect.key
-                self.queue.schedule_in(
-                    effect.delay,
-                    lambda k=key, g=generation: self._fire_timer(k, g))
+                if batched and effect.delay >= 0.0:
+                    # Inlined schedule_call for the recurring-timer churn
+                    # (the delay is non-negative, so never in the past).
+                    queue = self.queue
+                    sequence = queue._sequence + 1
+                    queue._sequence = sequence
+                    heappush(queue._heap,
+                             (now + effect.delay, sequence,
+                              self._fire_timer, (effect.key, generation)))
+                else:
+                    key = effect.key
+                    self.queue.schedule_in(
+                        effect.delay,
+                        lambda k=key, g=generation: self._fire_timer((k, g)))
             elif isinstance(effect, CancelTimer):
                 self._timer_generation.pop(effect.key, None)
             elif isinstance(effect, Executed):
@@ -169,6 +308,12 @@ class SimNode:
         # diagnostics that only specific tests look at.
 
     def _transmit(self, dest: int, msg: Message) -> None:
+        """The pre-batching per-copy transmission path (reference engine).
+
+        Two closures and three scalar heap inserts per message copy; only
+        used when :attr:`batched` is False, which the sim macro-benchmark
+        does to measure the batched pipeline's speedup against it.
+        """
         self._charge_cpu(self.cpu_model(msg, False), msg.msg_class)
         arrival = self.network.send_phase(self.node_id, msg, self.queue.now)
         router = self.router

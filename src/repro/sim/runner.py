@@ -8,6 +8,8 @@ it with Leopard / HotStuff / PBFT replicas and client nodes.
 
 from __future__ import annotations
 
+import time
+
 from repro.errors import SimulationError
 from repro.interfaces import Message, ProtocolCore
 from repro.sim.events import EventQueue
@@ -36,6 +38,9 @@ class Simulation:
         self.metrics = metrics if metrics is not None else MetricsCollector()
         self.replica_count = replica_count
         self.nodes: dict[int, SimNode] = {}
+        #: Wall-clock seconds spent inside :meth:`run` (the engine-speed
+        #: denominator of :meth:`events_per_sec`).
+        self.wall_seconds = 0.0
 
     @property
     def now(self) -> float:
@@ -63,9 +68,41 @@ class Simulation:
         if node is not None:
             node.deliver(src, msg)
 
-    def run(self, duration: float, max_events: int | None = None) -> None:
-        """Advance the simulation ``duration`` seconds of virtual time."""
-        self.queue.run_until(self.queue.now + duration, max_events)
+    def deliver_at(self, src: int, dest: int, msg: Message,
+                   delivered: float) -> None:
+        """Route a transmission that completes at ``delivered`` (batched path).
+
+        Called at wire-arrival time by
+        :meth:`repro.sim.network.Transmission.arrive`; the destination
+        host reserves its CPU lane against the delivery-complete time and
+        fires the core in a single event (:meth:`SimNode.receive_at`).
+        """
+        node = self.nodes.get(dest)
+        if node is not None:
+            node.receive_at(src, msg, delivered)
+
+    def run(self, duration: float, max_events: int | None = None) -> int:
+        """Advance the simulation ``duration`` seconds of virtual time.
+
+        Returns:
+            Number of events executed during this call.
+        """
+        started = time.perf_counter()
+        executed = self.queue.run_until(self.queue.now + duration,
+                                        max_events)
+        self.wall_seconds += time.perf_counter() - started
+        return executed
+
+    @property
+    def events_processed(self) -> int:
+        """Total events executed since construction."""
+        return self.queue.processed
+
+    def events_per_sec(self) -> float:
+        """Engine throughput: events executed per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.queue.processed / self.wall_seconds
 
     def node(self, node_id: int) -> SimNode:
         """Look up a host by node id."""

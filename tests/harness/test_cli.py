@@ -51,7 +51,9 @@ class TestRunLiveCli:
             "--rate", "1000", "--bundle-size", "50", "--json"]) == 0
         report = json.loads(capsys.readouterr().out)
         assert report["backend"] == "live"
-        assert report["schema"] == 1
+        assert report["schema"] == 2
+        assert report["events_processed"] > 0
+        assert report["sim_events_per_sec"] > 0
 
     def test_run_live_min_committed_gate_fails_when_unmet(self, capsys):
         # An impossible bar: more commits than the offered load allows.

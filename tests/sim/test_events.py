@@ -54,6 +54,83 @@ class TestScheduling:
         assert queue.pending == 1
 
 
+class TestBulkScheduling:
+    def test_schedule_many_runs_in_time_order(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule_many([
+            (3.0, lambda: seen.append("c")),
+            (1.0, lambda: seen.append("a")),
+            (2.0, lambda: seen.append("b")),
+        ])
+        queue.run_until(10.0)
+        assert seen == ["a", "b", "c"]
+
+    def test_schedule_many_fifo_for_equal_timestamps(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule_many(
+            (1.0, lambda t=tag: seen.append(t)) for tag in range(20))
+        queue.run_until(1.0)
+        assert seen == list(range(20))
+
+    def test_schedule_many_interleaves_with_schedule(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(1.0, lambda: seen.append("x"))
+        queue.schedule_many([(1.0, lambda: seen.append("y"))])
+        queue.schedule(1.0, lambda: seen.append("z"))
+        queue.run_until(1.0)
+        assert seen == ["x", "y", "z"]
+
+    def test_schedule_many_rejects_past(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.run_until(2.0)
+        with pytest.raises(SimulationError):
+            queue.schedule_many([(3.0, lambda: None), (1.0, lambda: None)])
+
+    def test_schedule_many_bulk_heapify_path(self):
+        # A batch large relative to the heap takes the extend+heapify
+        # branch; ordering must be identical to per-event pushes.
+        queue = EventQueue()
+        seen = []
+        queue.schedule(5.0, lambda: seen.append("late"))
+        queue.schedule_many(
+            (float(100 - i) / 100.0, lambda t=i: seen.append(t))
+            for i in range(32))
+        queue.run_until(10.0)
+        assert seen[:-1] == list(reversed(range(32)))
+        assert seen[-1] == "late"
+
+    def test_schedule_call_passes_payload(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule_call(1.0, seen.append, "payload")
+        queue.run_until(2.0)
+        assert seen == ["payload"]
+
+    def test_schedule_fanout_orders_by_index_on_ties(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule_fanout([2.0, 1.0, 1.0, 2.0], seen.append,
+                              ["a", "b", "c", "d"])
+        queue.run_until(5.0)
+        assert seen == ["b", "c", "a", "d"]
+
+    def test_schedule_fanout_rejects_past(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.run_until(2.0)
+        with pytest.raises(SimulationError):
+            queue.schedule_fanout([3.0, 1.0], lambda arg: None, [0, 1])
+        assert queue.pending == 0
+
+    def test_schedule_fanout_empty(self):
+        queue = EventQueue()
+        assert queue.schedule_fanout([], lambda arg: None, []) == 0
+
+
 class TestCascades:
     def test_event_scheduling_events(self):
         queue = EventQueue()

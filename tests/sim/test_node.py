@@ -188,6 +188,23 @@ class TestCpuLanes:
 
 
 class TestFaultsAndMetrics:
+    def test_crash_stops_recurring_timer(self):
+        # Regression: the recurring-timer fast path must not bypass the
+        # fault hooks — a Crash-faulted node's heartbeat stops at its
+        # crash time exactly as on the reference engine.  (One fire may
+        # slip through right after the crash — Crash tracks time through
+        # the fault hooks, so the first post-crash tick still reaches the
+        # core with its effects suppressed; that matches the seed.)
+        sim = make_sim()
+        core = RecorderCore(
+            0,
+            start_effects=[SetTimer("hb", 0.1)],
+            script={"on_timer": [SetTimer("hb", 0.1)]})
+        sim.add_node(core, fault=Crash(at=0.35))
+        sim.run(2.0)
+        fired = [now for _, now in core.timers]
+        assert fired == pytest.approx([0.1, 0.2, 0.3, 0.4])
+
     def test_crashed_node_is_silent(self):
         sim = make_sim()
         a = RecorderCore(0, start_effects=[Send(1, Ping())])

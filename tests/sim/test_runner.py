@@ -31,6 +31,35 @@ class TestSimulation:
         sim.run(1.0)
         assert sim.now == pytest.approx(3.5)
 
+    def test_run_returns_executed_count(self):
+        sim = self.make()
+        sim.add_node(RecorderCore(0, start_effects=[Send(1, Ping())]))
+        sim.add_node(RecorderCore(1))
+        executed = sim.run(1.0)
+        # Boot events for both nodes plus the transmission's events.
+        assert executed >= 3
+        assert executed == sim.events_processed
+        assert sim.run(1.0) == 0  # idle window: nothing executed
+
+    def test_events_per_sec_tracks_wall_clock(self):
+        sim = self.make()
+        sim.add_node(RecorderCore(0, start_effects=[Send(1, Ping())]))
+        sim.add_node(RecorderCore(1))
+        sim.run(1.0)
+        assert sim.wall_seconds > 0.0
+        assert sim.events_per_sec() == pytest.approx(
+            sim.events_processed / sim.wall_seconds)
+
+    def test_cluster_report_surfaces_engine_counters(self):
+        from repro.harness.cluster import build_leopard_cluster
+
+        cluster = build_leopard_cluster(4, seed=0, warmup=0.0)
+        cluster.run(0.3)
+        report = cluster.report()
+        assert report["schema"] == 2
+        assert report["events_processed"] > 0
+        assert report["sim_events_per_sec"] > 0
+
     def test_node_and_core_lookup(self):
         sim = self.make()
         core = RecorderCore(1)

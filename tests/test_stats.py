@@ -1,0 +1,85 @@
+"""Shared stats layer: interning, array-backed counters, layering."""
+
+from __future__ import annotations
+
+from repro.stats import NicStats, class_name, intern_class
+
+
+class TestInterning:
+    def test_intern_is_stable(self):
+        a = intern_class("stats-test-class-a")
+        b = intern_class("stats-test-class-b")
+        assert a != b
+        assert intern_class("stats-test-class-a") == a
+        assert class_name(a) == "stats-test-class-a"
+
+
+class TestNicStats:
+    def test_record_send_many_equals_repeated_sends(self):
+        batched = NicStats()
+        scalar = NicStats()
+        batched.record_send_many("datablock", 1000, 5)
+        for _ in range(5):
+            scalar.record_send("datablock", 1000)
+        assert batched.sent_bytes == scalar.sent_bytes == {"datablock": 5000}
+        assert batched.sent_msgs == scalar.sent_msgs == {"datablock": 5}
+
+    def test_bump_recv_matches_record_recv(self):
+        by_id = NicStats()
+        by_name = NicStats()
+        class_id = intern_class("vote")
+        for _ in range(3):
+            by_id.bump_recv(class_id, 76)
+            by_name.record_recv("vote", 76)
+        assert by_id.recv_bytes == by_name.recv_bytes == {"vote": 228}
+        assert by_id.recv_msgs == by_name.recv_msgs == {"vote": 3}
+
+    def test_views_hide_zero_classes(self):
+        stats = NicStats()
+        intern_class("quiet-class")  # interned but never recorded
+        stats.record_send("datablock", 10)
+        assert "quiet-class" not in stats.sent_bytes
+        assert stats.recv_bytes == {}
+
+    def test_totals(self):
+        stats = NicStats()
+        stats.record_send("a", 10)
+        stats.record_send_many("b", 20, 3)
+        stats.record_recv("c", 5)
+        assert stats.total_sent() == 70
+        assert stats.total_recv() == 5
+        assert stats.total_sent_msgs() == 4
+        assert stats.total_recv_msgs() == 1
+
+    def test_instances_are_independent(self):
+        one = NicStats()
+        two = NicStats()
+        one.record_send("datablock", 42)
+        assert two.sent_bytes == {}
+
+
+class TestLayering:
+    def test_net_does_not_import_sim_for_byte_accounting(self):
+        """The transport accounts bytes via repro.stats, not repro.sim."""
+        import ast
+        import inspect
+
+        import repro.net.transport as transport
+
+        tree = ast.parse(inspect.getsource(transport))
+        imported = [
+            node.module for node in ast.walk(tree)
+            if isinstance(node, ast.ImportFrom) and node.module
+        ] + [
+            alias.name for node in ast.walk(tree)
+            if isinstance(node, ast.Import) for alias in node.names
+        ]
+        assert not any(name.startswith("repro.sim") for name in imported)
+
+    def test_both_backends_share_one_nicstats_class(self):
+        from repro.net.transport import NicStats as live_stats
+        from repro.sim.network import NicStats as sim_stats
+        from repro.stats import NicStats as shared_stats
+
+        assert live_stats is shared_stats
+        assert sim_stats is shared_stats
