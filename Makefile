@@ -1,17 +1,30 @@
-# Developer entry points.  `make check` is the one-stop gate: tier-1 tests,
-# the smoke-mode micro-benchmark regression check (refuses a >20%
-# throughput regression against benchmarks/BENCH_micro_coding.json; falls
-# back to the machine-independent speedup column on a different host), the
-# simulator macro-benchmark gate (events/sec + engine speedup against
-# benchmarks/BENCH_sim_eventloop.json, same host-fingerprint policy), and
-# a live-cluster smoke run (4 asyncio TCP replicas + 1 client committing
-# real requests on localhost).
+# Developer entry points.  `make check` is the one-stop gate: lint (when
+# ruff is installed), tier-1 tests, the smoke-mode micro-benchmark
+# regression check (refuses a >20% throughput regression against
+# benchmarks/BENCH_micro_coding.json; falls back to the
+# machine-independent speedup column on a different host), the simulator
+# macro-benchmark gate (events/sec + engine speedup against
+# benchmarks/BENCH_sim_eventloop.json, same host-fingerprint policy), the
+# live-smoke matrix (all three protocols, in-process AND one OS process
+# per replica, each committing real requests on localhost TCP), and the
+# live-vs-sim calibration smoke (one reconciled point per protocol).
+# Reports land in artifacts/ (CI uploads them on every run).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-micro bench-micro-full bench-sim bench-sim-full \
-	live-smoke check
+LIVE_PROTOCOLS := leopard pbft hotstuff
+SMOKE_ARGS := --duration 3 --rate 2000 --bundle-size 100 --min-committed 1
+
+.PHONY: lint test bench-micro bench-micro-full bench-sim bench-sim-full \
+	live-smoke live-smoke-all calibrate-smoke check
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping lint (CI enforces it)"; \
+	fi
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,4 +47,30 @@ live-smoke:
 	$(PYTHON) -m repro.harness.cli run-live --replicas 4 --clients 1 \
 		--duration 5 --min-committed 1
 
-check: test bench-micro bench-sim live-smoke
+live-smoke-all:
+	@mkdir -p artifacts
+	@for proto in $(LIVE_PROTOCOLS); do \
+		echo "== live-smoke $$proto (in-process) =="; \
+		$(PYTHON) -m repro.harness.cli run-live --protocol $$proto \
+			$(SMOKE_ARGS) \
+			--output artifacts/live_$${proto}_in-process.json \
+			|| exit 1; \
+		echo "== live-smoke $$proto (processes) =="; \
+		$(PYTHON) -m repro.harness.cli run-live --protocol $$proto \
+			--processes $(SMOKE_ARGS) \
+			--output artifacts/live_$${proto}_processes.json \
+			|| exit 1; \
+	done
+
+calibrate-smoke:
+	@mkdir -p artifacts
+	@for proto in $(LIVE_PROTOCOLS); do \
+		echo "== calibrate $$proto =="; \
+		$(PYTHON) -m repro.harness.cli calibrate --protocol $$proto \
+			--duration 1.5 --rate 2000 --bundle-size 100 \
+			--min-committed 1 \
+			--output artifacts/calibration_$$proto.json \
+			|| exit 1; \
+	done
+
+check: lint test bench-micro bench-sim live-smoke-all calibrate-smoke

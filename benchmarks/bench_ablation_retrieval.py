@@ -53,8 +53,6 @@ def ablation_retrieval_modes(n: int = 16, seed: int = 33
             stats = cluster.network.stats(node)
             resp = stats.sent_bytes.get("resp", 0)
             responder_bytes.append(resp)
-        recovered = (victim_replica.retrieval.recovered_count
-                     or victim_replica.total_executed > 0)
         result.rows.append((
             mode, victim_replica.retrieval.recovered_count,
             ingress / 1e3, leader_resend / 1e3,

@@ -171,3 +171,137 @@ def client_cpu_model(costs: CostModel = DEFAULT_COSTS):
         return costs.per_send_message + costs.per_send_byte * msg.size_bytes()
 
     return model
+
+
+# ---------------------------------------------------------------------------
+# Live-vs-sim reconciliation
+# ---------------------------------------------------------------------------
+
+#: Cost constants each protocol's simulated throughput is most sensitive
+#: to — the knobs a reconciliation run would retune.
+RELEVANT_COSTS: dict[str, tuple[str, ...]] = {
+    "leopard": ("leopard_verify_exec_per_request",
+                "leopard_ingest_per_request", "share_sign",
+                "share_verify", "combine", "proof_verify"),
+    "hotstuff": ("hotstuff_ingest_per_request",
+                 "hotstuff_exec_per_request", "ecdsa_verify",
+                 "ecdsa_sign"),
+    "pbft": ("pbft_ingest_per_request", "pbft_exec_per_request",
+             "mac_verify"),
+}
+
+_COMMON_COSTS = ("per_message", "per_send_message", "per_send_byte")
+
+
+def _delta(live_value: float, sim_value: float) -> dict:
+    import math
+
+    ratio = math.nan
+    if sim_value and not math.isnan(sim_value) \
+            and not math.isnan(live_value):
+        ratio = live_value / sim_value
+    return {"live": live_value, "sim": sim_value,
+            "abs_delta": live_value - sim_value,
+            "ratio_live_over_sim": ratio}
+
+
+def compare_live_sim(protocol: str = "leopard", n: int = 4,
+                     total_rate: float = 2000.0, payload_size: int = 128,
+                     duration: float = 2.0, bundle_size: int = 100,
+                     datablock_size: int = 100, seed: int = 0,
+                     warmup: float = 0.25,
+                     costs: CostModel = DEFAULT_COSTS) -> dict:
+    """Run one (protocol, n, rate, payload) point under both backends.
+
+    The same protocol configuration (the live smoke config, so both
+    backends batch and pace identically), offered load, payload and
+    measurement conventions are executed twice: once on the discrete-event
+    simulator against the modelled NICs/CPUs, once on the live asyncio
+    runtime against real localhost sockets.  The returned reconciliation
+    report embeds both :func:`repro.stats.standard_report` dicts and the
+    throughput/latency deltas between them, next to the calibration
+    constants those deltas would retune — the ROADMAP's live-vs-sim
+    calibration study as a repeatable scenario.
+
+    Note the two backends measure *different machines*: the simulator
+    models the paper's c5.xlarge fleet, the live run is this host with
+    every node sharing one kernel.  The deltas quantify that gap; they
+    are not expected to be zero.
+    """
+    # Imported lazily: this module sits below the cluster builders and
+    # the live runtime, either of which would otherwise import-cycle.
+    from repro.harness.cluster import (
+        build_hotstuff_cluster,
+        build_leopard_cluster,
+        build_pbft_cluster,
+    )
+    from repro.net.live import run_live_sync
+    from repro.net.protocols import default_live_config_for
+
+    config = default_live_config_for(protocol, n,
+                                     payload_size=payload_size,
+                                     datablock_size=datablock_size)
+    if protocol == "leopard":
+        # Mirror build_leopard_cluster's client topology (one client per
+        # non-leader replica) so the live run offers load the same way.
+        client_count = max(1, n - 1)
+        sim_cluster = build_leopard_cluster(
+            n, seed=seed, config=config, costs=costs,
+            total_rate=total_rate, clients_per_replica=1,
+            bundle_size=bundle_size, warmup=warmup)
+    elif protocol == "pbft":
+        client_count = 1
+        sim_cluster = build_pbft_cluster(
+            n, seed=seed, config=config, costs=costs,
+            total_rate=total_rate, client_count=client_count,
+            bundle_size=bundle_size, warmup=warmup)
+    elif protocol == "hotstuff":
+        client_count = 1
+        sim_cluster = build_hotstuff_cluster(
+            n, seed=seed, config=config, costs=costs,
+            total_rate=total_rate, client_count=client_count,
+            bundle_size=bundle_size, warmup=warmup)
+    else:
+        raise ValueError(f"unknown protocol {protocol!r}")
+    sim_cluster.run(warmup + duration)
+    sim_report = sim_cluster.report()
+
+    live_report = run_live_sync(
+        n=n, client_count=client_count, duration=warmup + duration,
+        protocol=protocol, config=config, total_rate=total_rate,
+        bundle_size=bundle_size, seed=seed, warmup=warmup)
+
+    deltas = {
+        "throughput_rps": _delta(live_report["throughput_rps"],
+                                 sim_report["throughput_rps"]),
+        "latency_mean_s": _delta(live_report["latency_s"]["mean"],
+                                 sim_report["latency_s"]["mean"]),
+        "latency_p50_s": _delta(live_report["latency_s"]["p50"],
+                                sim_report["latency_s"]["p50"]),
+        "latency_p99_s": _delta(live_report["latency_s"]["p99"],
+                                sim_report["latency_s"]["p99"]),
+    }
+    ratio = deltas["throughput_rps"]["ratio_live_over_sim"]
+    constants = {name: getattr(costs, name)
+                 for name in _COMMON_COSTS + RELEVANT_COSTS[protocol]}
+    return {
+        "schema": 1,
+        "kind": "live_vs_sim_calibration",
+        "protocol": protocol,
+        "n": n,
+        "total_rate": total_rate,
+        "payload_size": payload_size,
+        "bundle_size": bundle_size,
+        "duration_s": duration,
+        "warmup_s": warmup,
+        "live": live_report,
+        "sim": sim_report,
+        "deltas": deltas,
+        "calibration_constants": constants,
+        # Multiplying the per-request cost constants by this factor would
+        # bring the simulated throughput in line with the live host (a
+        # first-order reconciliation: tput scales ~1/cost at CPU-bound
+        # saturation).
+        "suggested_cost_scale": (1.0 / ratio) if ratio and ratio == ratio
+        and ratio > 0 else None,
+    }

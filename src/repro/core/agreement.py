@@ -10,7 +10,7 @@ valid shares into a notarization/confirmation proof.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto.hashing import digest as sha_digest
 from repro.crypto.threshold import (

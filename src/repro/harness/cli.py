@@ -10,6 +10,15 @@ Usage::
     python -m repro.harness.cli run-live --replicas 4 --clients 1 \
         --duration 5
 
+    # Any of the paper's three protocols, in-process or one OS process
+    # per replica:
+    python -m repro.harness.cli run-live --protocol pbft --processes
+
+    # Run the same point under the simulator and the live runtime and
+    # reconcile the deltas:
+    python -m repro.harness.cli calibrate --protocol hotstuff \
+        --duration 2 --output calibration_hotstuff.json
+
 Set ``REPRO_FULL=1`` for the paper-scale grids.  ``run-live`` prints the
 same metrics schema the simulated experiments use, so a live localhost
 run is directly comparable with a simulated one.
@@ -23,8 +32,6 @@ import math
 import sys
 import time
 
-from repro.harness.experiments import ALL_EXPERIMENTS, full_scale
-
 
 def _render_live_report(report: dict) -> str:
     """Human-readable summary of a live run's standard report."""
@@ -33,9 +40,10 @@ def _render_live_report(report: dict) -> str:
     def fmt_ms(value: float) -> str:
         return "n/a" if math.isnan(value) else f"{value * 1e3:.1f} ms"
 
+    mode = report.get("deployment", {}).get("mode", "in-process")
     lines = [
-        f"live run: n={report['n']} leopard over TCP "
-        f"({report['duration_s']:.1f}s measured at replica "
+        f"live run: n={report['n']} {report['protocol']} over TCP "
+        f"[{mode}] ({report['duration_s']:.1f}s measured at replica "
         f"{report['measure_replica']})",
         f"  throughput: {report['throughput_rps']:.0f} req/s",
         f"  latency:    mean {fmt_ms(latency['mean'])}, "
@@ -57,12 +65,28 @@ def _render_live_report(report: dict) -> str:
     return "\n".join(lines)
 
 
+def _write_report(report: dict, output: str | None) -> None:
+    if output:
+        with open(output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"report written to {output}")
+
+
 def run_live_command(argv: list[str]) -> int:
     """The ``run-live`` subcommand: boot a localhost TCP cluster."""
+    from repro.net.protocols import LIVE_PROTOCOLS
+
     parser = argparse.ArgumentParser(
         prog="repro-experiments run-live",
-        description="Run a live localhost Leopard cluster over real "
-                    "TCP sockets.")
+        description="Run a live localhost BFT cluster over real TCP "
+                    "sockets (any of the paper's three protocols, "
+                    "in-process or one OS process per replica).")
+    parser.add_argument("--protocol", choices=LIVE_PROTOCOLS,
+                        default="leopard",
+                        help="which protocol to boot (default leopard)")
+    parser.add_argument("--processes", action="store_true",
+                        help="launch one OS process per replica instead "
+                             "of hosting every core on one event loop")
     parser.add_argument("--replicas", type=int, default=4,
                         help="replica count n (3f+1; default 4)")
     parser.add_argument("--clients", type=int, default=1,
@@ -76,7 +100,8 @@ def run_live_command(argv: list[str]) -> int:
     parser.add_argument("--payload", type=int, default=128,
                         help="bytes per request payload")
     parser.add_argument("--datablock-size", type=int, default=100,
-                        help="requests per datablock (the paper's alpha)")
+                        help="requests per batch (the paper's alpha for "
+                             "Leopard, the block batch for baselines)")
     parser.add_argument("--seed", type=int, default=0,
                         help="determinism seed for key dealing")
     parser.add_argument("--warmup", type=float, default=0.0,
@@ -86,22 +111,44 @@ def run_live_command(argv: list[str]) -> int:
                              "requests committed (smoke gating)")
     parser.add_argument("--json", action="store_true",
                         help="print the full report as JSON")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="also write the full report JSON to FILE "
+                             "(CI artifact path)")
     args = parser.parse_args(argv)
 
-    from repro.net.live import default_live_config, run_live_sync
+    if args.processes:
+        if args.warmup:
+            parser.error("--warmup is not supported with --processes "
+                         "(replica children cannot gate it on the "
+                         "measurement epoch); use in-process mode")
+        from repro.harness.procs import run_live_processes
 
-    config = default_live_config(
-        args.replicas, payload_size=args.payload,
-        datablock_size=args.datablock_size)
-    report = run_live_sync(
-        n=args.replicas, client_count=args.clients,
-        duration=args.duration, config=config, total_rate=args.rate,
-        bundle_size=args.bundle_size, seed=args.seed, warmup=args.warmup)
+        report = run_live_processes(
+            n=args.replicas, client_count=args.clients,
+            duration=args.duration, protocol=args.protocol,
+            total_rate=args.rate, bundle_size=args.bundle_size,
+            payload_size=args.payload,
+            datablock_size=args.datablock_size, seed=args.seed,
+            warmup=args.warmup)
+    else:
+        from repro.net.live import run_live_sync
+        from repro.net.protocols import default_live_config_for
+
+        config = default_live_config_for(
+            args.protocol, args.replicas, payload_size=args.payload,
+            datablock_size=args.datablock_size)
+        report = run_live_sync(
+            n=args.replicas, client_count=args.clients,
+            duration=args.duration, protocol=args.protocol,
+            config=config, total_rate=args.rate,
+            bundle_size=args.bundle_size, seed=args.seed,
+            warmup=args.warmup)
 
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
         print(_render_live_report(report))
+    _write_report(report, args.output)
 
     if args.min_committed is not None:
         committed = report["executed_requests"].get(
@@ -115,19 +162,113 @@ def run_live_command(argv: list[str]) -> int:
     return 0
 
 
+def _render_calibration(report: dict) -> str:
+    """Human-readable summary of a live-vs-sim reconciliation."""
+    def fmt(value: float) -> str:
+        return "n/a" if value is None or math.isnan(value) \
+            else f"{value:.3g}"
+
+    ratio = report["deltas"]["throughput_rps"]["ratio_live_over_sim"]
+    lines = [
+        f"calibration: {report['protocol']} n={report['n']} "
+        f"rate={report['total_rate']:.0f} req/s "
+        f"payload={report['payload_size']}B "
+        f"({report['duration_s']:.1f}s per backend)",
+        f"  throughput: live {report['live']['throughput_rps']:.0f} "
+        f"vs sim {report['sim']['throughput_rps']:.0f} req/s "
+        f"(ratio {fmt(ratio)})",
+        f"  latency p50: live "
+        f"{fmt(report['deltas']['latency_p50_s']['live'])}s "
+        f"vs sim {fmt(report['deltas']['latency_p50_s']['sim'])}s",
+        f"  suggested cost scale: "
+        f"{fmt(report['suggested_cost_scale'])}",
+    ]
+    return "\n".join(lines)
+
+
+def calibrate_command(argv: list[str]) -> int:
+    """The ``calibrate`` subcommand: one point under both backends."""
+    from repro.net.protocols import LIVE_PROTOCOLS
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments calibrate",
+        description="Run one (protocol, n, rate, payload) point under "
+                    "both the simulator and the live runtime, and emit "
+                    "a reconciliation report of the deltas against the "
+                    "calibration constants.")
+    parser.add_argument("--protocol", choices=LIVE_PROTOCOLS,
+                        default="leopard")
+    parser.add_argument("--replicas", type=int, default=4,
+                        help="replica count n (default 4)")
+    parser.add_argument("--rate", type=float, default=2000.0,
+                        help="offered load, requests/second total")
+    parser.add_argument("--payload", type=int, default=128,
+                        help="bytes per request payload")
+    parser.add_argument("--duration", type=float, default=2.0,
+                        help="measured seconds per backend (default 2)")
+    parser.add_argument("--bundle-size", type=int, default=100)
+    parser.add_argument("--datablock-size", type=int, default=100)
+    parser.add_argument("--warmup", type=float, default=0.25,
+                        help="seconds of metrics warmup per backend")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--min-committed", type=int, default=None,
+                        help="exit non-zero unless both backends "
+                             "committed at least this many requests")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full report as JSON")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="also write the report JSON to FILE "
+                             "(CI artifact path)")
+    args = parser.parse_args(argv)
+
+    from repro.analysis.calibration import compare_live_sim
+
+    report = compare_live_sim(
+        protocol=args.protocol, n=args.replicas, total_rate=args.rate,
+        payload_size=args.payload, duration=args.duration,
+        bundle_size=args.bundle_size,
+        datablock_size=args.datablock_size, seed=args.seed,
+        warmup=args.warmup)
+
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(_render_calibration(report))
+    _write_report(report, args.output)
+
+    if args.min_committed is not None:
+        for backend in ("live", "sim"):
+            sub = report[backend]
+            committed = sub["executed_requests"].get(
+                sub["measure_replica"], 0)
+            if committed < args.min_committed:
+                print(f"FAIL: {backend} backend committed {committed} "
+                      f"< required {args.min_committed}", file=sys.stderr)
+                return 1
+        print(f"calibration smoke OK: both backends committed "
+              f">= {args.min_committed}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the requested experiments (or the live cluster) and report."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "run-live":
         return run_live_command(argv[1:])
+    if argv and argv[0] == "calibrate":
+        return calibrate_command(argv[1:])
+
+    from repro.harness.experiments import ALL_EXPERIMENTS, full_scale
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the Leopard paper's tables and figures, "
-                    "or boot a live cluster with 'run-live'.")
+                    "boot a live cluster with 'run-live', or reconcile "
+                    "the backends with 'calibrate'.")
     parser.add_argument(
         "experiments", nargs="*",
-        help="experiment ids (e.g. fig9 table3), 'all', or 'run-live'")
+        help="experiment ids (e.g. fig9 table3), 'all', 'run-live', "
+             "or 'calibrate'")
     parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit")
     args = parser.parse_args(argv)
@@ -136,8 +277,11 @@ def main(argv: list[str] | None = None) -> int:
         print("available experiments:")
         for name in ALL_EXPERIMENTS:
             print(f"  {name}")
-        print("\nlive cluster: run-live --replicas N --clients C "
-              "--duration S (see run-live --help)")
+        print("\nlive cluster: run-live --protocol "
+              "{leopard,pbft,hotstuff} [--processes] --replicas N "
+              "--clients C --duration S (see run-live --help)")
+        print("live-vs-sim reconciliation: calibrate --protocol P "
+              "--duration S (see calibrate --help)")
         print(f"paper-scale grids: {'ON' if full_scale() else 'off'} "
               f"(set REPRO_FULL=1 to enable)")
         return 0

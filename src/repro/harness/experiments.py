@@ -10,9 +10,7 @@ environment variable ``REPRO_FULL=1`` unlocks the paper's full grids
 
 from __future__ import annotations
 
-import math
 import os
-from dataclasses import replace as dc_replace
 
 from repro.analysis.calibration import DEFAULT_COSTS, CostModel
 from repro.core.config import LeopardConfig, table2_parameters
@@ -23,7 +21,7 @@ from repro.harness.cluster import (
 )
 from repro.harness.tables import ExperimentResult
 from repro.sim.faults import Crash, SelectiveDisseminator
-from repro.sim.metrics import node_bandwidth_bps, utilization_breakdown
+from repro.sim.metrics import utilization_breakdown
 from repro.sim.network import DEFAULT_BANDWIDTH_BPS
 
 

@@ -1,0 +1,534 @@
+"""Multi-process live deployment: one OS process per replica.
+
+The in-process :class:`repro.net.live.LiveCluster` hosts every core on a
+single asyncio event loop, so however many replicas it boots, one GIL
+executes all of them — fine for protocol smoke tests, useless for
+stressing the CPU model the simulator claims to reproduce.  This module
+launches **one OS process per replica** instead:
+
+* the parent picks a free localhost port for every node up front, so the
+  complete host:port address book is known before anything boots;
+* each replica child is ``python -m repro.harness.procs --replica-spec
+  <file>``: it rebuilds its core from the (protocol, n, node_id, seed)
+  spec — key material is dealt deterministically from the seed, so no
+  secrets cross process boundaries — binds its listener at its published
+  port, serves until the spec's absolute stop time, then writes a JSON
+  summary (executed requests, per-class byte counters, transport health)
+  and exits 0;
+* rendezvous needs no barrier: every outbound link is a reconnecting
+  :class:`repro.net.transport.PeerConnection`, so frames sent before a
+  peer has bound simply wait in the bounded queue and flow on connect;
+* the parent hosts the load-generating clients (latency is measured
+  client-side, so acks terminate where the latency clock lives), reaps
+  every child on **every** exit path via :class:`ProcessSupervisor`, and
+  merges the child summaries with its client metrics into the shared
+  :func:`repro.stats.standard_report` schema.
+
+All processes share one wall-clock epoch (``time.time()`` at spawn), so
+cross-process timestamps — bundle submission times in spans, proposal
+times in blocks — stay comparable to within OS clock granularity.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.net.live import transport_summary
+from repro.net.node import LiveNode
+from repro.net.protocols import default_live_config_for, get_protocol
+from repro.net.transport import Router
+from repro.stats import MetricsCollector, NicStats, standard_report
+
+#: Seconds a child gets to exit after its stop time before SIGTERM.
+CHILD_EXIT_GRACE = 10.0
+
+#: Seconds between parent health polls of the replica children.
+POLL_INTERVAL = 0.25
+
+#: Seconds the parent waits for every replica child to bind its listener
+#: before declaring the deployment failed.  Generous: on a loaded CI
+#: host, n python interpreters importing numpy can take a while.
+BOOT_TIMEOUT = 30.0
+
+
+def pick_free_ports(count: int, host: str = "127.0.0.1") -> list[int]:
+    """Reserve ``count`` distinct free TCP ports on ``host``.
+
+    All sockets are bound before any is closed, so the returned ports are
+    pairwise distinct.  The usual caveat applies: the ports are free *at
+    return time*; the window until the cluster binds them is tiny and
+    localhost-only, the same trade every multi-process test harness makes.
+    """
+    sockets: list[socket.socket] = []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+class ProcessSupervisor:
+    """Spawn, monitor and reap a set of child processes.
+
+    Use as a context manager: whatever happens inside the ``with`` block
+    — normal completion, a crashed child, an exception in the parent —
+    ``__exit__`` terminates and *reaps* every child, so no orphaned
+    replica keeps a listener bound after the run (the ``make live-smoke``
+    orphan bug, now gated by a test).
+    """
+
+    def __init__(self, term_grace: float = 3.0) -> None:
+        self.term_grace = term_grace
+        self.procs: dict[str, subprocess.Popen] = {}
+
+    def spawn(self, name: str, cmd: list[str],
+              env: dict | None = None,
+              log_path: Path | None = None) -> subprocess.Popen:
+        """Launch one child, teeing its stdout/stderr to ``log_path``."""
+        log_file = open(log_path, "wb") if log_path is not None \
+            else subprocess.DEVNULL
+        try:
+            proc = subprocess.Popen(
+                cmd, env=env, stdout=log_file, stderr=subprocess.STDOUT)
+        finally:
+            if log_path is not None:
+                log_file.close()  # the child holds its own descriptor
+        self.procs[name] = proc
+        return proc
+
+    def failed(self) -> dict[str, int]:
+        """Children that have already exited with a non-zero code."""
+        return {name: proc.returncode
+                for name, proc in self.procs.items()
+                if proc.poll() is not None and proc.returncode != 0}
+
+    def wait_all(self, timeout: float) -> dict[str, int | None]:
+        """Wait (reaping) up to ``timeout`` s; stragglers get terminated.
+
+        Returns:
+            ``name -> exit code`` (negative for signal deaths, ``None``
+            only if a child somehow survives SIGKILL).
+        """
+        deadline = time.monotonic() + timeout
+        for name, proc in self.procs.items():
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                pass
+        self.terminate_all()
+        return {name: proc.returncode for name, proc in self.procs.items()}
+
+    def terminate_all(self) -> None:
+        """SIGTERM every survivor, escalate to SIGKILL, reap everything."""
+        survivors = [proc for proc in self.procs.values()
+                     if proc.poll() is None]
+        for proc in survivors:
+            try:
+                proc.terminate()
+            except OSError:
+                pass
+        deadline = time.monotonic() + self.term_grace
+        for proc in survivors:
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                try:
+                    proc.kill()
+                except OSError:
+                    pass
+        for proc in survivors:
+            if proc.poll() is None:
+                try:
+                    proc.wait(timeout=self.term_grace)
+                except subprocess.TimeoutExpired:
+                    pass
+        # Reap already-exited children too (collect their exit status).
+        for proc in self.procs.values():
+            if proc.poll() is None:
+                continue
+            try:
+                proc.wait(timeout=0)
+            except subprocess.TimeoutExpired:
+                pass
+
+    def __enter__(self) -> "ProcessSupervisor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.terminate_all()
+
+
+# ---------------------------------------------------------------------------
+# Child side: host one replica core until the spec's stop time
+# ---------------------------------------------------------------------------
+
+
+def run_replica_from_spec(spec: dict) -> dict:
+    """Child entry: boot one replica, serve, return its summary dict."""
+    protocol = spec["protocol"]
+    n = int(spec["n"])
+    node_id = int(spec["node_id"])
+    epoch = float(spec["epoch"])
+    stop_at_unix = float(spec["stop_at_unix"])
+    proto = get_protocol(protocol)
+    config = default_live_config_for(
+        protocol, n, payload_size=int(spec["payload_size"]),
+        datablock_size=int(spec["datablock_size"]))
+    context = proto.make_context(config, int(spec["seed"]))
+    core = proto.make_replica(node_id, config, context)
+    metrics = MetricsCollector(warmup=float(spec["warmup"]))
+    if hasattr(core, "attach_perf"):
+        core.attach_perf(metrics.perf)
+    address_book = {int(key): (host, int(port))
+                    for key, (host, port) in spec["address_book"].items()}
+    host, port = address_book[node_id]
+    router = Router(node_id, address_book, host=host, port=port)
+
+    def clock() -> float:
+        return time.time() - epoch
+
+    node = LiveNode(core, router, range(n), metrics, clock)
+
+    async def serve() -> float:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        # The parent ends a run with SIGTERM — a *graceful* stop: flush
+        # the summary before exiting so even torn-down runs leave data.
+        # ``stop_at_unix`` is only a fallback ceiling for an orphaned
+        # child whose parent died without signalling.
+        loop.add_signal_handler(signal.SIGTERM, stop.set)
+        await node.start()
+        node.boot()
+        remaining = stop_at_unix - time.time()
+        if remaining > 0:
+            try:
+                await asyncio.wait_for(stop.wait(), timeout=remaining)
+            except asyncio.TimeoutError:
+                pass
+        stopped_at = clock()
+        await node.shutdown()
+        return stopped_at
+
+    stopped_at = asyncio.run(serve())
+    listener = router.listener
+    return {
+        "node_id": node_id,
+        "protocol": protocol,
+        "executed_requests": metrics.executed_requests.get(node_id, 0),
+        "stopped_at": stopped_at,
+        "sent_bytes": router.stats.sent_bytes,
+        "sent_msgs": router.stats.sent_msgs,
+        "recv_bytes": router.stats.recv_bytes,
+        "recv_msgs": router.stats.recv_msgs,
+        "events_processed": router.stats.total_recv_msgs(),
+        "dropped_frames": router.dropped_frames(),
+        "unroutable_frames": router.unroutable_frames,
+        "decode_errors": listener.decode_errors if listener else 0,
+        "handler_errors": listener.handler_errors if listener else 0,
+    }
+
+
+def _child_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.procs",
+        description="Host one live replica process (internal entry "
+                    "point of the --processes deployment mode).")
+    parser.add_argument("--replica-spec", required=True,
+                        help="path to the JSON replica spec")
+    args = parser.parse_args(argv)
+    spec = json.loads(Path(args.replica_spec).read_text())
+    summary = run_replica_from_spec(spec)
+    report_path = Path(spec["report_path"])
+    tmp_path = report_path.with_suffix(".tmp")
+    tmp_path.write_text(json.dumps(summary, sort_keys=True))
+    tmp_path.replace(report_path)  # atomic: parent never reads half a file
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parent side: spawn replicas, host clients, merge the report
+# ---------------------------------------------------------------------------
+
+
+def _child_env() -> dict:
+    """Environment for replica children: repro importable, else inherited."""
+    import repro
+
+    package_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (package_root + os.pathsep + existing
+                         if existing else package_root)
+    return env
+
+
+def _wait_replicas_listening(supervisor: ProcessSupervisor,
+                             address_book: dict[int, tuple[str, int]],
+                             replica_ids: range,
+                             timeout: float = BOOT_TIMEOUT) -> None:
+    """Block until every replica child's listener accepts connections.
+
+    Measurement starts only once the whole cluster is actually up, so a
+    slow child boot (cold interpreter, loaded CI host) lengthens the run
+    instead of silently eating the measurement window.
+    """
+    deadline = time.monotonic() + timeout
+    pending = set(replica_ids)
+    while pending:
+        failed = supervisor.failed()
+        if failed:
+            raise RuntimeError(
+                f"replica process(es) died during boot: {failed}")
+        if time.monotonic() > deadline:
+            raise RuntimeError(
+                f"replicas {sorted(pending)} not listening after "
+                f"{timeout:.0f}s")
+        for replica_id in sorted(pending):
+            host, port = address_book[replica_id]
+            try:
+                probe = socket.create_connection((host, port), timeout=0.2)
+            except OSError:
+                continue
+            probe.close()
+            pending.discard(replica_id)
+        if pending:
+            time.sleep(0.1)
+
+
+async def _serve_clients(clients: list, n: int,
+                         address_book: dict[int, tuple[str, int]],
+                         metrics: MetricsCollector, epoch: float,
+                         stop_at_unix: float,
+                         supervisor: ProcessSupervisor) -> list[Router]:
+    """Host the client cores in-parent until stop time or a child death."""
+    def clock() -> float:
+        return time.time() - epoch
+
+    nodes = []
+    for core in clients:
+        host, port = address_book[core.node_id]
+        router = Router(core.node_id, address_book, host=host, port=port)
+        nodes.append(LiveNode(core, router, range(n), metrics, clock))
+    try:
+        await asyncio.gather(*(node.start() for node in nodes))
+        for node in nodes:
+            node.boot()
+        while time.time() < stop_at_unix:
+            failed = supervisor.failed()
+            if failed:
+                raise RuntimeError(
+                    f"replica process(es) died mid-run: {failed}")
+            await asyncio.sleep(
+                min(POLL_INTERVAL, max(0.0, stop_at_unix - time.time())))
+    finally:
+        await asyncio.gather(*(node.shutdown() for node in nodes))
+    return [node.router for node in nodes]
+
+
+def run_live_processes(n: int = 4, client_count: int = 1,
+                       duration: float = 5.0,
+                       protocol: str = "leopard",
+                       total_rate: float = 4000.0, bundle_size: int = 200,
+                       payload_size: int = 128, datablock_size: int = 100,
+                       seed: int = 0, warmup: float = 0.0,
+                       host: str = "127.0.0.1") -> dict:
+    """Boot one process per replica, serve ``duration`` s, merge reports.
+
+    Returns the :func:`repro.stats.standard_report` dict with a
+    ``deployment`` section describing the process topology and the exit
+    code of every replica child.
+
+    ``duration`` counts *measured* seconds: the clock starts once every
+    replica child's listener accepts connections, so slow child boots
+    (cold interpreters on a loaded CI host) lengthen the run instead of
+    eating the window.  ``warmup`` must be 0 in this mode: replica
+    children only know their own process clock (which starts at spawn,
+    before the measurement epoch), so a child-side warmup window would
+    be consumed by boot time while the parent still shrank the
+    measurement denominator — silently inflating reported throughput.
+
+    Raises:
+        ConfigError: for a nonzero ``warmup`` (see above) or no clients.
+        RuntimeError: if any replica child crashes during boot or
+            mid-run, never starts listening, or fails to produce its
+            summary (children are reaped on every one of those paths).
+    """
+    if client_count < 1:
+        raise ConfigError("need at least one client")
+    if warmup != 0.0:
+        raise ConfigError(
+            "warmup is not supported in --processes mode: replica "
+            "children cannot gate it on the measurement epoch; use the "
+            "in-process mode for warmup-windowed runs")
+    proto = get_protocol(protocol)
+    config = default_live_config_for(protocol, n,
+                                     payload_size=payload_size,
+                                     datablock_size=datablock_size)
+    leader = config.leader_of(1)
+    measure_replica = next(replica_id for replica_id in range(n)
+                           if replica_id != leader)
+    ports = pick_free_ports(n + client_count, host)
+    address_book = {node_id: (host, ports[node_id])
+                    for node_id in range(n + client_count)}
+    metrics = MetricsCollector(warmup=warmup)
+    per_client_rate = total_rate / client_count
+    clients = [proto.make_client(n + index, config, per_client_rate,
+                                 bundle_size, False, 2.0)
+               for index in range(client_count)]
+
+    spawn_epoch = time.time()
+    # Fallback ceiling only: children normally stop on the parent's
+    # SIGTERM; this bounds an orphaned child whose parent died.
+    ceiling_unix = spawn_epoch + BOOT_TIMEOUT + duration \
+        + 3.0 * CHILD_EXIT_GRACE
+    env = _child_env()
+    exit_codes: dict[str, int | None] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-procs-") as tmp:
+        tmpdir = Path(tmp)
+        report_paths: dict[int, Path] = {}
+        log_paths: dict[int, Path] = {}
+        with ProcessSupervisor(term_grace=CHILD_EXIT_GRACE) as supervisor:
+            for replica_id in range(n):
+                report_paths[replica_id] = \
+                    tmpdir / f"replica-{replica_id}.json"
+                log_paths[replica_id] = tmpdir / f"replica-{replica_id}.log"
+                spec = {
+                    "protocol": protocol,
+                    "n": n,
+                    "node_id": replica_id,
+                    "seed": seed,
+                    "epoch": spawn_epoch,
+                    "stop_at_unix": ceiling_unix,
+                    "warmup": warmup,
+                    "payload_size": payload_size,
+                    "datablock_size": datablock_size,
+                    "address_book": address_book,
+                    "report_path": str(report_paths[replica_id]),
+                }
+                spec_path = tmpdir / f"replica-{replica_id}.spec.json"
+                spec_path.write_text(json.dumps(spec))
+                supervisor.spawn(
+                    f"replica-{replica_id}",
+                    [sys.executable, "-m", "repro.harness.procs",
+                     "--replica-spec", str(spec_path)],
+                    env=env, log_path=log_paths[replica_id])
+            try:
+                _wait_replicas_listening(supervisor, address_book,
+                                         range(n))
+                # The measurement clock starts only now, with the whole
+                # cluster listening: ``duration`` means measured seconds,
+                # not "boot time plus whatever was left".
+                epoch = time.time()
+                client_routers = asyncio.run(_serve_clients(
+                    clients, n, address_book, metrics, epoch,
+                    epoch + duration, supervisor))
+            except RuntimeError as exc:
+                raise RuntimeError(
+                    f"{exc}; logs: {_tail_logs(log_paths)}") from exc
+            elapsed = time.time() - epoch
+            # Graceful end-of-run: SIGTERM makes each child flush its
+            # summary and exit 0 (terminate_all also reaps).
+            supervisor.terminate_all()
+            exit_codes = {name: proc.returncode
+                          for name, proc in supervisor.procs.items()}
+
+        summaries: dict[int, dict] = {}
+        for replica_id, path in report_paths.items():
+            if not path.exists():
+                raise RuntimeError(
+                    f"replica {replica_id} produced no summary "
+                    f"(exit code {exit_codes.get(f'replica-{replica_id}')}"
+                    f"); logs: {_tail_logs(log_paths)}")
+            summaries[replica_id] = json.loads(path.read_text())
+
+    return _merge_report(protocol=protocol, n=n, metrics=metrics,
+                         summaries=summaries, client_routers=client_routers,
+                         measure_replica=measure_replica, warmup=warmup,
+                         elapsed=elapsed, exit_codes=exit_codes)
+
+
+def _tail_logs(log_paths: dict[int, Path], limit: int = 400) -> dict:
+    tails = {}
+    for replica_id, path in log_paths.items():
+        try:
+            text = path.read_text(errors="replace")
+        except OSError:
+            continue
+        if text.strip():
+            tails[replica_id] = text[-limit:]
+    return tails
+
+
+def _merge_report(*, protocol: str, n: int, metrics: MetricsCollector,
+                  summaries: dict[int, dict],
+                  client_routers: list[Router], measure_replica: int,
+                  warmup: float, elapsed: float,
+                  exit_codes: dict[str, int | None]) -> dict:
+    """Fold child summaries + parent client metrics into one report."""
+    byte_stats: dict[int, NicStats] = {}
+    events = sum(router.stats.total_recv_msgs()
+                 for router in client_routers)
+    transport = transport_summary(client_routers)
+    for replica_id, summary in sorted(summaries.items()):
+        metrics.executed_requests[replica_id] = \
+            summary["executed_requests"]
+        stats = NicStats()
+        for msg_class, count in summary["sent_bytes"].items():
+            stats.add_counts(msg_class, sent_bytes=count,
+                             sent_msgs=summary["sent_msgs"].get(
+                                 msg_class, 0))
+        for msg_class, count in summary["recv_bytes"].items():
+            stats.add_counts(msg_class, recv_bytes=count,
+                             recv_msgs=summary["recv_msgs"].get(
+                                 msg_class, 0))
+        byte_stats[replica_id] = stats
+        events += summary["events_processed"]
+        transport["dropped_frames"] += summary["dropped_frames"]
+        transport["unroutable_frames"] += summary["unroutable_frames"]
+        transport["decode_errors"] += summary["decode_errors"]
+        transport["handler_errors"] += summary["handler_errors"]
+    # The measurement window is the parent's client-serving span: replica
+    # children boot before it and are stopped after it, so commits only
+    # happen inside it.
+    duration = max(elapsed - warmup, 0.0)
+    report = standard_report(
+        backend="live",
+        protocol=protocol,
+        n=n,
+        duration=duration,
+        metrics=metrics,
+        byte_stats=byte_stats,
+        measure_replica=measure_replica,
+        events_processed=events,
+        events_per_sec=events / elapsed if elapsed > 0 else 0.0,
+    )
+    report["transport"] = transport
+    report["deployment"] = {
+        "mode": "processes",
+        "replica_processes": n,
+        "exit_codes": dict(sorted(exit_codes.items())),
+    }
+    return report
+
+
+if __name__ == "__main__":
+    raise SystemExit(_child_main(sys.argv[1:]))

@@ -13,21 +13,36 @@ behind real sockets —
 * :mod:`repro.net.node` — :class:`LiveNode`, the effect interpreter that
   hosts one unchanged protocol core (timers via the event loop, sends via
   the router, metrics via the shared collector);
+* :mod:`repro.net.protocols` — the protocol registry: how to build
+  replica/client cores and smoke-scale configs for ``leopard``, ``pbft``
+  and ``hotstuff``, so every protocol the paper compares runs on this
+  one transport;
 * :mod:`repro.net.live` — :class:`LiveCluster` / :func:`run_live`, which
-  boot a full localhost deployment (n replicas + load clients) and emit
-  the same metrics schema as a simulated run.
+  boot a full localhost deployment (n replicas + load clients) of any
+  registered protocol and emit the same metrics schema as a simulated
+  run.  One OS process per replica instead: :mod:`repro.harness.procs`.
 """
 
 from repro.net.live import LiveCluster, run_live, run_live_sync
 from repro.net.node import LiveNode
+from repro.net.protocols import (
+    LIVE_PROTOCOLS,
+    ProtocolSpec,
+    default_live_config_for,
+    get_protocol,
+)
 from repro.net.transport import Listener, PeerConnection, Router
 
 __all__ = [
+    "LIVE_PROTOCOLS",
     "Listener",
     "LiveCluster",
     "LiveNode",
     "PeerConnection",
+    "ProtocolSpec",
     "Router",
+    "default_live_config_for",
+    "get_protocol",
     "run_live",
     "run_live_sync",
 ]

@@ -1,9 +1,9 @@
-"""Boot a real localhost Leopard deployment and measure it.
+"""Boot a real localhost BFT deployment and measure it.
 
-:class:`LiveCluster` assembles what :func:`repro.harness.cluster.
-build_leopard_cluster` assembles for the simulator — a dealt key
-registry, ``n`` :class:`repro.core.replica.LeopardReplica` cores and a
-set of load-generating :class:`repro.core.client.LeopardClient` cores —
+:class:`LiveCluster` assembles what the simulator's cluster builders
+(:mod:`repro.harness.cluster`) assemble — replica cores plus a set of
+load-generating client cores for **any** of the three protocols
+(``leopard`` / ``pbft`` / ``hotstuff``, see :mod:`repro.net.protocols`) —
 but hosts every core in a :class:`repro.net.node.LiveNode` behind its own
 TCP listener on ``127.0.0.1``.  Every message really is encoded by
 :mod:`repro.wire`, pushed through a socket, decoded and dispatched; no
@@ -12,44 +12,45 @@ simulated time exists, the event loop's clock is the protocol's ``now``.
 The result of a run is :meth:`LiveCluster.report` — the same
 :func:`repro.stats.standard_report` schema a simulated cluster emits,
 with real socket byte counters in place of modelled NIC stats, so
-``run-live`` output lines up column-for-column with an experiment run.
+``run-live`` output lines up column-for-column with an experiment run,
+for every protocol the paper compares (Figs. 1/2/6/9).
 """
 
 from __future__ import annotations
 
 import asyncio
 
-from repro.core.client import LeopardClient
-from repro.core.config import LeopardConfig
-from repro.core.replica import LeopardReplica
-from repro.crypto.keys import KeyRegistry
 from repro.errors import ConfigError
 from repro.net.node import LiveNode
+from repro.net.protocols import get_protocol
 from repro.net.transport import Router
-from repro.stats import MetricsCollector, standard_report
+from repro.stats import MetricsCollector, NicStats, standard_report
 
 
 def default_live_config(n: int, payload_size: int = 128,
-                        datablock_size: int = 100) -> LeopardConfig:
+                        datablock_size: int = 100):
     """A Leopard configuration tuned for a quick localhost cluster.
 
     Smaller batches and tighter pacing timers than the paper-scale
     defaults: a localhost smoke run should commit within a couple of
     hundred milliseconds, not amortize 2000-request datablocks.
+    (Protocol-generic variant: :func:`repro.net.protocols.
+    default_live_config_for`.)
     """
-    return LeopardConfig(
-        n=n,
-        payload_size=payload_size,
-        datablock_size=datablock_size,
-        bftblock_max_links=10,
-        generation_interval=0.005,
-        max_batch_delay=0.05,
-        proposal_interval=0.01,
-        max_proposal_delay=0.05,
-        retrieval_timeout=0.2,
-        checkpoint_period=20,
-        progress_timeout=2.0,
-    )
+    return get_protocol("leopard").default_config(
+        n, payload_size, datablock_size)
+
+
+def transport_summary(routers: list[Router]) -> dict:
+    """Aggregate transport-health counters across a set of routers."""
+    return {
+        "dropped_frames": sum(r.dropped_frames() for r in routers),
+        "unroutable_frames": sum(r.unroutable_frames for r in routers),
+        "decode_errors": sum(r.listener.decode_errors for r in routers
+                             if r.listener is not None),
+        "handler_errors": sum(r.listener.handler_errors for r in routers
+                              if r.listener is not None),
+    }
 
 
 class LiveCluster:
@@ -63,31 +64,38 @@ class LiveCluster:
     Args:
         n: replica count (3f+1).
         client_count: load-generating clients.
-        config: protocol configuration; defaults to
-            :func:`default_live_config`.
+        protocol: which protocol to boot (``leopard`` / ``pbft`` /
+            ``hotstuff``); every one runs over the same transport, wire
+            codec and measurement harness.
+        config: protocol configuration; defaults to the protocol's
+            smoke-scale live config.
         total_rate: offered load in requests/second across all clients.
         bundle_size: requests per client submission.
         seed: determinism seed for key dealing.
         warmup: seconds of metrics warmup (live runs are short; 0 keeps
             every commit).
         host: bind address for all listeners.
-        resubmit: clients re-route unacknowledged bundles to the next
-            responsible replica (paper §IV-A1's f+1 re-routing; off for
-            clean throughput accounting).
+        resubmit: Leopard clients re-route unacknowledged bundles to the
+            next responsible replica (paper §IV-A1's f+1 re-routing; off
+            for clean throughput accounting).  Baseline clients always
+            submit to the leader.
         client_timeout: seconds a client waits for an ack before
             re-routing (only with ``resubmit``).
     """
 
     def __init__(self, n: int, client_count: int = 1,
-                 config: LeopardConfig | None = None,
+                 protocol: str = "leopard",
+                 config=None,
                  total_rate: float = 4000.0, bundle_size: int = 200,
                  seed: int = 0, warmup: float = 0.0,
                  host: str = "127.0.0.1", resubmit: bool = False,
                  client_timeout: float = 2.0) -> None:
         if client_count < 1:
             raise ConfigError("need at least one client")
+        spec = get_protocol(protocol)
+        self.protocol = spec.name
         self.config = config if config is not None \
-            else default_live_config(n)
+            else spec.default_config(n, 128, 100)
         if self.config.n != n:
             raise ConfigError(
                 "config.n must match the requested cluster size")
@@ -95,7 +103,7 @@ class LiveCluster:
         self.client_count = client_count
         self.host = host
         self.warmup = warmup
-        self.registry = KeyRegistry(n, self.config.f, seed=seed)
+        self.context = spec.make_context(self.config, seed)
         self.metrics = MetricsCollector(warmup=warmup)
         self.leader = self.config.leader_of(1)
         self.measure_replica = next(
@@ -103,22 +111,23 @@ class LiveCluster:
             if replica_id != self.leader)
         self.address_book: dict[int, tuple[str, int]] = {}
         self.nodes: dict[int, LiveNode] = {}
-        self.replicas: list[LeopardReplica] = []
-        self.clients: list[LeopardClient] = []
+        self.replicas: list = []
+        self.clients: list = []
         self._loop: asyncio.AbstractEventLoop | None = None
         self._epoch: float | None = None
         self._stopped_at: float | None = None
 
         for replica_id in range(n):
-            replica = LeopardReplica(replica_id, self.config, self.registry)
-            replica.attach_perf(self.metrics.perf)
+            replica = spec.make_replica(replica_id, self.config,
+                                        self.context)
+            if hasattr(replica, "attach_perf"):
+                replica.attach_perf(self.metrics.perf)
             self.replicas.append(replica)
         per_client_rate = total_rate / client_count
         for index in range(client_count):
-            self.clients.append(LeopardClient(
-                n + index, self.config, rate=per_client_rate,
-                bundle_size=bundle_size, resubmit=resubmit,
-                client_timeout=client_timeout))
+            self.clients.append(spec.make_client(
+                n + index, self.config, per_client_rate, bundle_size,
+                resubmit, client_timeout))
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -131,7 +140,14 @@ class LiveCluster:
         return self._loop.time() - self._epoch
 
     async def start(self) -> None:
-        """Bind every listener, then boot every core."""
+        """Bind every listener, then boot every core.
+
+        If any listener fails to bind (or any core's start hook raises),
+        every listener that *did* bind is closed before the error
+        propagates — a crash during boot must not leave orphaned
+        listeners holding ports (``make live-smoke`` reruns would then
+        inherit them).
+        """
         loop = asyncio.get_running_loop()
         self._loop = loop
         self._epoch = loop.time()
@@ -140,10 +156,19 @@ class LiveCluster:
             self.nodes[core.node_id] = LiveNode(
                 core, router, range(self.n), self.metrics, self.clock)
         # All listeners must be routable before any core starts sending.
-        await asyncio.gather(
-            *(node.start() for node in self.nodes.values()))
-        for node in self.nodes.values():
-            node.boot()
+        results = await asyncio.gather(
+            *(node.start() for node in self.nodes.values()),
+            return_exceptions=True)
+        failures = [r for r in results if isinstance(r, BaseException)]
+        if failures:
+            await self.stop()
+            raise failures[0]
+        try:
+            for node in self.nodes.values():
+                node.boot()
+        except Exception:
+            await self.stop()
+            raise
 
     async def run(self, duration: float) -> None:
         """Let the cluster serve traffic for ``duration`` real seconds."""
@@ -154,8 +179,9 @@ class LiveCluster:
         await self.nodes[replica_id].kill()
 
     async def stop(self) -> None:
-        """Tear the whole cluster down."""
-        self._stopped_at = self.clock()
+        """Tear the whole cluster down (idempotent, safe mid-boot)."""
+        if self._stopped_at is None:
+            self._stopped_at = self.clock()
         await asyncio.gather(
             *(node.shutdown() for node in self.nodes.values()))
 
@@ -177,7 +203,7 @@ class LiveCluster:
 
     def report(self) -> dict:
         """The run report, in the simulator's schema (live backend)."""
-        byte_stats = {
+        byte_stats: dict[int, NicStats] = {
             node_id: self.nodes[node_id].router.stats
             for node_id in range(self.n) if node_id in self.nodes}
         duration = self.measurement_window()
@@ -192,7 +218,7 @@ class LiveCluster:
             else self.clock()
         report = standard_report(
             backend="live",
-            protocol="leopard",
+            protocol=self.protocol,
             n=self.n,
             duration=duration,
             metrics=self.metrics,
@@ -201,37 +227,26 @@ class LiveCluster:
             events_processed=events,
             events_per_sec=events / elapsed if elapsed > 0 else 0.0,
         )
-        report["transport"] = {
-            "dropped_frames": sum(
-                node.router.dropped_frames()
-                for node in self.nodes.values()),
-            "unroutable_frames": sum(
-                node.router.unroutable_frames
-                for node in self.nodes.values()),
-            "decode_errors": sum(
-                node.router.listener.decode_errors
-                for node in self.nodes.values()
-                if node.router.listener is not None),
-            "handler_errors": sum(
-                node.router.listener.handler_errors
-                for node in self.nodes.values()
-                if node.router.listener is not None),
-        }
+        report["transport"] = transport_summary(
+            [node.router for node in self.nodes.values()])
+        report["deployment"] = {"mode": "in-process",
+                                "replica_processes": 0}
         return report
 
 
 async def run_live(n: int = 4, client_count: int = 1,
                    duration: float = 5.0,
-                   config: LeopardConfig | None = None,
+                   protocol: str = "leopard",
+                   config=None,
                    total_rate: float = 4000.0, bundle_size: int = 200,
                    seed: int = 0, warmup: float = 0.0) -> dict:
     """Boot a localhost cluster, serve for ``duration`` s, return report."""
     cluster = LiveCluster(
-        n, client_count=client_count, config=config,
+        n, client_count=client_count, protocol=protocol, config=config,
         total_rate=total_rate, bundle_size=bundle_size, seed=seed,
         warmup=warmup)
-    await cluster.start()
     try:
+        await cluster.start()
         await cluster.run(duration)
     finally:
         await cluster.stop()

@@ -86,6 +86,8 @@ class Listener:
         self.decode_errors = 0
         self.handler_errors = 0
         self._server: asyncio.base_events.Server | None = None
+        self._conn_writers: set[asyncio.StreamWriter] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
 
     async def start(self) -> None:
         """Bind and start serving; resolves :attr:`port` if ephemeral."""
@@ -95,6 +97,10 @@ class Listener:
 
     async def _serve_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._conn_writers.add(writer)
         try:
             while True:
                 payload = await read_frame(reader)
@@ -121,14 +127,29 @@ class Listener:
         except OSError:
             pass  # peer vanished mid-frame
         finally:
+            self._conn_writers.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
             writer.close()
 
     async def close(self) -> None:
-        """Stop accepting and close the server socket."""
+        """Stop accepting, close every accepted connection, reap readers.
+
+        Closing the accepted transports makes each reader observe EOF and
+        finish *normally* — the connection tasks are awaited rather than
+        left for event-loop teardown to cancel (which would both leak the
+        sockets on long-lived loops and trip Python 3.11's noisy
+        cancelled-task done-callback in ``asyncio.streams``).
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for writer in list(self._conn_writers):
+            writer.close()
+        tasks = [task for task in self._conn_tasks if not task.done()]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
 
 
 class PeerConnection:

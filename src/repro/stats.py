@@ -129,6 +129,31 @@ class NicStats:
         recv_bytes[class_id] += size
         self._recv_msgs[class_id] += 1
 
+    def add_counts(self, msg_class: str, *, sent_bytes: int = 0,
+                   sent_msgs: int = 0, recv_bytes: int = 0,
+                   recv_msgs: int = 0) -> None:
+        """Merge pre-aggregated counters for one class into this node.
+
+        The multi-process live deployment uses this to reconstruct a
+        replica's :class:`NicStats` in the parent process from the
+        dict-shaped totals its child process reported.
+        """
+        class_id = _CLASS_IDS.get(msg_class)
+        if class_id is None:
+            class_id = intern_class(msg_class)
+        if class_id >= len(self._sent_bytes):
+            grow = class_id + 1 - len(self._sent_bytes)
+            self._sent_bytes.extend([0] * grow)
+            self._sent_msgs.extend([0] * grow)
+        if class_id >= len(self._recv_bytes):
+            grow = class_id + 1 - len(self._recv_bytes)
+            self._recv_bytes.extend([0] * grow)
+            self._recv_msgs.extend([0] * grow)
+        self._sent_bytes[class_id] += sent_bytes
+        self._sent_msgs[class_id] += sent_msgs
+        self._recv_bytes[class_id] += recv_bytes
+        self._recv_msgs[class_id] += recv_msgs
+
     # -- dict-shaped views (report path) -------------------------------
 
     @property

@@ -1,0 +1,68 @@
+"""Live-vs-sim reconciliation tests (`compare_live_sim`, ISSUE 4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.calibration import (
+    RELEVANT_COSTS,
+    compare_live_sim,
+)
+
+
+class TestCompareLiveSim:
+    @pytest.fixture(scope="class")
+    def leopard_report(self):
+        return compare_live_sim(protocol="leopard", n=4,
+                                total_rate=1500.0, duration=1.0,
+                                bundle_size=100, warmup=0.1, seed=3)
+
+    def test_embeds_both_standard_reports(self, leopard_report):
+        assert leopard_report["kind"] == "live_vs_sim_calibration"
+        assert leopard_report["live"]["backend"] == "live"
+        assert leopard_report["sim"]["backend"] == "sim"
+        assert leopard_report["live"]["protocol"] == "leopard"
+        assert leopard_report["sim"]["protocol"] == "leopard"
+        # Both backends actually committed at this point.
+        for backend in ("live", "sim"):
+            sub = leopard_report[backend]
+            assert sub["executed_requests"].get(
+                sub["measure_replica"], 0) > 0
+
+    def test_deltas_reconcile_throughput_and_latency(self, leopard_report):
+        deltas = leopard_report["deltas"]
+        for key in ("throughput_rps", "latency_mean_s", "latency_p50_s",
+                    "latency_p99_s"):
+            entry = deltas[key]
+            assert set(entry) == {"live", "sim", "abs_delta",
+                                  "ratio_live_over_sim"}
+        tput = deltas["throughput_rps"]
+        assert tput["live"] > 0 and tput["sim"] > 0
+        assert math.isclose(tput["abs_delta"],
+                            tput["live"] - tput["sim"], rel_tol=1e-9)
+        assert leopard_report["suggested_cost_scale"] > 0
+
+    def test_constants_listed_for_protocol(self, leopard_report):
+        constants = leopard_report["calibration_constants"]
+        for name in RELEVANT_COSTS["leopard"]:
+            assert name in constants
+        assert "per_send_byte" in constants
+
+    @pytest.mark.parametrize("protocol", ("pbft", "hotstuff"))
+    def test_baseline_points_reconcile(self, protocol):
+        report = compare_live_sim(protocol=protocol, n=4,
+                                  total_rate=1500.0, duration=1.0,
+                                  bundle_size=100, warmup=0.1)
+        assert report["protocol"] == protocol
+        assert report["live"]["throughput_rps"] > 0
+        assert report["sim"]["throughput_rps"] > 0
+        for name in RELEVANT_COSTS[protocol]:
+            assert name in report["calibration_constants"]
+
+    def test_unknown_protocol_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            compare_live_sim(protocol="tendermint", duration=0.1)

@@ -8,7 +8,7 @@ from repro.baselines.pbft.config import PbftConfig
 from repro.baselines.pbft.replica import PbftReplica
 from repro.errors import ConfigError
 from repro.messages.client import RequestBundle
-from repro.messages.pbft import Commit, Prepare, PrePrepare
+from repro.messages.pbft import Prepare, PrePrepare
 from tests.support import InstantLoop
 
 

@@ -3,10 +3,8 @@ model): protocol logic only."""
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.replica import LeopardReplica
-from repro.messages.client import Ack, RequestBundle
+from repro.messages.client import RequestBundle
 from repro.messages.leopard import BFTblock, Datablock, Vote
 from tests.support import InstantLoop
 

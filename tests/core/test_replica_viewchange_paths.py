@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.replica import LeopardReplica
 from repro.interfaces import Broadcast, Send
 from repro.messages.leopard import (

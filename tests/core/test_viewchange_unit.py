@@ -131,7 +131,6 @@ class TestNewView:
 
     def test_validation_requires_quorum_of_vcs(self, managers, registry4):
         vcs = self._quorum(managers, registry4, {})[:2]
-        from repro.messages.leopard import NewViewMsg
         partial = managers[2].build_new_view(2, vcs + [vcs[0]])
         assert not managers[3].validate_new_view(
             2, partial, expected_leader=2)

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.harness.cli import main
 
 
@@ -62,3 +60,61 @@ class TestRunLiveCli:
             "--rate", "1000", "--bundle-size", "50",
             "--min-committed", "10000000"]) == 1
         assert "FAIL" in capsys.readouterr().err
+
+    def test_run_live_baseline_protocol(self, capsys):
+        assert main([
+            "run-live", "--protocol", "pbft", "--replicas", "4",
+            "--duration", "1.5", "--rate", "2000",
+            "--bundle-size", "100", "--min-committed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "live run: n=4 pbft over TCP [in-process]" in out
+        assert "live smoke OK" in out
+
+    def test_run_live_processes_mode(self, capsys, tmp_path):
+        import json
+
+        output = tmp_path / "live.json"
+        assert main([
+            "run-live", "--protocol", "leopard", "--processes",
+            "--duration", "3.0", "--rate", "1500",
+            "--bundle-size", "100", "--min-committed", "1",
+            "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "[processes]" in out
+        assert "live smoke OK" in out
+        report = json.loads(output.read_text())
+        assert report["deployment"]["mode"] == "processes"
+        assert set(report["deployment"]["exit_codes"].values()) == {0}
+
+
+class TestCalibrateCli:
+    def test_list_mentions_calibrate(self, capsys):
+        assert main(["--list"]) == 0
+        assert "calibrate" in capsys.readouterr().out
+
+    def test_calibrate_smoke_with_artifact(self, capsys, tmp_path):
+        import json
+
+        output = tmp_path / "calibration.json"
+        assert main([
+            "calibrate", "--protocol", "hotstuff", "--duration", "1.0",
+            "--rate", "1500", "--bundle-size", "100",
+            "--warmup", "0.1", "--min-committed", "1",
+            "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "calibration: hotstuff n=4" in out
+        assert "calibration smoke OK" in out
+        report = json.loads(output.read_text())
+        assert report["kind"] == "live_vs_sim_calibration"
+        assert report["live"]["backend"] == "live"
+        assert report["sim"]["backend"] == "sim"
+
+    def test_calibrate_json_stdout(self, capsys):
+        import json
+
+        assert main([
+            "calibrate", "--protocol", "leopard", "--duration", "0.8",
+            "--rate", "1000", "--bundle-size", "50",
+            "--warmup", "0.1", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["deltas"]["throughput_rps"]["live"] > 0

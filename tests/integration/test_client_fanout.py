@@ -8,7 +8,6 @@ from repro.core.client import LeopardClient
 from repro.core.config import LeopardConfig
 from repro.core.replica import LeopardReplica
 from repro.interfaces import Send
-from repro.messages.client import RequestBundle
 from tests.support import InstantLoop
 
 

@@ -3,12 +3,10 @@ requests to another replica after a timeout and eventually gets acks."""
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.client import assign_replica
 from repro.core.config import LeopardConfig
 from repro.harness import build_leopard_cluster
-from repro.sim.faults import Crash, DropIncoming
+from repro.sim.faults import DropIncoming
 
 
 class TestAssignment:

@@ -13,7 +13,6 @@ import pytest
 
 from repro.core.config import LeopardConfig
 from repro.core.replica import LeopardReplica
-from repro.crypto.keys import KeyRegistry
 from repro.harness import build_leopard_cluster
 from repro.messages.leopard import BFTblock, Vote
 from repro.sim.faults import (

@@ -4,8 +4,6 @@ liveness without re-centralising load on the leader."""
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.config import LeopardConfig
 from repro.harness import build_leopard_cluster
 from repro.sim.faults import SelectiveDisseminator

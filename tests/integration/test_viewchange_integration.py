@@ -3,8 +3,6 @@ protocol resumes confirming requests (paper Appendix A, §VI-D2)."""
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.config import LeopardConfig
 from repro.harness import build_leopard_cluster
 from repro.sim.faults import Crash, Mute

@@ -3,7 +3,6 @@
 
 from __future__ import annotations
 
-from repro.crypto.keys import PlainSignature
 from repro.crypto.merkle import MerkleProof
 from repro.crypto.threshold import SignatureShare, ThresholdSignature
 from repro.messages.base import HASH_SIZE, HEADER_SIZE, VOTE_SIZE

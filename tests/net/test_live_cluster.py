@@ -122,8 +122,10 @@ class TestLiveReport:
         sim_cluster.run(1.0)
         sim_report = sim_cluster.report()
 
-        # The shared schema: identical keys at the top and nested levels.
-        assert set(live_report) - {"transport"} == set(sim_report)
+        # The shared schema: identical keys at the top and nested levels
+        # (transport health and deployment topology are live-only).
+        assert set(live_report) - {"transport", "deployment"} \
+            == set(sim_report)
         assert set(live_report["latency_s"]) == set(sim_report["latency_s"])
         assert set(live_report["perf"]) == set(sim_report["perf"])
         for node_report in live_report["bytes_by_class"].values():
@@ -147,6 +149,90 @@ class TestLiveReport:
         node_bytes = report["bytes_by_class"][measure]
         assert node_bytes["sent"].get("vote", 0) > 0
         assert node_bytes["recv"].get("datablock", 0) > 0
+
+
+class TestBootFailureTeardown:
+    """A replica crashing during boot must not orphan bound listeners."""
+
+    def test_bind_failure_mid_start_closes_all_listeners(self, monkeypatch):
+        from repro.net.transport import Router
+
+        real_start = Router.start
+
+        async def failing_start(self, handler):
+            if self.node_id == 2:
+                raise OSError("injected bind failure")
+            await real_start(self, handler)
+
+        monkeypatch.setattr(Router, "start", failing_start)
+
+        async def scenario():
+            cluster = LiveCluster(4, client_count=1, total_rate=1000.0,
+                                  bundle_size=50)
+            with pytest.raises(OSError, match="injected"):
+                await cluster.start()
+            return cluster
+
+        cluster = run(scenario())
+        # Every listener that did bind was closed before the error
+        # propagated; every router refuses further sends.
+        for node in cluster.nodes.values():
+            listener = node.router.listener
+            assert listener is None or listener._server is None
+            assert node.crashed
+
+    def test_boot_hook_failure_closes_all_listeners(self, monkeypatch):
+        from repro.net.node import LiveNode
+
+        real_boot = LiveNode.boot
+
+        def failing_boot(self):
+            if self.node_id == 1:
+                raise RuntimeError("injected core boot failure")
+            real_boot(self)
+
+        monkeypatch.setattr(LiveNode, "boot", failing_boot)
+
+        async def scenario():
+            cluster = LiveCluster(4, client_count=1, total_rate=1000.0,
+                                  bundle_size=50)
+            with pytest.raises(RuntimeError, match="injected"):
+                await cluster.start()
+            return cluster
+
+        cluster = run(scenario())
+        for node in cluster.nodes.values():
+            listener = node.router.listener
+            assert listener is None or listener._server is None
+
+    def test_run_live_cleans_up_when_start_raises(self, monkeypatch):
+        """The run_live entry point tears down even when boot fails."""
+        from repro.net import live as live_mod
+        from repro.net.transport import Router
+
+        real_start = Router.start
+        seen: list[LiveCluster] = []
+
+        async def failing_start(self, handler):
+            if self.node_id == 3:
+                raise OSError("injected bind failure")
+            await real_start(self, handler)
+
+        monkeypatch.setattr(Router, "start", failing_start)
+        real_init = live_mod.LiveCluster.__init__
+
+        def spying_init(self, *args, **kwargs):
+            real_init(self, *args, **kwargs)
+            seen.append(self)
+
+        monkeypatch.setattr(live_mod.LiveCluster, "__init__", spying_init)
+        with pytest.raises(OSError, match="injected"):
+            run(live_mod.run_live(n=4, duration=0.5, total_rate=1000.0,
+                                  bundle_size=50))
+        (cluster,) = seen
+        for node in cluster.nodes.values():
+            listener = node.router.listener
+            assert listener is None or listener._server is None
 
 
 class TestLiveConfig:

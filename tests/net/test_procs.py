@@ -1,0 +1,121 @@
+"""Multi-process deployment tests: port picking, reaping, end-to-end.
+
+Satellite of ISSUE 4: the process supervisor must reap its children and
+close sockets on **every** exit path — a crash during boot must not leave
+orphaned replica processes holding listeners.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import pytest
+
+from repro.harness.procs import (
+    ProcessSupervisor,
+    pick_free_ports,
+    run_live_processes,
+)
+
+
+class TestPickFreePorts:
+    def test_ports_distinct_and_bindable(self):
+        import socket
+
+        ports = pick_free_ports(8)
+        assert len(set(ports)) == 8
+        for port in ports:
+            sock = socket.socket()
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind(("127.0.0.1", port))
+            sock.close()
+
+
+def _sleeper_cmd(seconds: float) -> list[str]:
+    return [sys.executable, "-c",
+            f"import time; time.sleep({seconds})"]
+
+
+class TestProcessSupervisor:
+    def test_context_exit_reaps_survivors(self):
+        """Leaving the with-block kills and reaps long-running children."""
+        with ProcessSupervisor(term_grace=5.0) as supervisor:
+            for index in range(3):
+                supervisor.spawn(f"sleeper-{index}", _sleeper_cmd(60))
+            procs = list(supervisor.procs.values())
+            assert all(proc.poll() is None for proc in procs)
+        # All children dead and reaped (returncode populated, no zombie).
+        assert all(proc.poll() is not None for proc in procs)
+
+    def test_exception_path_still_reaps(self):
+        procs = []
+        with pytest.raises(RuntimeError):
+            with ProcessSupervisor(term_grace=5.0) as supervisor:
+                supervisor.spawn("sleeper", _sleeper_cmd(60))
+                procs = list(supervisor.procs.values())
+                raise RuntimeError("parent failed mid-deploy")
+        assert all(proc.poll() is not None for proc in procs)
+
+    def test_failed_reports_nonzero_exits(self):
+        with ProcessSupervisor() as supervisor:
+            supervisor.spawn(
+                "crasher", [sys.executable, "-c", "import sys; sys.exit(3)"])
+            supervisor.spawn("ok", [sys.executable, "-c", "pass"])
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and not supervisor.failed():
+                time.sleep(0.05)
+            failed = supervisor.failed()
+        assert failed == {"crasher": 3}
+
+    def test_wait_all_returns_exit_codes(self):
+        with ProcessSupervisor() as supervisor:
+            supervisor.spawn("quick", [sys.executable, "-c", "pass"])
+            codes = supervisor.wait_all(timeout=10.0)
+        assert codes == {"quick": 0}
+
+
+class TestRunLiveProcesses:
+    def test_warmup_rejected(self):
+        """Child clocks cannot honour a measurement-epoch warmup."""
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="warmup"):
+            run_live_processes(n=4, duration=1.0, warmup=0.5)
+
+    def test_leopard_commits_across_processes(self):
+        """One OS process per replica commits real requests end-to-end."""
+        report = run_live_processes(
+            n=4, client_count=1, duration=4.0, protocol="leopard",
+            total_rate=2000.0, bundle_size=100, seed=7)
+        committed = report["executed_requests"].get(
+            report["measure_replica"], 0)
+        assert committed >= 100, f"only {committed} committed"
+        # Every replica child exited cleanly and was reaped.
+        assert report["deployment"]["mode"] == "processes"
+        assert set(report["deployment"]["exit_codes"].values()) == {0}
+        # Acks crossed process boundaries back to the parent's clients.
+        assert report["acked_bundles"] > 0
+        # Byte accounting was merged from the child summaries.
+        measure_bytes = report["bytes_by_class"][report["measure_replica"]]
+        assert measure_bytes["sent"].get("vote", 0) > 0
+        assert measure_bytes["recv"].get("datablock", 0) > 0
+        assert report["transport"]["decode_errors"] == 0
+
+    def test_dead_replica_child_aborts_run_and_reaps(self, monkeypatch):
+        """A replica crashing mid-run fails the deployment loudly."""
+        import repro.harness.procs as procs_mod
+
+        real_spawn = ProcessSupervisor.spawn
+
+        def sabotaged_spawn(self, name, cmd, env=None, log_path=None):
+            if name == "replica-2":
+                cmd = [sys.executable, "-c",
+                       "import sys; sys.exit(9)"]
+            return real_spawn(self, name, cmd, env=env, log_path=log_path)
+
+        monkeypatch.setattr(ProcessSupervisor, "spawn", sabotaged_spawn)
+        with pytest.raises(RuntimeError, match="replica-2"):
+            procs_mod.run_live_processes(
+                n=4, client_count=1, duration=8.0, protocol="leopard",
+                total_rate=1000.0, bundle_size=50)
