@@ -73,4 +73,13 @@ calibrate-smoke:
 			|| exit 1; \
 	done
 
+# (n, rate, payload) reconciliation grid; --apply-presets folds the
+# combined cost scale back into benchmarks/CALIBRATION_presets.json,
+# keyed by this host's fingerprint (commit the file to re-baseline).
+calibrate-sweep:
+	@mkdir -p artifacts
+	$(PYTHON) -m repro.harness.cli calibrate --sweep --apply-presets \
+		--duration 1.0 --min-committed 1 \
+		--output artifacts/calibration_sweep_leopard.json
+
 check: lint test bench-micro bench-sim live-smoke-all calibrate-smoke

@@ -15,6 +15,15 @@ largest n its HotStuff baseline could run — for both Leopard and
 HotStuff.  A third probe counts Python-level heap allocations for one
 broadcast dispatch in each engine.
 
+On top of those, the **queue rows** (``queue-*``) compare the two
+scheduler backends of the batched engine against each other — the PR 3
+binary heap (``EventQueue(backend="heap")``) versus the calendar/ladder
+queue with slab-coalesced broadcast arrivals — on the Fig. 9 n = 300
+point, the extended n = 600 point, and HotStuff; and the
+``commit-smoke`` row drives a Leopard n = 1000 deployment through a
+full single-datablock commit (the O(n²) Ready wave, two BFT rounds and
+execution), failing the bench outright if nothing commits.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_sim_bench.py              # smoke
@@ -46,12 +55,14 @@ from repro.harness.cluster import build_hotstuff_cluster, build_leopard_cluster
 from repro.harness.experiments import _leopard_config
 from repro.interfaces import Broadcast
 from repro.messages import hotstuff as hs_messages
+from repro.messages.client import RequestBundle
 from repro.perf import (
     find_regressions,
     host_fingerprint,
     load_report,
     write_report,
 )
+from repro.sim import events as sim_events
 from repro.sim.metrics import MetricsCollector
 from repro.sim.network import Network
 from repro.sim.node import SimNode
@@ -69,6 +80,17 @@ FULL_SCENARIOS = SMOKE_SCENARIOS + [
     ("hotstuff", 300, 1.0),  # the paper's largest HotStuff deployment
 ]
 
+#: Scheduler-backend grid: heap (PR 3) vs calendar+coalescing, batched
+#: engine on both sides.  Windows are longer than the engine rows so the
+#: workload reaches steady saturation — the regime the calendar queue
+#: targets (~90k pending events at n = 300) and the paper's own
+#: measurement convention ("until the measurement is stabilized").
+QUEUE_SCENARIOS = [
+    ("leopard", 300, 1.0),    # Fig. 9 headline point, steady state
+    ("leopard", 600, 0.15),   # extended Fig. 9 point (GF(256)-capped)
+    ("hotstuff", 300, 1.0),   # the paper's largest HotStuff deployment
+]
+
 
 # ---------------------------------------------------------------------------
 # Pre-refactor engine reconstruction
@@ -84,20 +106,25 @@ def _uncached_hs_digest(self) -> bytes:
 def reference_engine():
     """Run the enclosed code on the reconstructed pre-refactor engine.
 
-    Flips every global this PR introduced: ``SimNode.batched`` selects
-    the per-copy closure transmission path (kept in-tree exactly for
-    this measurement, like the scalar gf256 kernels ``run_micro.py``
-    references), and the baseline-protocol digest memoization is
-    unpatched so the reference pays the seed's per-call hashing.
+    Flips every reconstructable global: ``SimNode.batched`` selects the
+    per-copy closure transmission path (kept in-tree exactly for this
+    measurement, like the scalar gf256 kernels ``run_micro.py``
+    references), the baseline-protocol digest memoization is unpatched
+    so the reference pays the seed's per-call hashing, and the event
+    queue is pinned to the seed's binary heap (the calendar backend
+    postdates it).
     """
     saved_digest = hs_messages.HSBlock.digest
+    saved_backend = sim_events.DEFAULT_BACKEND
     SimNode.batched = False
     hs_messages.HSBlock.digest = _uncached_hs_digest
+    sim_events.set_default_backend("heap")
     try:
         yield
     finally:
         SimNode.batched = True
         hs_messages.HSBlock.digest = saved_digest
+        sim_events.set_default_backend(saved_backend)
 
 
 # ---------------------------------------------------------------------------
@@ -154,6 +181,121 @@ def measure_scenario(protocol: str, n: int, sim_seconds: float,
         "baseline_eps": round(base_events / base_wall, 1),
         "vectorized_eps": round(vec_events / vec_wall, 1),
         "speedup": round(base_wall / vec_wall, 2),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Scheduler-backend rows (heap vs calendar) and the n = 1000 commit smoke
+# ---------------------------------------------------------------------------
+
+
+def _one_backend_run(protocol: str, n: int, sim_seconds: float,
+                     backend: str) -> tuple[float, int, dict]:
+    """One fixed-window run on an explicit queue backend."""
+    if protocol == "leopard":
+        cluster = build_leopard_cluster(
+            n=n, seed=6, config=_leopard_config(n), warmup=0.0,
+            queue_backend=backend)
+    elif protocol == "hotstuff":
+        cluster = build_hotstuff_cluster(n=n, seed=6, warmup=0.0,
+                                         queue_backend=backend)
+    else:
+        raise ValueError(f"unknown scenario protocol {protocol!r}")
+    gc.collect()
+    started = time.perf_counter()
+    cluster.run(sim_seconds)
+    wall = time.perf_counter() - started
+    return wall, cluster.sim.queue.processed, cluster.sim.queue.occupancy()
+
+
+def measure_queue_scenario(protocol: str, n: int, sim_seconds: float,
+                           repeats: int) -> dict:
+    """Heap (PR 3 engine) vs calendar backend, interleaved min-of-k."""
+    _one_backend_run(protocol, n, sim_seconds, "heap")
+    _one_backend_run(protocol, n, sim_seconds, "calendar")
+    heap_walls: list[float] = []
+    cal_walls: list[float] = []
+    heap_events = cal_events = 0
+    occupancy: dict = {}
+    for _ in range(repeats):
+        wall, heap_events, _ = _one_backend_run(
+            protocol, n, sim_seconds, "heap")
+        heap_walls.append(wall)
+        wall, cal_events, occupancy = _one_backend_run(
+            protocol, n, sim_seconds, "calendar")
+        cal_walls.append(wall)
+    heap_wall = min(heap_walls)
+    cal_wall = min(cal_walls)
+    return {
+        "op": f"queue-{protocol}",
+        "k": 0,
+        "n": n,
+        "size": int(sim_seconds * 1000),
+        "baseline_wall_s": round(heap_wall, 4),
+        "vectorized_wall_s": round(cal_wall, 4),
+        "baseline_events": heap_events,
+        "vectorized_events": cal_events,
+        "baseline_eps": round(heap_events / heap_wall, 1),
+        "vectorized_eps": round(cal_events / cal_wall, 1),
+        "speedup": round(heap_wall / cal_wall, 2),
+        "queue": {key: occupancy[key]
+                  for key in ("bucket_width", "bucket_count", "max_pending",
+                              "bucket_loads", "bucket_events",
+                              "fanout_slabs", "overflow_migrated",
+                              "late_clamped")},
+    }
+
+
+def measure_commit_smoke(n: int = 1000, sim_cap: float = 4.0) -> dict:
+    """Leopard n = 1000 end-to-end commit on the calendar backend.
+
+    One replica receives one full datablock's worth of requests; the run
+    must carry it through dissemination, the O(n²) Ready wave, two BFT
+    rounds and execution at the measurement replica.  Zero commits fail
+    the bench outright — this is the scenario the calendar queue
+    unlocks, not a relative-speed row.
+    """
+    config = _leopard_config(n)
+    cluster = build_leopard_cluster(
+        n=n, seed=6, config=config, warmup=0.0, total_rate=1e-6,
+        prime=False, queue_backend="calendar")
+    client = cluster.clients[0]
+    bundle = RequestBundle(client.node_id, 0, config.datablock_size,
+                           config.payload_size, 0.0)
+    cluster.sim.queue.schedule(
+        0.0, lambda: cluster.sim.deliver(client.node_id, client.primary,
+                                         bundle))
+    gc.collect()
+    started = time.perf_counter()
+    committed = 0
+    sim_time = 0.0
+    while sim_time < sim_cap and not committed:
+        cluster.run(0.5)
+        sim_time += 0.5
+        committed = cluster.metrics.executed_requests.get(
+            cluster.measure_replica, 0)
+    wall = time.perf_counter() - started
+    events = cluster.sim.queue.processed
+    if committed <= 0:
+        raise SystemExit(
+            f"commit-smoke FAILED: Leopard n={n} committed nothing "
+            f"within {sim_cap}s simulated ({events} events)")
+    occupancy = cluster.sim.queue.occupancy()
+    return {
+        "op": "commit-smoke-leopard",
+        "k": 0,
+        "n": n,
+        "size": int(sim_time * 1000),
+        "committed_requests": int(committed),
+        "commit_sim_time_s": round(sim_time, 2),
+        "vectorized_wall_s": round(wall, 4),
+        "vectorized_events": events,
+        "vectorized_eps": round(events / wall, 1),
+        "queue": {key: occupancy[key]
+                  for key in ("bucket_width", "bucket_count", "max_pending",
+                              "bucket_loads", "bucket_events",
+                              "fanout_slabs", "overflow_migrated",
+                              "late_clamped")},
     }
 
 
@@ -239,6 +381,12 @@ def run_bench(mode: str, repeats: int) -> list[dict]:
     scenarios = FULL_SCENARIOS if mode == "full" else SMOKE_SCENARIOS
     rows = [measure_scenario(protocol, n, sim_seconds, repeats)
             for protocol, n, sim_seconds in scenarios]
+    # Scheduler-backend rows and the n=1000 commit smoke gate in BOTH
+    # modes — they are the acceptance scenarios of the calendar queue.
+    rows += [measure_queue_scenario(protocol, n, sim_seconds,
+                                    min(repeats, 3))
+             for protocol, n, sim_seconds in QUEUE_SCENARIOS]
+    rows.append(measure_commit_smoke())
     rows.append(measure_allocs(300 if mode == "full" else 64))
     return rows
 
@@ -256,6 +404,18 @@ def render_rows(rows: list[dict]) -> str:
                 f"{row['vectorized_allocs']:>11.0f} "
                 f"{'(allocs)':>10} {'(allocs)':>11} "
                 f"{row['speedup']:>7.1f}x")
+        elif row["op"].startswith("commit-smoke"):
+            lines.append(
+                f"{row['op']:<18} {row['n']:>4} {row['size']:>5}ms "
+                f"{'--':>10} {row['vectorized_wall_s']:>10.3f}s "
+                f"{'--':>10} {row['vectorized_eps']:>11.0f} "
+                f"{row['committed_requests']:>5} req")
+            queue = row.get("queue") or {}
+            lines.append(
+                f"{'':<18}   queue: max_pending={queue.get('max_pending')} "
+                f"bucket_loads={queue.get('bucket_loads')} "
+                f"fanout_slabs={queue.get('fanout_slabs')} "
+                f"late_clamped={queue.get('late_clamped')}")
         else:
             lines.append(
                 f"{row['op']:<18} {row['n']:>4} {row['size']:>5}ms "
@@ -263,6 +423,16 @@ def render_rows(rows: list[dict]) -> str:
                 f"{row['vectorized_wall_s']:>10.3f}s "
                 f"{row['baseline_eps']:>10.0f} {row['vectorized_eps']:>11.0f} "
                 f"{row['speedup']:>7.1f}x")
+            queue = row.get("queue")
+            if queue:
+                lines.append(
+                    f"{'':<18}   queue: "
+                    f"width={queue.get('bucket_width'):.0e} "
+                    f"max_pending={queue.get('max_pending')} "
+                    f"bucket_loads={queue.get('bucket_loads')} "
+                    f"fanout_slabs={queue.get('fanout_slabs')} "
+                    f"overflow_migrated={queue.get('overflow_migrated')} "
+                    f"late_clamped={queue.get('late_clamped')}")
     return "\n".join(lines)
 
 

@@ -244,11 +244,14 @@ def compare_live_sim(protocol: str = "leopard", n: int = 4,
     if protocol == "leopard":
         # Mirror build_leopard_cluster's client topology (one client per
         # non-leader replica) so the live run offers load the same way.
+        # No mempool priming: the live runtime has no equivalent burst,
+        # and an extra t=0 burst on the sim side only would bias the
+        # throughput ratio (and with it suggested_cost_scale).
         client_count = max(1, n - 1)
         sim_cluster = build_leopard_cluster(
             n, seed=seed, config=config, costs=costs,
             total_rate=total_rate, clients_per_replica=1,
-            bundle_size=bundle_size, warmup=warmup)
+            bundle_size=bundle_size, warmup=warmup, prime=False)
     elif protocol == "pbft":
         client_count = 1
         sim_cluster = build_pbft_cluster(
@@ -305,3 +308,137 @@ def compare_live_sim(protocol: str = "leopard", n: int = 4,
         "suggested_cost_scale": (1.0 / ratio) if ratio and ratio == ratio
         and ratio > 0 else None,
     }
+
+
+# ---------------------------------------------------------------------------
+# Grid sweeps and per-host cost presets
+# ---------------------------------------------------------------------------
+
+#: Default (n, rate, payload) sweep grid: small enough to gate in CI,
+#: wide enough to expose rate- and shape-dependence of the scale factor.
+DEFAULT_SWEEP_GRID: tuple[tuple[int, float, int], ...] = (
+    (4, 1000.0, 128),
+    (4, 2000.0, 128),
+    (7, 2000.0, 128),
+)
+
+#: Committed per-host calibration presets (see :func:`save_host_preset`).
+DEFAULT_PRESETS_PATH = "benchmarks/CALIBRATION_presets.json"
+
+
+def scaled_costs(scale: float, protocol: str = "leopard",
+                 costs: CostModel = DEFAULT_COSTS) -> CostModel:
+    """Apply a reconciliation ``scale`` to the protocol's cost constants.
+
+    Scales exactly the per-request constants the reconciliation report
+    names (:data:`RELEVANT_COSTS` plus the shared per-message/per-byte
+    costs) — the first-order correction that moves simulated saturation
+    throughput onto the live host's.
+    """
+    from dataclasses import replace
+
+    if scale <= 0 or scale != scale:
+        raise ValueError(f"cost scale must be positive, got {scale!r}")
+    fields = _COMMON_COSTS + RELEVANT_COSTS[protocol]
+    return replace(costs, **{name: getattr(costs, name) * scale
+                             for name in fields})
+
+
+def sweep_live_sim(protocol: str = "leopard",
+                   grid: tuple[tuple[int, float, int], ...]
+                   = DEFAULT_SWEEP_GRID,
+                   duration: float = 1.5, bundle_size: int = 100,
+                   datablock_size: int = 100, seed: int = 0,
+                   warmup: float = 0.25,
+                   costs: CostModel = DEFAULT_COSTS) -> dict:
+    """Reconcile a small (n, rate, payload) grid under both backends.
+
+    Runs :func:`compare_live_sim` once per grid point and combines the
+    per-point ``suggested_cost_scale`` values into one robust factor
+    (geometric mean over the valid points) — the PR 4 follow-up: sweep
+    the grid and fold the result back into committed per-host
+    :class:`CostModel` presets (:func:`save_host_preset`).
+    """
+    import math
+
+    from repro.perf import host_fingerprint
+
+    points = []
+    scales = []
+    for n, rate, payload in grid:
+        point = compare_live_sim(
+            protocol=protocol, n=n, total_rate=rate, payload_size=payload,
+            duration=duration, bundle_size=bundle_size,
+            datablock_size=datablock_size, seed=seed, warmup=warmup,
+            costs=costs)
+        points.append(point)
+        scale = point["suggested_cost_scale"]
+        if scale is not None and scale > 0:
+            scales.append(scale)
+    combined = math.exp(sum(math.log(s) for s in scales)
+                        / len(scales)) if scales else None
+    return {
+        "schema": 1,
+        "kind": "calibration_sweep",
+        "protocol": protocol,
+        "host": host_fingerprint(),
+        "grid": [list(point) for point in grid],
+        "points": points,
+        "point_scales": scales,
+        "combined_cost_scale": combined,
+    }
+
+
+def save_host_preset(sweep_report: dict, path: str = DEFAULT_PRESETS_PATH
+                     ) -> dict:
+    """Fold a sweep's combined scale into the committed preset file.
+
+    The file maps ``host fingerprint -> protocol -> {scale, grid}``;
+    :func:`host_cost_preset` reads it back on the measuring host.
+    Returns the updated preset document.
+    """
+    import json
+    from pathlib import Path
+
+    target = Path(path)
+    presets: dict = {}
+    if target.exists():
+        presets = json.loads(target.read_text())
+    else:
+        target.parent.mkdir(parents=True, exist_ok=True)
+    scale = sweep_report.get("combined_cost_scale")
+    if scale is None:
+        raise ValueError("sweep produced no usable cost scale")
+    host = sweep_report["host"]
+    presets.setdefault(host, {})[sweep_report["protocol"]] = {
+        "scale": scale,
+        "grid": sweep_report["grid"],
+        "points": len(sweep_report["points"]),
+    }
+    target.write_text(json.dumps(presets, indent=2, sort_keys=True) + "\n")
+    return presets
+
+
+def host_cost_preset(protocol: str = "leopard",
+                     path: str = DEFAULT_PRESETS_PATH,
+                     costs: CostModel = DEFAULT_COSTS) -> CostModel:
+    """The calibrated :class:`CostModel` for *this* host, if committed.
+
+    Looks the current host fingerprint up in the preset file and applies
+    the stored reconciliation scale; falls back to ``costs`` unchanged
+    when the file or the host entry is missing (presets are only
+    meaningful on the machine that measured them).
+    """
+    import json
+    from pathlib import Path
+
+    from repro.perf import host_fingerprint
+
+    target = Path(path)
+    if not target.exists():
+        return costs
+    entry = json.loads(target.read_text()).get(
+        host_fingerprint(), {}).get(protocol)
+    if not entry:
+        return costs
+    return scaled_costs(entry["scale"], protocol, costs)

@@ -214,6 +214,23 @@ def calibrate_command(argv: list[str]) -> int:
     parser.add_argument("--min-committed", type=int, default=None,
                         help="exit non-zero unless both backends "
                              "committed at least this many requests")
+    parser.add_argument("--queue-backend", choices=("calendar", "heap"),
+                        default=None,
+                        help="event-queue backend for the simulated side")
+    parser.add_argument("--use-host-preset", action="store_true",
+                        help="run with the committed per-host CostModel "
+                             "preset applied to the simulated side "
+                             "(a calibrated host should then reconcile "
+                             "at a ratio near 1)")
+    parser.add_argument("--sweep", action="store_true",
+                        help="reconcile the default (n, rate, payload) "
+                             "grid instead of a single point")
+    parser.add_argument("--apply-presets", default=None, metavar="FILE",
+                        nargs="?", const="",
+                        help="fold the sweep's combined cost scale into "
+                             "the per-host preset file (default: the "
+                             "committed benchmarks/CALIBRATION_presets"
+                             ".json); implies --sweep")
     parser.add_argument("--json", action="store_true",
                         help="print the full report as JSON")
     parser.add_argument("--output", default=None, metavar="FILE",
@@ -221,14 +238,84 @@ def calibrate_command(argv: list[str]) -> int:
                              "(CI artifact path)")
     args = parser.parse_args(argv)
 
-    from repro.analysis.calibration import compare_live_sim
+    from repro.analysis.calibration import (
+        DEFAULT_COSTS,
+        DEFAULT_PRESETS_PATH,
+        compare_live_sim,
+        host_cost_preset,
+        save_host_preset,
+        sweep_live_sim,
+    )
+
+    if args.queue_backend:
+        from repro.sim.events import set_default_backend
+
+        set_default_backend(args.queue_backend)
+
+    costs = DEFAULT_COSTS
+    if args.use_host_preset:
+        costs = host_cost_preset(args.protocol)
+        if costs is DEFAULT_COSTS:
+            print("note: no committed preset for this host/protocol; "
+                  "running with default costs")
+
+    if args.sweep or args.apply_presets is not None:
+        from repro.analysis.calibration import DEFAULT_SWEEP_GRID
+
+        # The point flags join the default grid rather than being
+        # silently ignored, so `--sweep --rate 4000` really sweeps the
+        # rate the user asked about.
+        grid = tuple(dict.fromkeys(
+            DEFAULT_SWEEP_GRID
+            + ((args.replicas, args.rate, args.payload),)))
+        report = sweep_live_sim(
+            protocol=args.protocol, grid=grid, duration=args.duration,
+            bundle_size=args.bundle_size,
+            datablock_size=args.datablock_size, seed=args.seed,
+            warmup=args.warmup, costs=costs)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            for point in report["points"]:
+                print(_render_calibration(point))
+            combined = report["combined_cost_scale"]
+            print(f"combined cost scale over {len(report['points'])} "
+                  f"points: "
+                  f"{combined:.3g}" if combined is not None else
+                  "combined cost scale: n/a")
+        _write_report(report, args.output)
+        if args.min_committed is not None:
+            for point in report["points"]:
+                for backend in ("live", "sim"):
+                    sub = point[backend]
+                    committed = sub["executed_requests"].get(
+                        sub["measure_replica"], 0)
+                    if committed < args.min_committed:
+                        print(f"FAIL: {backend} backend committed "
+                              f"{committed} < required "
+                              f"{args.min_committed} at n={point['n']}",
+                              file=sys.stderr)
+                        return 1
+            print(f"calibration sweep OK: every backend of every point "
+                  f"committed >= {args.min_committed}")
+        # Presets only persist after the commit gate: a run the gate
+        # rejects must not re-baseline the committed file.
+        if args.apply_presets is not None:
+            if report["combined_cost_scale"] is None:
+                print("FAIL: sweep produced no usable cost scale; "
+                      "presets not updated", file=sys.stderr)
+                return 1
+            path = args.apply_presets or DEFAULT_PRESETS_PATH
+            save_host_preset(report, path)
+            print(f"updated per-host cost presets in {path}")
+        return 0
 
     report = compare_live_sim(
         protocol=args.protocol, n=args.replicas, total_rate=args.rate,
         payload_size=args.payload, duration=args.duration,
         bundle_size=args.bundle_size,
         datablock_size=args.datablock_size, seed=args.seed,
-        warmup=args.warmup)
+        warmup=args.warmup, costs=costs)
 
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
@@ -271,7 +358,17 @@ def main(argv: list[str] | None = None) -> int:
              "or 'calibrate'")
     parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit")
+    parser.add_argument(
+        "--queue-backend", choices=("calendar", "heap"), default=None,
+        help="discrete-event scheduler backend for every simulated "
+             "cluster (default: calendar; 'heap' replays grids on the "
+             "measured reference engine)")
     args = parser.parse_args(argv)
+
+    if args.queue_backend:
+        from repro.sim.events import set_default_backend
+
+        set_default_backend(args.queue_backend)
 
     if args.list or not args.experiments:
         print("available experiments:")

@@ -115,7 +115,31 @@ class Cluster:
             measure_replica=self.measure_replica,
             events_processed=self.sim.events_processed,
             events_per_sec=self.sim.events_per_sec(),
+            event_queue=self.sim.queue.occupancy(),
         )
+
+
+def _bucket_width_hint(n: int, block_bytes: int, bandwidth_bps: float,
+                       fanout: int = 1) -> float:
+    """Calendar bucket width sized from the NIC serialization quantum.
+
+    ``fanout`` captures the protocol's traffic shape.  For all-to-all
+    dissemination (Leopard: every replica multicasts datablocks, so the
+    global event stream is dense) a bucket spans about a quarter of one
+    wire copy's serialization time — wide enough that a coalesced
+    arrival slab crosses few buckets, narrow enough that a copy's
+    follow-on events (rx serialization + CPU occupancy, at least one
+    further quantum) land beyond the bucket being drained.  For
+    leader-based dissemination (HotStuff/PBFT: one sender, ~n× sparser
+    events) pass ``fanout = n - 1`` so a bucket spans a slice of the
+    whole egress ramp instead; per-copy-sized buckets there would mean
+    one cursor advance per event.  Clamped so degenerate payloads (tiny
+    control messages, throttled NICs) still get useful buckets.
+    """
+    # bytes*16/bandwidth == bytes*8/(bandwidth/2): one copy's wire time
+    # at the NIC's half-duplex per-direction share (Nic.occupy_tx).
+    quantum = max(1, block_bytes) * 16.0 / bandwidth_bps
+    return min(4e-3, max(5e-5, max(1, fanout) * quantum / 4.0))
 
 
 def _pick_measure_replica(n: int, leader: int, faulty: set[int]) -> int:
@@ -139,6 +163,8 @@ def build_leopard_cluster(
         resubmit: bool = False,
         trace_phases: bool = False,
         gst: float = 0.0,
+        queue_backend: str | None = None,
+        prime: bool = True,
 ) -> Cluster:
     """Build a Leopard deployment of ``n`` replicas plus load clients.
 
@@ -161,6 +187,13 @@ def build_leopard_cluster(
         resubmit: enable client re-submission on ack timeout.
         trace_phases: collect the Table IV latency-phase breakdown.
         gst: global stabilization time of the partial-synchrony model.
+        queue_backend: event-queue backend (``"calendar"`` / ``"heap"``);
+            ``None`` uses the process default.
+        prime: inject the initial saturating request burst into every
+            client (the paper's steady-saturation setup).  Disable for
+            targeted workloads — e.g. the n = 1000 single-block commit
+            smoke, where an all-replica burst would cost O(n²·blocks)
+            Ready events.
     """
     config = config if config is not None else LeopardConfig(n=n)
     if config.n != n:
@@ -185,7 +218,11 @@ def build_leopard_cluster(
     network = Network(n + client_count, bandwidth_bps=bandwidth_bps,
                       gst=gst, seed=seed)
     metrics = MetricsCollector(warmup=warmup)
-    sim = Simulation(network, replica_count=n, metrics=metrics)
+    sim = Simulation(
+        network, replica_count=n, metrics=metrics,
+        queue_backend=queue_backend,
+        bucket_width=_bucket_width_hint(
+            n, config.datablock_size * config.payload_size, bandwidth_bps))
     registry = KeyRegistry(n, config.f, seed=seed)
     leader = config.leader_of(1)
     measure = _pick_measure_replica(n, leader, set(faults))
@@ -223,9 +260,10 @@ def build_leopard_cluster(
     # Prime the mempools so datablocks are full from the start; the paper
     # stress-tests "with a saturated request rate ... until the measurement
     # is stabilized".
-    burst = max(1, math.ceil(
-        2 * config.datablock_size / max(1, clients_per_replica)))
-    _prime_leopard(cluster, burst)
+    if prime:
+        burst = max(1, math.ceil(
+            2 * config.datablock_size / max(1, clients_per_replica)))
+        _prime_leopard(cluster, burst)
     return cluster
 
 
@@ -260,6 +298,7 @@ def build_hotstuff_cluster(
         bundle_size: int = 500,
         warmup: float = 1.0,
         faults: dict[int, FaultBehavior] | None = None,
+        queue_backend: str | None = None,
 ) -> Cluster:
     """Build a chained-HotStuff deployment (clients submit to the leader).
 
@@ -286,7 +325,12 @@ def build_hotstuff_cluster(
     network = Network(n + client_count, bandwidth_bps=bandwidth_bps,
                       seed=seed)
     metrics = MetricsCollector(warmup=warmup)
-    sim = Simulation(network, replica_count=n, metrics=metrics)
+    sim = Simulation(
+        network, replica_count=n, metrics=metrics,
+        queue_backend=queue_backend,
+        bucket_width=_bucket_width_hint(
+            n, config.payload_size * bundle_size, bandwidth_bps,
+            fanout=n - 1))
     leader = config.leader_of(1)
     measure = _pick_measure_replica(n, leader, set(faults))
 
@@ -324,6 +368,7 @@ def build_pbft_cluster(
         bundle_size: int = 500,
         warmup: float = 1.0,
         faults: dict[int, FaultBehavior] | None = None,
+        queue_backend: str | None = None,
 ) -> Cluster:
     """Build a PBFT / BFT-SMaRt deployment (Fig. 1 baseline)."""
     from repro.baselines.client import BaselineClient
@@ -345,7 +390,12 @@ def build_pbft_cluster(
     network = Network(n + client_count, bandwidth_bps=bandwidth_bps,
                       seed=seed)
     metrics = MetricsCollector(warmup=warmup)
-    sim = Simulation(network, replica_count=n, metrics=metrics)
+    sim = Simulation(
+        network, replica_count=n, metrics=metrics,
+        queue_backend=queue_backend,
+        bucket_width=_bucket_width_hint(
+            n, config.payload_size * bundle_size, bandwidth_bps,
+            fanout=n - 1))
     leader = config.leader_of(1)
     measure = _pick_measure_replica(n, leader, set(faults))
 

@@ -1,47 +1,124 @@
-"""Deterministic discrete-event engine.
+"""Deterministic discrete-event engine with selectable scheduler backends.
 
-A single binary heap of ``(time, sequence, callback, arg)`` entries.  The
+Every entry is a ``(time, sequence, callback, arg)`` tuple.  The
 ``sequence`` tiebreaker makes execution order fully deterministic for equal
 timestamps, which in turn makes every experiment in this repository
-reproducible bit-for-bit from its seed (DESIGN.md §5).
+reproducible bit-for-bit from its seed (DESIGN.md §5).  Two backends
+implement the same contract and execute *identical* event sequences (same
+callbacks, same timestamps, same tiebreaks — property-tested in
+``tests/sim/test_queue_equivalence.py``):
+
+* ``backend="heap"`` — a single binary heap, the measured reference
+  engine.  At paper-scale saturation (n = 300) the heap holds ~65k
+  pending arrivals, so every push/pop pair pays ``log(65k)`` tuple
+  comparisons.
+* ``backend="calendar"`` (default) — a two-tier calendar/ladder queue:
+  a rotating ring of fixed-width time buckets covers the near horizon
+  (``bucket_width`` is sized from the NIC serialization quantum), and
+  an overflow heap stages far-future events (timers, view-change
+  alarms, pre-GST delays) that migrate into the ring as the horizon
+  advances.  Inserts into the ring are O(1) appends; a bucket is
+  ordered lazily — one Timsort pass — only when the clock enters it,
+  and drains through an index pointer with no heap discipline at all.
+  A broadcast's coalesced arrival slab (see
+  :meth:`CalendarEventQueue.schedule_fanout`) enters pre-sorted, so its
+  lazy sort degenerates to a single verify pass.
+
+Determinism argument for the calendar backend: bucket ``k`` covers the
+half-open interval ``[k·w, (k+1)·w)``, so every entry in bucket ``k``
+precedes every entry in bucket ``k+1``; within a bucket, entries are
+ordered by the same global ``(time, sequence)`` key the heap uses; and
+overflow entries migrate into the ring strictly before the cursor reaches
+their bucket.  Concatenating per-bucket order over the bucket sequence is
+therefore exactly the global ``(time, sequence)`` order.
 
 Three allocation-control mechanisms keep the engine out of the profile at
-paper scale (n = 300–600, where one broadcast is ~600 events):
+paper scale (n = 300–1000, where one broadcast is ~n-1 events):
 
-* **Payload-carrying entries**: every heap entry carries an optional
-  argument for its callback (:meth:`EventQueue.schedule_call`), so hot
-  paths enqueue a *shared* bound method plus a small payload (a
-  destination id, a ``(sender, msg)`` pair) instead of binding a fresh
-  closure per event.
+* **Payload-carrying entries**: every entry carries an optional argument
+  for its callback (:meth:`EventQueue.schedule_call` and the unchecked
+  hot-path :meth:`EventQueue.push`), so hot paths enqueue a *shared*
+  bound method plus a small payload instead of binding a fresh closure
+  per event.
 * **Typed event records** (:class:`EventRecord`): per-transmission state
-  lives in one ``__slots__`` record whose bound methods are the heap
-  callbacks — a broadcast allocates one record for all n-1 copies, not
-  two closures per copy.
+  lives in one ``__slots__`` record whose bound methods are the queue
+  callbacks — a broadcast allocates one record for all n-1 copies.
 * **Bulk scheduling** (:meth:`EventQueue.schedule_fanout` /
   :meth:`EventQueue.schedule_many`): a multicast enqueues all its
-  arrival events in one call; large batches are appended and
-  re-heapified in one C-level pass instead of n-1 ``heappush`` rounds.
+  arrival events in one call; the calendar backend slices the already
+  cumsum-sorted arrival slab into per-bucket segments with zero
+  per-event Python work.
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import insort
 from collections import deque
+from heapq import heappop, heappush, heapreplace
 from itertools import repeat
 from typing import Callable, Iterable, Sequence
 
-from repro.errors import SimulationError
+import numpy as np
+
+from repro.errors import ConfigError, SimulationError
 
 #: Sentinel marking an entry whose callback takes no argument.
 _NO_ARG = object()
+
+#: How far before ``now`` a timestamp may land and still be *clamped* to
+#: ``now`` instead of rejected.  Float accumulation along the vectorized
+#: egress ramp (``start + per_copy * ramp``) can round an arrival a few
+#: ulps below the clock when the first copy's departure is re-derived
+#: through a different association order; 1 ns of simulated time is far
+#: below every modelled delay (propagation is ~1 ms) yet many orders of
+#: magnitude above ulp noise, so clamping inside this band is physically
+#: meaningless while anything beyond it is a real scheduling bug.
+LATE_TOLERANCE = 1e-9
+
+#: Backend chosen by ``EventQueue()`` when none is requested (see
+#: :func:`set_default_backend`).
+DEFAULT_BACKEND = "calendar"
+
+#: Default calendar bucket width in seconds.  Sized around the NIC
+#: serialization quantum at paper defaults (one ~256 KB datablock copy
+#: serializes in ~340 µs at 6 Gbps effective): a bucket must be narrow
+#: enough that a message's *follow-on* events (rx completion + CPU-lane
+#: occupancy) land in a later bucket, keeping the running bucket
+#: append-only while it drains.
+DEFAULT_BUCKET_WIDTH = 2.5e-4
+
+#: Simulated seconds the bucket ring should span when ``bucket_count``
+#: is not given: ``count = clamp(HORIZON / width, 256, 65536)``.  Sized
+#: to cover the NIC egress backlog a saturating workload builds up (the
+#: cumsum ramps push arrivals several simulated seconds ahead), so those
+#: arrivals are cheap ring appends rather than overflow-heap round
+#: trips.  Anything beyond the ring (protocol timers, view-change
+#: alarms, pre-GST adversarial deliveries) stages in the overflow heap
+#: and migrates in as the horizon advances.
+DEFAULT_HORIZON = 8.0
+
+
+def set_default_backend(backend: str) -> None:
+    """Select the backend ``EventQueue()`` constructs by default.
+
+    The harness CLI's ``--queue-backend`` flag routes here so whole
+    experiment grids can be replayed on the reference heap engine.
+    """
+    global DEFAULT_BACKEND
+    if backend not in _BACKENDS:
+        raise ConfigError(
+            f"unknown event-queue backend {backend!r}; "
+            f"choose from {sorted(_BACKENDS)}")
+    DEFAULT_BACKEND = backend
 
 
 class EventRecord:
     """Base class for typed, allocation-light event payloads.
 
     Subclasses declare ``__slots__`` for their state; their bound methods
-    (or the instance itself, via ``__call__``) go into the heap where a
-    closure would otherwise be allocated.  The heap never compares
+    (or the instance itself, via ``__call__``) go into the queue where a
+    closure would otherwise be allocated.  The queue never compares
     callbacks (the sequence number always breaks timestamp ties first),
     so records need no ordering methods.
     """
@@ -50,13 +127,40 @@ class EventRecord:
 
 
 class EventQueue:
-    """A minimal, fast discrete-event scheduler."""
+    """A minimal, fast discrete-event scheduler (backend factory).
 
-    def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Callable, object]] = []
+    ``EventQueue(backend="heap")`` returns the binary-heap reference
+    engine, ``EventQueue(backend="calendar")`` the two-tier calendar
+    queue; with no backend argument the process-wide default applies
+    (:func:`set_default_backend`).  Both expose one API, so hosts and
+    the network model stay backend-agnostic.
+    """
+
+    #: Name reported by :meth:`occupancy` (overridden per backend).
+    backend = "abstract"
+
+    __slots__ = ("_sequence", "_now", "_processed", "_late_clamped",
+                 "_max_pending")
+
+    def __new__(cls, backend: str | None = None, **kwargs):
+        if cls is EventQueue:
+            name = DEFAULT_BACKEND if backend is None else backend
+            try:
+                cls = _BACKENDS[name]
+            except KeyError:
+                raise ConfigError(
+                    f"unknown event-queue backend {name!r}; "
+                    f"choose from {sorted(_BACKENDS)}") from None
+        return object.__new__(cls)
+
+    def __init__(self, backend: str | None = None, **kwargs) -> None:
         self._sequence = 0
         self._now = 0.0
         self._processed = 0
+        self._late_clamped = 0
+        self._max_pending = 0
+
+    # -- shared surface -------------------------------------------------
 
     @property
     def now(self) -> float:
@@ -64,47 +168,101 @@ class EventQueue:
         return self._now
 
     @property
-    def pending(self) -> int:
-        """Number of events not yet executed."""
-        return len(self._heap)
-
-    @property
     def processed(self) -> int:
         """Number of events executed so far."""
         return self._processed
+
+    @property
+    def late_clamped(self) -> int:
+        """Events whose timestamp was clamped up to ``now`` (ulp noise)."""
+        return self._late_clamped
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        self.schedule(self._now + delay, callback)
 
     def schedule(self, when: float, callback: Callable[[], None]) -> None:
         """Schedule zero-argument ``callback`` at absolute time ``when``.
 
         Raises:
-            SimulationError: if ``when`` is in the past.
+            SimulationError: if ``when`` is in the past by more than
+                :data:`LATE_TOLERANCE` (timestamps inside the tolerance
+                band are clamped to ``now`` and counted).
         """
-        if when < self._now:
-            raise SimulationError(
-                f"cannot schedule event at {when} before now={self._now}")
-        self._sequence += 1
-        heapq.heappush(self._heap, (when, self._sequence, callback, _NO_ARG))
-
-    def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` to run ``delay`` seconds from now."""
-        self.schedule(self._now + delay, callback)
+        self.push(when, callback, _NO_ARG)
 
     def schedule_call(self, when: float, callback: Callable,
                       arg: object) -> None:
         """Schedule ``callback(arg)`` at absolute time ``when``.
 
         The allocation-light sibling of :meth:`schedule`: the payload
-        rides in the heap entry itself, so hot paths pass a shared bound
+        rides in the queue entry itself, so hot paths pass a shared bound
         method plus an argument instead of binding a closure per event.
 
         Raises:
-            SimulationError: if ``when`` is in the past.
+            SimulationError: as :meth:`schedule`.
         """
+        self.push(when, callback, arg)
+
+    def _late(self, when: float) -> float:
+        """Clamp a barely-late timestamp to ``now``, or reject it."""
+        now = self._now
+        if now - when <= LATE_TOLERANCE:
+            self._late_clamped += 1
+            return now
+        raise SimulationError(
+            f"cannot schedule event at {when} before now={now}")
+
+    def occupancy(self) -> dict:
+        """Queue-occupancy counters for the run report (sampled).
+
+        ``max_pending`` is a high-water mark sampled at bulk-insert and
+        run boundaries, not per push.  Calendar-specific counters are
+        ``None``/0 on the heap backend so both emit identical keys.
+        """
+        return {
+            "backend": self.backend,
+            "pending": self.pending,
+            "max_pending": self._max_pending,
+            "late_clamped": self._late_clamped,
+            "bucket_width": None,
+            "bucket_count": None,
+            "bucket_loads": 0,
+            "bucket_events": 0,
+            "fanout_slabs": 0,
+            "active_slabs": 0,
+            "slab_pending": 0,
+            "overflow_migrated": 0,
+        }
+
+
+class HeapEventQueue(EventQueue):
+    """The binary-heap reference backend (one global heap)."""
+
+    backend = "heap"
+
+    __slots__ = ("_heap",)
+
+    def __init__(self, backend: str | None = None,
+                 bucket_width: float | None = None,
+                 bucket_count: int | None = None) -> None:
+        # Calendar sizing hints are accepted (and ignored) so callers can
+        # thread one parameter set through either backend.
+        super().__init__()
+        self._heap: list[tuple[float, int, Callable, object]] = []
+
+    @property
+    def pending(self) -> int:
+        """Number of events not yet executed."""
+        return len(self._heap)
+
+    def push(self, when: float, callback: Callable, arg: object) -> None:
+        """Unchecked-fast-path insert shared by all scalar scheduling."""
         if when < self._now:
-            raise SimulationError(
-                f"cannot schedule event at {when} before now={self._now}")
-        self._sequence += 1
-        heapq.heappush(self._heap, (when, self._sequence, callback, arg))
+            when = self._late(when)
+        sequence = self._sequence + 1
+        self._sequence = sequence
+        heappush(self._heap, (when, sequence, callback, arg))
 
     def _bulk_insert(self, batch: list[tuple[float, int, Callable, object]]
                      ) -> None:
@@ -116,6 +274,8 @@ class EventQueue:
         else:
             # Drive the push loop from C (map over the C heappush).
             deque(map(heapq.heappush, repeat(heap), batch), maxlen=0)
+        if len(heap) > self._max_pending:
+            self._max_pending = len(heap)
 
     def schedule_many(
             self,
@@ -131,19 +291,24 @@ class EventQueue:
             Number of events scheduled.
 
         Raises:
-            SimulationError: if any ``when`` is in the past (no events
-                from the batch are scheduled).
+            SimulationError: if any ``when`` is in the past beyond the
+                clamp tolerance (no events from the batch are scheduled).
         """
         now = self._now
         sequence = self._sequence
+        clamped = 0
         batch: list[tuple[float, int, Callable, object]] = []
         for when, callback in events:
             if when < now:
-                raise SimulationError(
-                    f"cannot schedule event at {when} before now={now}")
+                if now - when > LATE_TOLERANCE:
+                    raise SimulationError(
+                        f"cannot schedule event at {when} before now={now}")
+                when = now
+                clamped += 1
             sequence += 1
             batch.append((when, sequence, callback, _NO_ARG))
         self._sequence = sequence
+        self._late_clamped += clamped
         self._bulk_insert(batch)
         return len(batch)
 
@@ -158,16 +323,22 @@ class EventQueue:
         timestamps fire in fan-out order.
 
         Raises:
-            SimulationError: if any time is in the past (nothing is
-                scheduled).
+            SimulationError: if any time is in the past beyond the clamp
+                tolerance (nothing is scheduled).
         """
         count = len(times)
         if count == 0:
             return 0
-        if min(times) < self._now:
-            raise SimulationError(
-                f"cannot schedule event at {min(times)} before "
-                f"now={self._now}")
+        if isinstance(times, np.ndarray):
+            times = times.tolist()
+        now = self._now
+        low = min(times)
+        if low < now:
+            if now - low > LATE_TOLERANCE:
+                raise SimulationError(
+                    f"cannot schedule event at {low} before now={now}")
+            self._late_clamped += sum(1 for t in times if t < now)
+            times = [t if t >= now else now for t in times]
         sequence = self._sequence
         # zip builds the heap entries entirely in C.
         batch = list(zip(times, range(sequence + 1, sequence + 1 + count),
@@ -193,6 +364,8 @@ class EventQueue:
         heap = self._heap
         pop = heapq.heappop
         no_arg = _NO_ARG
+        if len(heap) > self._max_pending:
+            self._max_pending = len(heap)
         while heap and heap[0][0] <= deadline:
             if max_events is not None and executed >= max_events:
                 break
@@ -214,6 +387,8 @@ class EventQueue:
         heap = self._heap
         pop = heapq.heappop
         no_arg = _NO_ARG
+        if len(heap) > self._max_pending:
+            self._max_pending = len(heap)
         while heap and executed < max_events:
             when, _, callback, arg = pop(heap)
             self._now = when
@@ -224,3 +399,424 @@ class EventQueue:
             else:
                 callback(arg)
         return executed
+
+
+class CalendarEventQueue(EventQueue):
+    """Two-tier calendar/ladder backend: bucket ring + overflow heap.
+
+    Structure (see the module docstring for the determinism argument):
+
+    * ``_buckets`` — ring of ``bucket_count`` append-only lists; the
+      absolute bucket of a timestamp is ``int(t / width)``, mapping to
+      slot ``b % bucket_count``.  The ring covers absolute buckets
+      ``(_cur_abs, _horizon_abs)``; scalar inserts are plain appends
+      with **no ordering discipline at insert time**.
+    * ``_current`` — the bucket the cursor is in, as an *ascending*
+      ``(time, seq)`` list drained by an index pointer (``_cur_pos``) —
+      O(1) per event, no heap sift, no element shifting.  The list is
+      Timsort-ed once when the clock enters the bucket; since appends
+      arrive in near-time-order (and coalesced broadcast slabs arrive
+      fully sorted), that sort mostly degenerates to a single verify
+      pass.  The rare insert *into* the already-running bucket (a CPU
+      lane completing within the same bucket) is a C-level
+      ``bisect.insort`` bounded below by the drain pointer.
+    * ``_overflow`` — heap of events at or beyond the horizon (protocol
+      timers, view-change alarms, pre-GST deliveries).  Whenever the
+      cursor advances the horizon follows, and ripe overflow entries
+      migrate into the ring — always strictly before the clock can
+      reach their bucket.
+    """
+
+    backend = "calendar"
+
+    __slots__ = ("_width", "_inv_width", "_count", "_buckets",
+                 "_ring_count", "_cur_abs", "_horizon_abs", "_current",
+                 "_cur_pos", "_overflow", "_slabs", "_slab_pending",
+                 "_bucket_loads", "_bucket_events", "_fanout_slabs",
+                 "_overflow_migrated")
+
+    def __init__(self, backend: str | None = None,
+                 bucket_width: float | None = None,
+                 bucket_count: int | None = None) -> None:
+        super().__init__()
+        width = DEFAULT_BUCKET_WIDTH if bucket_width is None \
+            else float(bucket_width)
+        if width <= 0:
+            raise ConfigError("bucket_width must be positive")
+        if bucket_count is None:
+            # Cover DEFAULT_HORIZON of simulated time, within bounds that
+            # keep both the ring scan and its memory footprint trivial.
+            count = int(round(DEFAULT_HORIZON / width))
+            count = min(65536, max(256, count))
+        else:
+            count = int(bucket_count)
+            if count < 2:
+                raise ConfigError("bucket_count must be at least 2")
+        self._width = width
+        self._inv_width = 1.0 / width
+        self._count = count
+        self._buckets: list[list] = [[] for _ in range(count)]
+        self._ring_count = 0
+        self._cur_abs = 0
+        self._horizon_abs = count
+        #: Ascending entries of the bucket being drained; entries before
+        #: ``_cur_pos`` have executed.
+        self._current: list = []
+        self._cur_pos = 0
+        self._overflow: list = []
+        #: Heap of ``(next_time, next_seq, slab)`` for live broadcast
+        #: slabs; a slab is ``[index, times, seqs, callback, args, base]``
+        #: (``seqs is None`` when sequence numbers are ``base + index``).
+        self._slabs: list = []
+        self._slab_pending = 0
+        self._bucket_loads = 0
+        self._bucket_events = 0
+        self._fanout_slabs = 0
+        self._overflow_migrated = 0
+
+    @property
+    def pending(self) -> int:
+        """Number of events not yet executed."""
+        return (len(self._current) - self._cur_pos + self._ring_count
+                + len(self._overflow) + self._slab_pending)
+
+    def occupancy(self) -> dict:
+        report = super().occupancy()
+        report.update(
+            bucket_width=self._width,
+            bucket_count=self._count,
+            bucket_loads=self._bucket_loads,
+            bucket_events=self._bucket_events,
+            fanout_slabs=self._fanout_slabs,
+            active_slabs=len(self._slabs),
+            slab_pending=self._slab_pending,
+            overflow_migrated=self._overflow_migrated,
+        )
+        return report
+
+    # -- inserts --------------------------------------------------------
+
+    def _place(self, entry: tuple) -> None:
+        """Route one validated entry to the tier its bucket falls in."""
+        b = int(entry[0] * self._inv_width)
+        if b > self._cur_abs:
+            if b < self._horizon_abs:
+                self._buckets[b % self._count].append(entry)
+                self._ring_count += 1
+            else:
+                heappush(self._overflow, entry)
+        else:
+            # The cursor's own bucket (or, after the cursor fast-forwards
+            # past empty buckets, anything up to it): splice into the
+            # not-yet-drained suffix so ordering never depends on the
+            # bucket map.
+            insort(self._current, entry, self._cur_pos)
+
+    def push(self, when: float, callback: Callable, arg: object) -> None:
+        """Unchecked-fast-path insert shared by all scalar scheduling.
+
+        The body is :meth:`_place` inlined — this is the hottest call in
+        a simulation (one per rx/CPU completion and per timer re-arm),
+        and the extra frame costs ~15% of the scheduler budget at
+        n = 300 saturation.  Keep the two in sync.
+        """
+        if when < self._now:
+            when = self._late(when)
+        sequence = self._sequence + 1
+        self._sequence = sequence
+        entry = (when, sequence, callback, arg)
+        b = int(when * self._inv_width)
+        if b > self._cur_abs:
+            if b < self._horizon_abs:
+                self._buckets[b % self._count].append(entry)
+                self._ring_count += 1
+            else:
+                heappush(self._overflow, entry)
+        else:
+            insort(self._current, entry, self._cur_pos)
+
+    def schedule_many(
+            self,
+            events: Iterable[tuple[float, Callable[[], None]]]) -> int:
+        """Schedule a batch of ``(when, callback)`` events in one call.
+
+        Semantics match :meth:`HeapEventQueue.schedule_many`: sequence
+        numbers follow iteration order and a too-late timestamp rejects
+        the whole batch before anything is scheduled.
+        """
+        now = self._now
+        sequence = self._sequence
+        clamped = 0
+        batch: list[tuple[float, int, Callable, object]] = []
+        for when, callback in events:
+            if when < now:
+                if now - when > LATE_TOLERANCE:
+                    raise SimulationError(
+                        f"cannot schedule event at {when} before now={now}")
+                when = now
+                clamped += 1
+            sequence += 1
+            batch.append((when, sequence, callback, _NO_ARG))
+        self._late_clamped += clamped
+        self._sequence = sequence  # validated: the batch is committed
+        place = self._place
+        for entry in batch:
+            place(entry)
+        pend = self.pending
+        if pend > self._max_pending:
+            self._max_pending = pend
+        return len(batch)
+
+    def schedule_fanout(self, times: Sequence[float], callback: Callable,
+                        args: Sequence) -> int:
+        """Coalesce a multicast's arrivals into one pre-sorted slab.
+
+        This is the arrival-coalescing fast path: the cumsum egress ramp
+        hands the whole arrival vector over as one numpy array, and the
+        *entire broadcast* becomes a single slab — ``(times, args)``
+        plus a reserved block of sequence numbers — registered in the
+        slab tier with one heap push.  No per-arrival entry tuple is
+        ever materialised and no per-arrival insert happens at all; the
+        run loop merges the slab tier against the bucket tier by the
+        same global ``(time, sequence)`` key, so execution order is
+        bit-identical to the heap backend's per-entry scheduling.
+
+        Egress ramps usually arrive already sorted; when jitter breaks
+        monotonicity a single stable argsort restores it with ties in
+        fan-out order (sequence numbers follow the original index, so
+        the ``(time, sequence)`` total order is unchanged).
+        """
+        count = len(times)
+        if count == 0:
+            return 0
+        if count < 4:
+            # Tiny fan-outs (retrieval subsets, unit tests): scalar
+            # pushes in index order assign the same sequence numbers.
+            # Validate first — a too-late timestamp must reject the whole
+            # batch with nothing scheduled, as on every fanout path.
+            if min(times) < self._now - LATE_TOLERANCE:
+                raise SimulationError(
+                    f"cannot schedule event at {min(times)} before "
+                    f"now={self._now}")
+            for when, arg in zip(times, args):
+                self.push(float(when), callback, arg)
+            return count
+        now = self._now
+        arr = np.asarray(times, dtype=np.float64)
+        low = float(arr.min())
+        if low < now:
+            if now - low > LATE_TOLERANCE:
+                raise SimulationError(
+                    f"cannot schedule event at {low} before now={now}")
+            late = arr < now
+            self._late_clamped += int(late.sum())
+            arr = np.where(late, now, arr)
+        sequence = self._sequence
+        self._sequence = sequence + count
+        base = sequence + 1
+        if arr[-1] >= arr[0] and not (arr[1:] < arr[:-1]).any():
+            slab = [0, arr.tolist(), None, callback, args, base]
+            head_seq = base
+        else:
+            order = np.argsort(arr, kind="stable")
+            order_list = order.tolist()
+            seqs = (order + base).tolist()
+            slab = [0, arr[order].tolist(), seqs, callback,
+                    [args[i] for i in order_list], base]
+            head_seq = seqs[0]
+        heappush(self._slabs, (slab[1][0], head_seq, slab))
+        self._slab_pending += count
+        self._fanout_slabs += 1
+        pend = self.pending
+        if pend > self._max_pending:
+            self._max_pending = pend
+        return count
+
+    # -- the run loop ---------------------------------------------------
+
+    def _migrate(self) -> None:
+        """Move ripe overflow entries into the (just widened) ring."""
+        overflow = self._overflow
+        inv_width = self._inv_width
+        horizon = self._horizon_abs
+        place = self._place
+        moved = 0
+        # Popping in ascending time order keeps per-bucket appends sorted.
+        # Entries here satisfy b < horizon by the loop condition, so
+        # _place routes them to the ring (or the cursor's own bucket).
+        while overflow and overflow[0][0] * inv_width < horizon:
+            place(heappop(overflow))
+            moved += 1
+        self._overflow_migrated += moved
+
+    def _advance(self, deadline: float) -> bool:
+        """Step the cursor to the next populated bucket and load it.
+
+        Returns True when ``_current`` holds undrained events again,
+        False when nothing pending can execute at or before ``deadline``.
+        """
+        count = self._count
+        buckets = self._buckets
+        while True:
+            if self._ring_count == 0:
+                overflow = self._overflow
+                if not overflow:
+                    self._current = []
+                    self._cur_pos = 0
+                    return False
+                first = overflow[0][0]
+                if first > deadline:
+                    self._current = []
+                    self._cur_pos = 0
+                    return False
+                # The ring is empty: fast-forward the window so the first
+                # far-future event's bucket sits just inside it, then let
+                # migration repopulate the ring.
+                b = int(first * self._inv_width)
+                if b - 1 > self._cur_abs:
+                    self._horizon_abs += b - 1 - self._cur_abs
+                    self._cur_abs = b - 1
+                self._cur_abs += 1
+                self._horizon_abs += 1
+                self._migrate()
+                slot = self._cur_abs % count
+                if not buckets[slot]:
+                    # Migration routed the ripe entries into the cursor's
+                    # own bucket (b <= cur_abs) rather than a ring slot.
+                    if self._cur_pos < len(self._current):
+                        return True
+                    continue
+            else:
+                cur = self._cur_abs
+                for step in range(1, count + 1):
+                    slot = (cur + step) % count
+                    if buckets[slot]:
+                        break
+                self._cur_abs = cur + step
+                self._horizon_abs += step
+                overflow = self._overflow
+                if overflow and (overflow[0][0] * self._inv_width
+                                 < self._horizon_abs):
+                    self._migrate()
+            bucket = buckets[slot]
+            buckets[slot] = []
+            self._ring_count -= len(bucket)
+            self._bucket_loads += 1
+            self._bucket_events += len(bucket)
+            if self._cur_pos < len(self._current):
+                # Rare: migration deposited entries for the cursor's own
+                # bucket before the load — merge with the undrained tail.
+                merged = self._current[self._cur_pos:]
+                merged.extend(bucket)
+                merged.sort()
+                self._current = merged
+            else:
+                # Timsort exploits the existing runs: an adopted slab (or
+                # appends that arrived in time order) verify in one pass.
+                bucket.sort()
+                self._current = bucket
+            self._cur_pos = 0
+            return True
+
+    def run_until(self, deadline: float, max_events: int | None = None
+                  ) -> int:
+        """Run events with timestamps ``<= deadline`` (heap-identical)."""
+        return self._run(deadline, max_events, True)
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        """Run until the queue drains (bounded by ``max_events``).
+
+        The clock is left at the last executed event, as with the heap
+        backend.
+        """
+        return self._run(float("inf"), max_events, False)
+
+    def _run(self, deadline: float, max_events: int | None,
+             advance_clock: bool) -> int:
+        """The two-tier merge loop: bucket tier × slab tier.
+
+        Each iteration executes the global ``(time, sequence)`` minimum
+        over the scalar tier (the current bucket, the ring, overflow)
+        and the slab tier (live broadcast fan-outs).  Popping a slab
+        event is an index bump plus one C ``heapreplace`` keyed by the
+        slab's next ``(time, seq)``; scalar entries drain through the
+        bucket index pointer.
+        """
+        executed = 0
+        no_arg = _NO_ARG
+        slabs = self._slabs
+        pend = self.pending
+        if pend > self._max_pending:
+            self._max_pending = pend
+        while True:
+            current = self._current
+            pos = self._cur_pos
+            use_slab = False
+            if pos < len(current):
+                entry = current[pos]
+                when = entry[0]
+                if slabs:
+                    shead = slabs[0]
+                    s_when = shead[0]
+                    if s_when < when or (s_when == when
+                                         and shead[1] < entry[1]):
+                        use_slab = True
+                        when = s_when
+            elif slabs:
+                # The current bucket is drained; the next ring bucket
+                # could still precede the slab head, so load it first.
+                # (_advance returning False leaves the scalar tier empty
+                # — both False paths reset ``_current``.)
+                if self._advance(deadline):
+                    continue
+                shead = slabs[0]
+                use_slab = True
+                when = shead[0]
+            else:
+                if self._advance(deadline):
+                    continue
+                if advance_clock and self._now < deadline:
+                    self._now = deadline
+                return executed
+            if when > deadline:
+                if advance_clock and self._now < deadline:
+                    self._now = deadline
+                return executed
+            if max_events is not None and executed >= max_events:
+                return executed
+            self._now = when
+            self._processed += 1
+            executed += 1
+            if use_slab:
+                slab = shead[2]
+                index = slab[0]
+                arg = slab[4][index]
+                index += 1
+                slab[0] = index
+                times = slab[1]
+                if index < len(times):
+                    seqs = slab[2]
+                    heapreplace(
+                        slabs,
+                        (times[index],
+                         slab[5] + index if seqs is None else seqs[index],
+                         slab))
+                else:
+                    heappop(slabs)
+                self._slab_pending -= 1
+                slab[3](arg)
+            else:
+                self._cur_pos = pos + 1
+                arg = entry[3]
+                if arg is no_arg:
+                    entry[2]()
+                else:
+                    entry[2](arg)
+
+
+_BACKENDS: dict[str, type[EventQueue]] = {
+    "heap": HeapEventQueue,
+    "calendar": CalendarEventQueue,
+}
+
+

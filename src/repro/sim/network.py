@@ -33,8 +33,6 @@ seed-sensitive expectations were re-baselined when v2 landed.
 
 from __future__ import annotations
 
-from heapq import heappush
-
 import numpy as np
 
 from repro.errors import ConfigError
@@ -140,13 +138,14 @@ class Transmission(EventRecord):
     arrival order and the resulting schedules coincide.
     """
 
-    __slots__ = ("network", "queue", "router", "nodes", "src", "msg",
-                 "size", "class_id", "data_plane", "cost_model",
+    __slots__ = ("network", "nics", "queue", "router", "nodes", "src",
+                 "msg", "size", "class_id", "data_plane", "cost_model",
                  "recv_cost")
 
     def __init__(self, network: Network, queue: EventQueue, router,
                  src: int, msg: Message, size: int) -> None:
         self.network = network
+        self.nics = network.nics
         self.queue = queue
         self.router = router
         # Routers exposing a ``nodes`` map (the Simulation does) get the
@@ -173,7 +172,7 @@ class Transmission(EventRecord):
         ``_deliver_ready``).  Faulty hosts and routers without a
         ``nodes`` map take the general :meth:`SimNode.receive_at` path.
         """
-        nic = self.network.nics[dest]
+        nic = self.nics[dest]
         queue = self.queue
         now = queue._now
         size = self.size
@@ -216,11 +215,7 @@ class Transmission(EventRecord):
             busy = node.ctrl_busy_until
             start = busy if busy > delivered else delivered
             ready_at = node.ctrl_busy_until = start + cost
-        sequence = queue._sequence + 1
-        queue._sequence = sequence
-        heappush(queue._heap,
-                 (ready_at, sequence, node._deliver_ready,
-                  (self.src, msg)))
+        queue.push(ready_at, node._deliver_ready, (self.src, msg))
 
 
 class Network:
@@ -377,7 +372,10 @@ class Network:
             extra = self._rng.random(count) * self.pre_gst_extra_delay
             arrivals += np.where(departures < self.gst, extra, 0.0)
         flight = Transmission(self, queue, router, src, msg, size)
-        queue.schedule_fanout(arrivals.tolist(), flight.arrive, dests)
+        # The arrival vector is handed over as-is: the calendar backend
+        # slices it into per-bucket pre-sorted slabs (arrival coalescing),
+        # the heap backend materialises a list and bulk-inserts.
+        queue.schedule_fanout(arrivals, flight.arrive, dests)
         return src_nic.tx_busy_until
 
     def stats(self, node_id: int) -> NicStats:

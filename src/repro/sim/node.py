@@ -15,7 +15,6 @@ two cross-cutting models:
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import Callable, Hashable, Iterable
 
 from repro.interfaces import (
@@ -67,6 +66,11 @@ class SimNode:
     #: can flip one global switch.
     batched = True
 
+    __slots__ = ("core", "node_id", "network", "queue", "metrics",
+                 "replica_ids", "cpu_model", "fault", "_honest",
+                 "data_busy_until", "ctrl_busy_until", "_timer_generation",
+                 "router")
+
     def __init__(self, core: ProtocolCore, network: Network,
                  queue: EventQueue, metrics: MetricsCollector,
                  replica_ids: Iterable[int],
@@ -86,6 +90,9 @@ class SimNode:
         self.data_busy_until = 0.0
         self.ctrl_busy_until = 0.0
         self._timer_generation: dict[Hashable, int] = {}
+        #: Set by :class:`repro.sim.runner.Simulation`; routes delivered
+        #: messages to the destination host. ``None`` in host-less tests.
+        self.router = None
         # Give cores that pace themselves (datablock generators) a view of
         # their own NIC backlog, without coupling core code to the simulator.
         if hasattr(core, "backlog_probe"):
@@ -182,12 +189,7 @@ class SimNode:
             busy = self.ctrl_busy_until
             start = busy if busy > delivered else delivered
             ready_at = self.ctrl_busy_until = start + cost
-        # Inlined schedule_call: ready_at >= delivered >= now by
-        # construction, so the past-check is redundant on this path.
-        sequence = queue._sequence + 1
-        queue._sequence = sequence
-        heappush(queue._heap,
-                 (ready_at, sequence, self._deliver_ready, (sender, msg)))
+        queue.push(ready_at, self._deliver_ready, (sender, msg))
 
     def _deliver_ready(self, pending: tuple[int, Message]) -> None:
         """CPU-lane completion: run the core on a delayed message."""
@@ -220,11 +222,8 @@ class SimNode:
                 generation += 1
                 generations[key] = generation
                 queue = self.queue
-                sequence = queue._sequence + 1
-                queue._sequence = sequence
-                heappush(queue._heap,
-                         (queue._now + effect.delay, sequence,
-                          self._fire_timer, (key, generation)))
+                queue.push(queue._now + effect.delay, self._fire_timer,
+                           (key, generation))
                 return
         del generations[key]
         self._apply(effects)
@@ -275,14 +274,10 @@ class SimNode:
                 generation = self._timer_generation.get(effect.key, 0) + 1
                 self._timer_generation[effect.key] = generation
                 if batched and effect.delay >= 0.0:
-                    # Inlined schedule_call for the recurring-timer churn
+                    # Payload-carrying push for the recurring-timer churn
                     # (the delay is non-negative, so never in the past).
-                    queue = self.queue
-                    sequence = queue._sequence + 1
-                    queue._sequence = sequence
-                    heappush(queue._heap,
-                             (now + effect.delay, sequence,
-                              self._fire_timer, (effect.key, generation)))
+                    self.queue.push(now + effect.delay, self._fire_timer,
+                                    (effect.key, generation))
                 else:
                     key = effect.key
                     self.queue.schedule_in(
@@ -328,7 +323,3 @@ class SimNode:
             queue.schedule(delivered, lambda: router.deliver(src, dest, msg))
 
         queue.schedule(arrival, _arrive)
-
-    #: Set by :class:`repro.sim.runner.Simulation`; routes delivered
-    #: messages to the destination host. ``None`` in host-less unit tests.
-    router = None

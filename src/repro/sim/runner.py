@@ -27,14 +27,24 @@ class Simulation:
         replica_count: how many of the low node ids are replicas; broadcasts
             expand to exactly this id range.
         metrics: optional pre-configured metrics sink.
+        queue_backend: event-queue backend (``"calendar"`` / ``"heap"``);
+            defaults to the process-wide default
+            (:func:`repro.sim.events.set_default_backend`).
+        bucket_width: calendar bucket width in seconds; cluster builders
+            size it from the NIC serialization quantum so one bucket
+            spans roughly one broadcast egress ramp.  Ignored by the
+            heap backend.
     """
 
     def __init__(self, network: Network, replica_count: int,
-                 metrics: MetricsCollector | None = None) -> None:
+                 metrics: MetricsCollector | None = None,
+                 queue_backend: str | None = None,
+                 bucket_width: float | None = None) -> None:
         if replica_count > network.node_count:
             raise SimulationError("more replicas than network nodes")
         self.network = network
-        self.queue = EventQueue()
+        self.queue = EventQueue(backend=queue_backend,
+                                bucket_width=bucket_width)
         self.metrics = metrics if metrics is not None else MetricsCollector()
         self.replica_count = replica_count
         self.nodes: dict[int, SimNode] = {}

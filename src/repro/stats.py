@@ -296,8 +296,9 @@ class MetricsCollector:
 # ---------------------------------------------------------------------------
 
 #: Version of the backend-neutral run-report schema below.
-#: v2 added ``events_processed`` / ``sim_events_per_sec``.
-REPORT_SCHEMA = 2
+#: v2 added ``events_processed`` / ``sim_events_per_sec``; v3 added
+#: ``event_queue`` (scheduler occupancy counters, ``None`` for live runs).
+REPORT_SCHEMA = 3
 
 
 def standard_report(*, backend: str, protocol: str, n: int,
@@ -305,7 +306,8 @@ def standard_report(*, backend: str, protocol: str, n: int,
                     byte_stats: dict[int, NicStats],
                     measure_replica: int,
                     events_processed: int = 0,
-                    events_per_sec: float = 0.0) -> dict:
+                    events_per_sec: float = 0.0,
+                    event_queue: dict | None = None) -> dict:
     """The run report shared by the simulated and live backends.
 
     Args:
@@ -325,6 +327,11 @@ def standard_report(*, backend: str, protocol: str, n: int,
             spent executing them (for a live run wall-clock and protocol
             time coincide) — the simulator-throughput figure the sim
             macro-benchmark gates on.
+        event_queue: scheduler occupancy counters
+            (:meth:`repro.sim.events.EventQueue.occupancy`) for simulated
+            runs; ``None`` for the live transport, which has no modelled
+            scheduler — the key is emitted either way so both backends
+            produce identical report shapes.
 
     Identical keys from both backends make a live localhost run directly
     comparable with a simulated one of the same shape.
@@ -341,6 +348,7 @@ def standard_report(*, backend: str, protocol: str, n: int,
         "acked_bundles": len(metrics.latencies),
         "events_processed": int(events_processed),
         "sim_events_per_sec": float(events_per_sec),
+        "event_queue": event_queue,
         "latency_s": {
             "mean": metrics.mean_latency(),
             "p50": metrics.latency_percentile(50),
