@@ -6,8 +6,10 @@
 # macro-benchmark gate (events/sec + engine speedup against
 # benchmarks/BENCH_sim_eventloop.json, same host-fingerprint policy), the
 # live-smoke matrix (all three protocols, in-process AND one OS process
-# per replica, each committing real requests on localhost TCP), and the
-# live-vs-sim calibration smoke (one reconciled point per protocol).
+# per replica, each committing real requests on localhost TCP), the
+# live-vs-sim calibration smoke (one reconciled point per protocol), and
+# the chaos smoke (a scripted partition/heal/crash/restart scenario per
+# protocol plus one faulted live-vs-sim degradation-gap point).
 # Reports land in artifacts/ (CI uploads them on every run).
 
 PYTHON ?= python
@@ -17,7 +19,8 @@ LIVE_PROTOCOLS := leopard pbft hotstuff
 SMOKE_ARGS := --duration 3 --rate 2000 --bundle-size 100 --min-committed 1
 
 .PHONY: lint test bench-micro bench-micro-full bench-sim bench-sim-full \
-	live-smoke live-smoke-all calibrate-smoke check
+	live-smoke live-smoke-all calibrate-smoke chaos-smoke \
+	calibrate-faulted check
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -73,6 +76,35 @@ calibrate-smoke:
 			|| exit 1; \
 	done
 
+# Chaos smoke: the scripted "smoke" scenario (WAN-shape the leader link,
+# partition the victim, heal, crash it, restart it) must still commit
+# requests on every protocol, live in-process.  One extra leg exercises
+# the crash/restart path against real OS processes (SIGKILL + respawn).
+chaos-smoke:
+	@mkdir -p artifacts
+	@for proto in $(LIVE_PROTOCOLS); do \
+		echo "== chaos-smoke $$proto (in-process) =="; \
+		$(PYTHON) -m repro.harness.cli run-live --protocol $$proto \
+			--scenario smoke $(SMOKE_ARGS) \
+			--output artifacts/chaos_$${proto}_in-process.json \
+			|| exit 1; \
+	done
+	@echo "== chaos-smoke leopard (processes, crash-restart) =="
+	@$(PYTHON) -m repro.harness.cli run-live --protocol leopard \
+		--processes --scenario crash-restart $(SMOKE_ARGS) \
+		--output artifacts/chaos_leopard_processes.json
+
+# Faulted live-vs-sim gate: both backends execute the same crash/restart
+# timeline; the degradation ratios (faulted/clean throughput) must agree
+# within the gap bound.
+calibrate-faulted:
+	@mkdir -p artifacts
+	$(PYTHON) -m repro.harness.cli calibrate --protocol leopard \
+		--scenario crash-restart --duration 1.5 --rate 2000 \
+		--bundle-size 100 --min-committed 1 \
+		--max-degradation-gap 3.0 \
+		--output artifacts/calibration_faulted_leopard.json
+
 # (n, rate, payload) reconciliation grid; --apply-presets folds the
 # combined cost scale back into benchmarks/CALIBRATION_presets.json,
 # keyed by this host's fingerprint (commit the file to re-baseline).
@@ -82,4 +114,5 @@ calibrate-sweep:
 		--duration 1.0 --min-committed 1 \
 		--output artifacts/calibration_sweep_leopard.json
 
-check: lint test bench-micro bench-sim live-smoke-all calibrate-smoke
+check: lint test bench-micro bench-sim live-smoke-all calibrate-smoke \
+	chaos-smoke calibrate-faulted

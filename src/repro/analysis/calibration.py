@@ -210,7 +210,8 @@ def compare_live_sim(protocol: str = "leopard", n: int = 4,
                      duration: float = 2.0, bundle_size: int = 100,
                      datablock_size: int = 100, seed: int = 0,
                      warmup: float = 0.25,
-                     costs: CostModel = DEFAULT_COSTS) -> dict:
+                     costs: CostModel = DEFAULT_COSTS,
+                     scenario=None) -> dict:
     """Run one (protocol, n, rate, payload) point under both backends.
 
     The same protocol configuration (the live smoke config, so both
@@ -222,6 +223,12 @@ def compare_live_sim(protocol: str = "leopard", n: int = 4,
     throughput/latency deltas between them, next to the calibration
     constants those deltas would retune — the ROADMAP's live-vs-sim
     calibration study as a repeatable scenario.
+
+    With a chaos ``scenario`` (:class:`repro.net.chaos.ChaosScenario`),
+    *both* backends execute the same scripted fault timeline — crashes,
+    restarts, partitions — so the comparison point is a degraded run
+    rather than a clean one (the run is extended to cover the last
+    event).  Shaping events are live-only and rejected for the sim side.
 
     Note the two backends measure *different machines*: the simulator
     models the paper's c5.xlarge fleet, the live run is this host with
@@ -266,13 +273,21 @@ def compare_live_sim(protocol: str = "leopard", n: int = 4,
             bundle_size=bundle_size, warmup=warmup)
     else:
         raise ValueError(f"unknown protocol {protocol!r}")
-    sim_cluster.run(warmup + duration)
+    run_seconds = warmup + duration
+    if scenario is not None:
+        from repro.net.chaos import schedule_scenario_sim
+
+        run_seconds = max(run_seconds, scenario.duration() + 0.5)
+        sim_cluster.scenario_name = scenario.name
+        schedule_scenario_sim(sim_cluster, scenario)
+    sim_cluster.run(run_seconds)
     sim_report = sim_cluster.report()
 
     live_report = run_live_sync(
-        n=n, client_count=client_count, duration=warmup + duration,
+        n=n, client_count=client_count, duration=run_seconds,
         protocol=protocol, config=config, total_rate=total_rate,
-        bundle_size=bundle_size, seed=seed, warmup=warmup)
+        bundle_size=bundle_size, seed=seed, warmup=warmup,
+        scenario=scenario)
 
     deltas = {
         "throughput_rps": _delta(live_report["throughput_rps"],
@@ -297,6 +312,7 @@ def compare_live_sim(protocol: str = "leopard", n: int = 4,
         "bundle_size": bundle_size,
         "duration_s": duration,
         "warmup_s": warmup,
+        "scenario": scenario.name if scenario is not None else None,
         "live": live_report,
         "sim": sim_report,
         "deltas": deltas,
@@ -307,6 +323,77 @@ def compare_live_sim(protocol: str = "leopard", n: int = 4,
         # saturation).
         "suggested_cost_scale": (1.0 / ratio) if ratio and ratio == ratio
         and ratio > 0 else None,
+    }
+
+
+def compare_faulted_live_sim(protocol: str = "leopard",
+                             scenario=None, n: int = 4,
+                             total_rate: float = 2000.0,
+                             payload_size: int = 128,
+                             duration: float = 2.0, bundle_size: int = 100,
+                             datablock_size: int = 100, seed: int = 0,
+                             warmup: float = 0.25,
+                             costs: CostModel = DEFAULT_COSTS,
+                             max_degradation_gap: float = 2.0) -> dict:
+    """Reconcile a *faulted* live-vs-sim point against its clean twin.
+
+    Runs the same (protocol, n, rate, payload) point four times: clean
+    and under the chaos ``scenario`` (default: the sim-compatible
+    ``crash-restart`` builtin), each on both backends.  Raw throughput
+    deltas between backends are host-dependent, so the gate is on the
+    *degradation ratio* — faulted/clean throughput per backend — which
+    normalizes the host out:
+
+        gap = live_degradation / sim_degradation
+
+    A gap near 1.0 means the simulator predicts the live runtime's
+    response to the fault timeline, not just its clean steady state.
+    The point passes when ``gap`` lies within
+    ``[1/max_degradation_gap, max_degradation_gap]``.
+    """
+    import math
+
+    if scenario is None:
+        from repro.net.chaos import load_scenario
+        scenario = load_scenario("crash-restart")
+
+    common = dict(protocol=protocol, n=n, total_rate=total_rate,
+                  payload_size=payload_size, duration=duration,
+                  bundle_size=bundle_size, datablock_size=datablock_size,
+                  seed=seed, warmup=warmup, costs=costs)
+    clean = compare_live_sim(**common)
+    faulted = compare_live_sim(scenario=scenario, **common)
+
+    def _degradation(which: str) -> float:
+        base = clean[which]["throughput_rps"]
+        hurt = faulted[which]["throughput_rps"]
+        if not base or math.isnan(base) or math.isnan(hurt):
+            return math.nan
+        return hurt / base
+
+    live_deg = _degradation("live")
+    sim_deg = _degradation("sim")
+    gap = math.nan
+    if sim_deg and not math.isnan(sim_deg) and not math.isnan(live_deg):
+        gap = live_deg / sim_deg
+    within = (not math.isnan(gap) and gap > 0
+              and 1.0 / max_degradation_gap <= gap <= max_degradation_gap)
+    return {
+        "schema": 1,
+        "kind": "faulted_live_vs_sim_calibration",
+        "protocol": protocol,
+        "scenario": scenario.name,
+        "n": n,
+        "total_rate": total_rate,
+        "clean": clean,
+        "faulted": faulted,
+        "degradation": {
+            "live": live_deg,
+            "sim": sim_deg,
+            "gap_ratio_live_over_sim": gap,
+            "max_degradation_gap": max_degradation_gap,
+            "within_bound": within,
+        },
     }
 
 

@@ -62,6 +62,23 @@ def _render_live_report(report: dict) -> str:
                      in sorted(measure_bytes["recv"].items()))
     lines.append(f"  bytes sent by class: {sent or '-'}")
     lines.append(f"  bytes recv by class: {recv or '-'}")
+    faults = report.get("faults")
+    if faults:
+        injected = ", ".join(
+            f"{node}:{spec.get('kind', '?')}"
+            for node, spec in sorted(faults.get("injected", {}).items()))
+        lines.append(
+            f"  faults: scenario={faults.get('scenario') or '-'} "
+            f"events_applied={len(faults.get('events_applied') or [])} "
+            f"restarts={faults.get('restarts', 0)} "
+            f"injected=[{injected or '-'}]")
+        shaping = faults.get("shaping")
+        if shaping:
+            lines.append(
+                f"  shaping: links={len(shaping.get('links', {}))} "
+                f"shaped={shaping.get('frames_shaped', 0)} "
+                f"delayed={shaping.get('frames_delayed', 0)} "
+                f"lost={shaping.get('frames_lost', 0)}")
     return "\n".join(lines)
 
 
@@ -109,12 +126,28 @@ def run_live_command(argv: list[str]) -> int:
     parser.add_argument("--min-committed", type=int, default=None,
                         help="exit non-zero unless at least this many "
                              "requests committed (smoke gating)")
+    parser.add_argument("--scenario", default=None, metavar="SPEC",
+                        help="chaos scenario to run against the cluster: "
+                             "a builtin name (smoke, partition-heal, "
+                             "crash-restart, slow-replica), a scenario "
+                             "file path, or inline 'at T op args' text")
     parser.add_argument("--json", action="store_true",
                         help="print the full report as JSON")
     parser.add_argument("--output", default=None, metavar="FILE",
                         help="also write the full report JSON to FILE "
                              "(CI artifact path)")
     args = parser.parse_args(argv)
+
+    scenario = None
+    if args.scenario is not None:
+        from repro.errors import ConfigError
+        from repro.net.chaos import load_scenario
+
+        try:
+            scenario = load_scenario(args.scenario)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if args.processes:
         if args.warmup:
@@ -129,7 +162,7 @@ def run_live_command(argv: list[str]) -> int:
             total_rate=args.rate, bundle_size=args.bundle_size,
             payload_size=args.payload,
             datablock_size=args.datablock_size, seed=args.seed,
-            warmup=args.warmup)
+            warmup=args.warmup, scenario=scenario)
     else:
         from repro.net.live import run_live_sync
         from repro.net.protocols import default_live_config_for
@@ -142,7 +175,7 @@ def run_live_command(argv: list[str]) -> int:
             duration=args.duration, protocol=args.protocol,
             config=config, total_rate=args.rate,
             bundle_size=args.bundle_size, seed=args.seed,
-            warmup=args.warmup)
+            warmup=args.warmup, scenario=scenario)
 
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
@@ -186,6 +219,31 @@ def _render_calibration(report: dict) -> str:
     return "\n".join(lines)
 
 
+def _render_faulted_calibration(report: dict) -> str:
+    """Human-readable summary of a faulted live-vs-sim reconciliation."""
+    def fmt(value: float) -> str:
+        return "n/a" if value is None or math.isnan(value) \
+            else f"{value:.3g}"
+
+    deg = report["degradation"]
+    verdict = "within" if deg["within_bound"] else "OUTSIDE"
+    return "\n".join([
+        f"faulted calibration: {report['protocol']} n={report['n']} "
+        f"scenario={report['scenario']}",
+        "  clean point:",
+        "    " + _render_calibration(report["clean"]).replace(
+            "\n", "\n    "),
+        "  faulted point:",
+        "    " + _render_calibration(report["faulted"]).replace(
+            "\n", "\n    "),
+        f"  degradation (faulted/clean tput): "
+        f"live {fmt(deg['live'])} vs sim {fmt(deg['sim'])}",
+        f"  degradation gap (live/sim): "
+        f"{fmt(deg['gap_ratio_live_over_sim'])} — {verdict} bound "
+        f"{deg['max_degradation_gap']:.3g}x",
+    ])
+
+
 def calibrate_command(argv: list[str]) -> int:
     """The ``calibrate`` subcommand: one point under both backends."""
     from repro.net.protocols import LIVE_PROTOCOLS
@@ -222,6 +280,17 @@ def calibrate_command(argv: list[str]) -> int:
                              "preset applied to the simulated side "
                              "(a calibrated host should then reconcile "
                              "at a ratio near 1)")
+    parser.add_argument("--scenario", default=None, metavar="SPEC",
+                        help="reconcile a *faulted* point: run the chaos "
+                             "scenario (a sim-compatible builtin like "
+                             "crash-restart, a file, or inline text) on "
+                             "both backends next to a clean twin and "
+                             "gate on the degradation gap")
+    parser.add_argument("--max-degradation-gap", type=float, default=2.0,
+                        metavar="RATIO",
+                        help="with --scenario: fail unless the live/sim "
+                             "degradation-ratio gap lies within "
+                             "[1/RATIO, RATIO] (default 2.0)")
     parser.add_argument("--sweep", action="store_true",
                         help="reconcile the default (n, rate, payload) "
                              "grid instead of a single point")
@@ -258,6 +327,57 @@ def calibrate_command(argv: list[str]) -> int:
         if costs is DEFAULT_COSTS:
             print("note: no committed preset for this host/protocol; "
                   "running with default costs")
+
+    if args.scenario is not None:
+        if args.sweep or args.apply_presets is not None:
+            parser.error("--scenario cannot be combined with --sweep/"
+                         "--apply-presets (the degradation gate is a "
+                         "single-point comparison)")
+        from repro.analysis.calibration import compare_faulted_live_sim
+        from repro.errors import ConfigError
+        from repro.net.chaos import load_scenario
+
+        try:
+            scenario = load_scenario(args.scenario)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        report = compare_faulted_live_sim(
+            protocol=args.protocol, scenario=scenario, n=args.replicas,
+            total_rate=args.rate, payload_size=args.payload,
+            duration=args.duration, bundle_size=args.bundle_size,
+            datablock_size=args.datablock_size, seed=args.seed,
+            warmup=args.warmup, costs=costs,
+            max_degradation_gap=args.max_degradation_gap)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(_render_faulted_calibration(report))
+        _write_report(report, args.output)
+        if args.min_committed is not None:
+            for label, point in (("clean", report["clean"]),
+                                 ("faulted", report["faulted"])):
+                for backend in ("live", "sim"):
+                    sub = point[backend]
+                    committed = sub["executed_requests"].get(
+                        sub["measure_replica"], 0)
+                    if committed < args.min_committed:
+                        print(f"FAIL: {backend} backend committed "
+                              f"{committed} < required "
+                              f"{args.min_committed} ({label} point)",
+                              file=sys.stderr)
+                        return 1
+        deg = report["degradation"]
+        if not deg["within_bound"]:
+            print(f"FAIL: live/sim degradation gap "
+                  f"{deg['gap_ratio_live_over_sim']:.3g} outside "
+                  f"[{1.0 / args.max_degradation_gap:.3g}, "
+                  f"{args.max_degradation_gap:.3g}]", file=sys.stderr)
+            return 1
+        print(f"faulted calibration OK: degradation gap "
+              f"{deg['gap_ratio_live_over_sim']:.3g} within "
+              f"{args.max_degradation_gap:.3g}x")
+        return 0
 
     if args.sweep or args.apply_presets is not None:
         from repro.analysis.calibration import DEFAULT_SWEEP_GRID

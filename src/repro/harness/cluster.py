@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace as dc_replace
+from typing import Callable
 
 from repro.analysis.calibration import (
     CostModel,
@@ -27,7 +28,15 @@ from repro.core.config import LeopardConfig
 from repro.core.replica import LeopardReplica
 from repro.crypto.keys import KeyRegistry
 from repro.errors import ConfigError
-from repro.sim.faults import HONEST, FaultBehavior
+from repro.faults import (
+    HONEST,
+    Combined,
+    Crash,
+    FaultBehavior,
+    fault_from_spec,
+    fault_to_spec,
+    partition_behavior,
+)
 from repro.sim.metrics import (
     MetricsCollector,
     node_bandwidth_bps,
@@ -51,6 +60,13 @@ class Cluster:
     leader: int
     run_seconds: float = 0.0
     faults: dict[int, FaultBehavior] = field(default_factory=dict)
+    #: ``replica_id -> fresh core`` factory the builders install so a
+    #: chaos ``restart`` can rebuild a crashed replica from genesis.
+    rebuild_replica: Callable | None = None
+    restarts: int = 0
+    chaos_log: list = field(default_factory=list)
+    scenario_name: str | None = None
+    partition_groups: list = field(default_factory=list)
 
     @property
     def metrics(self) -> MetricsCollector:
@@ -116,7 +132,117 @@ class Cluster:
             events_processed=self.sim.events_processed,
             events_per_sec=self.sim.events_per_sec(),
             event_queue=self.sim.queue.occupancy(),
+            faults=self.faults_summary(),
         )
+
+    # ------------------------------------------------------------------
+    # Chaos (the simulated backend of repro.net.chaos scenarios)
+    # ------------------------------------------------------------------
+
+    def _effective_fault(self, replica_id: int) -> FaultBehavior:
+        base = self.faults.get(replica_id, HONEST)
+        part = partition_behavior(replica_id, self.partition_groups) \
+            if self.partition_groups else HONEST
+        if base is HONEST:
+            return part
+        if part is HONEST:
+            return base
+        return Combined((base, part))
+
+    def _refresh_fault(self, replica_id: int) -> None:
+        node = self.sim.nodes[replica_id]
+        fault = self._effective_fault(replica_id)
+        node.fault = fault
+        node._honest = fault is HONEST
+
+    def set_fault(self, replica_id: int, fault: FaultBehavior) -> None:
+        """Hot-swap one replica's base fault behaviour mid-simulation."""
+        if replica_id == self.measure_replica and fault is not HONEST:
+            raise ConfigError("the measurement replica must stay honest")
+        if fault is HONEST:
+            self.faults.pop(replica_id, None)
+        else:
+            self.faults[replica_id] = fault
+        self._refresh_fault(replica_id)
+
+    def restart_replica(self, replica_id: int) -> None:
+        """Replace a crashed replica's core with one rebuilt from genesis.
+
+        The simulated analogue of killing and respawning a process: the
+        node keeps its id, NIC and CPU lanes, but hosts a fresh core with
+        empty state, cleared timers and an honest behaviour.
+        """
+        if self.rebuild_replica is None:
+            raise ConfigError(
+                f"{self.protocol} cluster has no replica rebuild factory")
+        node = self.sim.nodes[replica_id]
+        if not node.fault.crashed:
+            raise ConfigError(
+                f"replica {replica_id} is not crashed; only a crashed "
+                "replica can be restarted")
+        core = self.rebuild_replica(replica_id)
+        node.core = core
+        self.replicas[replica_id] = core
+        self.faults.pop(replica_id, None)
+        self._refresh_fault(replica_id)
+        node._timer_generation.clear()
+        if hasattr(core, "backlog_probe"):
+            core.backlog_probe = node._backlog_probe
+        node.boot()
+        self.restarts += 1
+
+    def apply_chaos_event(self, event) -> None:
+        """Execute one resolved chaos event at the current sim time.
+
+        Scheduled by :func:`repro.net.chaos.schedule_scenario_sim`;
+        ``shape``/``unshape`` never reach here (the scheduler rejects
+        them — the simulator models bandwidth at the NIC layer).
+        """
+        args = event.args
+        if event.op == "partition":
+            self.partition_groups = [frozenset(group)
+                                     for group in args["groups"]]
+            for replica_id in range(self.n):
+                self._refresh_fault(replica_id)
+        elif event.op == "heal":
+            self.partition_groups = []
+            for replica_id in range(self.n):
+                self._refresh_fault(replica_id)
+        elif event.op == "crash":
+            crash = Crash(at=self.sim.now)
+            crash._now = self.sim.now  # latch crashed immediately
+            self.set_fault(args["node"], crash)
+        elif event.op == "restart":
+            self.restart_replica(args["node"])
+        elif event.op == "fault":
+            self.set_fault(args["node"], fault_from_spec(args["spec"]))
+        elif event.op == "unfault":
+            self.set_fault(args["node"], HONEST)
+        else:
+            raise ConfigError(
+                f"chaos op {event.op!r} is not simulatable")
+        self.chaos_log.append(event.to_jsonable())
+
+    def faults_summary(self) -> dict | None:
+        """The report's ``faults`` section (``None`` for a clean run)."""
+        if not (self.faults or self.chaos_log or self.restarts
+                or self.scenario_name):
+            return None
+
+        def spec_or_custom(fault):
+            try:
+                return fault_to_spec(fault)
+            except ValueError:
+                return {"kind": "custom", "repr": repr(fault)}
+
+        return {
+            "injected": {str(replica_id): spec_or_custom(fault)
+                         for replica_id, fault in sorted(self.faults.items())},
+            "scenario": self.scenario_name,
+            "events_applied": list(self.chaos_log),
+            "restarts": self.restarts,
+            "shaping": None,  # live-only; key kept for shape parity
+        }
 
 
 def _bucket_width_hint(n: int, block_bytes: int, bandwidth_bps: float,
@@ -257,6 +383,14 @@ def build_leopard_cluster(
     cluster = Cluster(sim=sim, protocol="leopard", n=n, replicas=replicas,
                       clients=clients, measure_replica=measure,
                       warmup=warmup, leader=leader, faults=faults)
+
+    def _rebuild_leopard(replica_id: int, config=config, registry=registry,
+                         metrics=metrics):
+        replica = LeopardReplica(replica_id, config, registry)
+        replica.attach_perf(metrics.perf)
+        return replica
+
+    cluster.rebuild_replica = _rebuild_leopard
     # Prime the mempools so datablocks are full from the start; the paper
     # stress-tests "with a saturated request rate ... until the measurement
     # is stabilized".
@@ -352,9 +486,12 @@ def build_hotstuff_cluster(
         sim.add_node(client, cpu_model=client_cpu)
         clients.append(client)
 
-    return Cluster(sim=sim, protocol="hotstuff", n=n, replicas=replicas,
-                   clients=clients, measure_replica=measure,
-                   warmup=warmup, leader=leader, faults=faults)
+    cluster = Cluster(sim=sim, protocol="hotstuff", n=n, replicas=replicas,
+                      clients=clients, measure_replica=measure,
+                      warmup=warmup, leader=leader, faults=faults)
+    cluster.rebuild_replica = \
+        lambda replica_id, config=config: HotStuffReplica(replica_id, config)
+    return cluster
 
 
 def build_pbft_cluster(
@@ -417,6 +554,9 @@ def build_pbft_cluster(
         sim.add_node(client, cpu_model=client_cpu)
         clients.append(client)
 
-    return Cluster(sim=sim, protocol="pbft", n=n, replicas=replicas,
-                   clients=clients, measure_replica=measure,
-                   warmup=warmup, leader=leader, faults=faults)
+    cluster = Cluster(sim=sim, protocol="pbft", n=n, replicas=replicas,
+                      clients=clients, measure_replica=measure,
+                      warmup=warmup, leader=leader, faults=faults)
+    cluster.rebuild_replica = \
+        lambda replica_id, config=config: PbftReplica(replica_id, config)
+    return cluster

@@ -44,6 +44,8 @@ import time
 from pathlib import Path
 
 from repro.errors import ConfigError
+from repro.faults import FaultBehavior, fault_from_spec, fault_to_spec
+from repro.net.chaos import PROCESS_OPS, ChaosScenario
 from repro.net.live import transport_summary
 from repro.net.node import LiveNode
 from repro.net.protocols import default_live_config_for, get_protocol
@@ -93,9 +95,20 @@ class ProcessSupervisor:
     orphan bug, now gated by a test).
     """
 
+    #: Initial delay between failed respawn attempts (seconds).
+    RESPAWN_BACKOFF = 0.1
+    #: Dial attempts before :meth:`respawn` gives up.
+    RESPAWN_ATTEMPTS = 4
+
     def __init__(self, term_grace: float = 3.0) -> None:
         self.term_grace = term_grace
         self.procs: dict[str, subprocess.Popen] = {}
+        #: Children whose death is scenario-induced (chaos ``crash``):
+        #: excluded from :meth:`failed` so the health poll does not abort
+        #: the run over an injected fault.
+        self.expected_exits: set[str] = set()
+        self.respawns = 0
+        self._spawn_args: dict[str, tuple] = {}
 
     def spawn(self, name: str, cmd: list[str],
               env: dict | None = None,
@@ -110,13 +123,55 @@ class ProcessSupervisor:
             if log_path is not None:
                 log_file.close()  # the child holds its own descriptor
         self.procs[name] = proc
+        self._spawn_args[name] = (cmd, env, log_path)
         return proc
 
+    def kill(self, name: str) -> None:
+        """SIGKILL one child (chaos ``crash``): an *expected* death."""
+        proc = self.procs[name]
+        self.expected_exits.add(name)
+        if proc.poll() is None:
+            try:
+                proc.kill()
+            except OSError:
+                pass
+        try:
+            proc.wait(timeout=self.term_grace)
+        except subprocess.TimeoutExpired:
+            pass
+
+    def respawn(self, name: str) -> subprocess.Popen:
+        """Relaunch a killed child (chaos ``restart``), with backoff.
+
+        Retries the launch a few times with exponential backoff — a
+        restarted replica re-binds the port its predecessor held, which
+        can linger briefly in ``TIME_WAIT``-adjacent states.
+        """
+        cmd, env, log_path = self._spawn_args[name]
+        backoff = self.RESPAWN_BACKOFF
+        last_error: Exception | None = None
+        for attempt in range(self.RESPAWN_ATTEMPTS):
+            if attempt:
+                time.sleep(backoff)
+                backoff *= 2.0
+            try:
+                proc = self.spawn(name, cmd, env=env, log_path=log_path)
+            except OSError as exc:
+                last_error = exc
+                continue
+            self.expected_exits.discard(name)
+            self.respawns += 1
+            return proc
+        raise RuntimeError(
+            f"failed to respawn {name} after "
+            f"{self.RESPAWN_ATTEMPTS} attempts: {last_error}")
+
     def failed(self) -> dict[str, int]:
-        """Children that have already exited with a non-zero code."""
+        """Children that exited non-zero, excluding expected deaths."""
         return {name: proc.returncode
                 for name, proc in self.procs.items()
-                if proc.poll() is not None and proc.returncode != 0}
+                if proc.poll() is not None and proc.returncode != 0
+                and name not in self.expected_exits}
 
     def wait_all(self, timeout: float) -> dict[str, int | None]:
         """Wait (reaping) up to ``timeout`` s; stragglers get terminated.
@@ -205,7 +260,10 @@ def run_replica_from_spec(spec: dict) -> dict:
     def clock() -> float:
         return time.time() - epoch
 
-    node = LiveNode(core, router, range(n), metrics, clock)
+    # Static fault behaviours travel as plain-JSON specs (the behaviour
+    # object itself never crosses the process boundary).
+    fault = fault_from_spec(spec.get("fault"))
+    node = LiveNode(core, router, range(n), metrics, clock, fault=fault)
 
     async def serve() -> float:
         stop = asyncio.Event()
@@ -243,6 +301,8 @@ def run_replica_from_spec(spec: dict) -> dict:
         "unroutable_frames": router.unroutable_frames,
         "decode_errors": listener.decode_errors if listener else 0,
         "handler_errors": listener.handler_errors if listener else 0,
+        "reconnects": router.reconnects(),
+        "backoff_retries": router.backoff_retries(),
     }
 
 
@@ -318,11 +378,20 @@ async def _serve_clients(clients: list, n: int,
                          address_book: dict[int, tuple[str, int]],
                          metrics: MetricsCollector, epoch: float,
                          stop_at_unix: float,
-                         supervisor: ProcessSupervisor) -> list[Router]:
-    """Host the client cores in-parent until stop time or a child death."""
+                         supervisor: ProcessSupervisor,
+                         chaos_events: list | None = None,
+                         chaos_applied: list | None = None) -> list[Router]:
+    """Host the client cores in-parent until stop time or a child death.
+
+    With ``chaos_events`` (resolved crash/restart events, sorted by
+    time), the parent doubles as the chaos controller: it SIGKILLs and
+    respawns replica children at the scripted offsets from ``epoch``,
+    appending each executed event to ``chaos_applied``.
+    """
     def clock() -> float:
         return time.time() - epoch
 
+    pending = list(chaos_events or [])
     nodes = []
     for core in clients:
         host, port = address_book[core.node_id]
@@ -337,8 +406,20 @@ async def _serve_clients(clients: list, n: int,
             if failed:
                 raise RuntimeError(
                     f"replica process(es) died mid-run: {failed}")
+            while pending and pending[0].at <= clock():
+                event = pending.pop(0)
+                name = f"replica-{event.args['node']}"
+                if event.op == "crash":
+                    supervisor.kill(name)
+                else:  # "restart" — the scheduler validated the op set
+                    supervisor.respawn(name)
+                if chaos_applied is not None:
+                    chaos_applied.append(event.to_jsonable())
+            sleep_until = stop_at_unix
+            if pending:
+                sleep_until = min(sleep_until, epoch + pending[0].at)
             await asyncio.sleep(
-                min(POLL_INTERVAL, max(0.0, stop_at_unix - time.time())))
+                min(POLL_INTERVAL, max(0.0, sleep_until - time.time())))
     finally:
         await asyncio.gather(*(node.shutdown() for node in nodes))
     return [node.router for node in nodes]
@@ -350,7 +431,9 @@ def run_live_processes(n: int = 4, client_count: int = 1,
                        total_rate: float = 4000.0, bundle_size: int = 200,
                        payload_size: int = 128, datablock_size: int = 100,
                        seed: int = 0, warmup: float = 0.0,
-                       host: str = "127.0.0.1") -> dict:
+                       host: str = "127.0.0.1",
+                       faults: dict[int, FaultBehavior] | None = None,
+                       scenario: ChaosScenario | None = None) -> dict:
     """Boot one process per replica, serve ``duration`` s, merge reports.
 
     Returns the :func:`repro.stats.standard_report` dict with a
@@ -366,11 +449,23 @@ def run_live_processes(n: int = 4, client_count: int = 1,
     be consumed by boot time while the parent still shrank the
     measurement denominator — silently inflating reported throughput.
 
+    Fault injection crosses the process boundary two ways: static
+    ``faults`` ship as plain-JSON specs inside each child's replica spec
+    (the child rebuilds the behaviour locally), and a chaos ``scenario``
+    is executed by the parent against the *real processes* — ``crash``
+    is a SIGKILL, ``restart`` a respawn on the same port.  Scenario ops
+    beyond crash/restart (partitions, shaping, mid-run fault swaps)
+    would need an in-child control channel and are rejected up front;
+    use the in-process mode for those.
+
     Raises:
-        ConfigError: for a nonzero ``warmup`` (see above) or no clients.
+        ConfigError: for a nonzero ``warmup`` (see above), no clients,
+            a non-serializable fault, or a scenario with ops this mode
+            cannot execute.
         RuntimeError: if any replica child crashes during boot or
-            mid-run, never starts listening, or fails to produce its
-            summary (children are reaped on every one of those paths).
+            mid-run (scenario-killed children excepted), never starts
+            listening, or fails to produce its summary (children are
+            reaped on every one of those paths).
     """
     if client_count < 1:
         raise ConfigError("need at least one client")
@@ -379,10 +474,16 @@ def run_live_processes(n: int = 4, client_count: int = 1,
             "warmup is not supported in --processes mode: replica "
             "children cannot gate it on the measurement epoch; use the "
             "in-process mode for warmup-windowed runs")
+    faults = dict(faults or {})
     proto = get_protocol(protocol)
     config = default_live_config_for(protocol, n,
                                      payload_size=payload_size,
                                      datablock_size=datablock_size)
+    if len(faults) > config.f:
+        raise ConfigError(
+            f"at most f={config.f} faulty replicas allowed")
+    fault_specs = {replica_id: fault_to_spec(fault)
+                   for replica_id, fault in faults.items()}
     leader = config.leader_of(1)
     measure_replica = next(replica_id for replica_id in range(n)
                            if replica_id != leader)
@@ -394,6 +495,23 @@ def run_live_processes(n: int = 4, client_count: int = 1,
     clients = [proto.make_client(n + index, config, per_client_rate,
                                  bundle_size, False, 2.0)
                for index in range(client_count)]
+
+    chaos_events: list = []
+    chaos_applied: list = []
+    if scenario is not None:
+        unsupported = scenario.ops() - PROCESS_OPS
+        if unsupported:
+            raise ConfigError(
+                f"scenario {scenario.name!r} uses ops "
+                f"{sorted(unsupported)} the --processes mode cannot "
+                "execute (only crash/restart act on real processes); "
+                "run it in-process instead")
+        primaries = frozenset(
+            p for p in (getattr(c, "primary", getattr(c, "target", None))
+                        for c in clients) if p is not None)
+        resolved = scenario.resolve(n, leader, measure_replica, primaries)
+        chaos_events = sorted(resolved.events, key=lambda e: e.at)
+        duration = max(duration, resolved.duration() + 0.5)
 
     spawn_epoch = time.time()
     # Fallback ceiling only: children normally stop on the parent's
@@ -423,6 +541,7 @@ def run_live_processes(n: int = 4, client_count: int = 1,
                     "datablock_size": datablock_size,
                     "address_book": address_book,
                     "report_path": str(report_paths[replica_id]),
+                    "fault": fault_specs.get(replica_id),
                 }
                 spec_path = tmpdir / f"replica-{replica_id}.spec.json"
                 spec_path.write_text(json.dumps(spec))
@@ -440,7 +559,9 @@ def run_live_processes(n: int = 4, client_count: int = 1,
                 epoch = time.time()
                 client_routers = asyncio.run(_serve_clients(
                     clients, n, address_book, metrics, epoch,
-                    epoch + duration, supervisor))
+                    epoch + duration, supervisor,
+                    chaos_events=chaos_events,
+                    chaos_applied=chaos_applied))
             except RuntimeError as exc:
                 raise RuntimeError(
                     f"{exc}; logs: {_tail_logs(log_paths)}") from exc
@@ -450,20 +571,59 @@ def run_live_processes(n: int = 4, client_count: int = 1,
             supervisor.terminate_all()
             exit_codes = {name: proc.returncode
                           for name, proc in supervisor.procs.items()}
+            respawns = supervisor.respawns
+            killed_for_good = {
+                int(name.split("-", 1)[1])
+                for name in supervisor.expected_exits}
 
         summaries: dict[int, dict] = {}
         for replica_id, path in report_paths.items():
             if not path.exists():
+                if replica_id in killed_for_good:
+                    # Scenario-crashed and never restarted: SIGKILL left
+                    # no summary by design.  A zeroed stub keeps the
+                    # report shape whole (the replica really did nothing
+                    # measurable after its crash).
+                    summaries[replica_id] = _stub_summary(replica_id,
+                                                          protocol)
+                    continue
                 raise RuntimeError(
                     f"replica {replica_id} produced no summary "
                     f"(exit code {exit_codes.get(f'replica-{replica_id}')}"
                     f"); logs: {_tail_logs(log_paths)}")
             summaries[replica_id] = json.loads(path.read_text())
 
+    faults_section = None
+    if fault_specs or chaos_applied or scenario is not None:
+        faults_section = {
+            "injected": {str(replica_id): spec for replica_id, spec
+                         in sorted(fault_specs.items())},
+            "scenario": scenario.name if scenario is not None else None,
+            "events_applied": chaos_applied,
+            "restarts": respawns,
+            "shaping": None,  # needs the in-process shaper; not available
+        }
     return _merge_report(protocol=protocol, n=n, metrics=metrics,
                          summaries=summaries, client_routers=client_routers,
                          measure_replica=measure_replica, warmup=warmup,
-                         elapsed=elapsed, exit_codes=exit_codes)
+                         elapsed=elapsed, exit_codes=exit_codes,
+                         faults=faults_section, respawns=respawns)
+
+
+def _stub_summary(replica_id: int, protocol: str) -> dict:
+    """A zeroed child summary for a scenario-killed, never-restarted replica."""
+    return {
+        "node_id": replica_id,
+        "protocol": protocol,
+        "executed_requests": 0,
+        "stopped_at": 0.0,
+        "sent_bytes": {}, "sent_msgs": {},
+        "recv_bytes": {}, "recv_msgs": {},
+        "events_processed": 0,
+        "dropped_frames": 0, "unroutable_frames": 0,
+        "decode_errors": 0, "handler_errors": 0,
+        "reconnects": 0, "backoff_retries": 0,
+    }
 
 
 def _tail_logs(log_paths: dict[int, Path], limit: int = 400) -> dict:
@@ -482,7 +642,9 @@ def _merge_report(*, protocol: str, n: int, metrics: MetricsCollector,
                   summaries: dict[int, dict],
                   client_routers: list[Router], measure_replica: int,
                   warmup: float, elapsed: float,
-                  exit_codes: dict[str, int | None]) -> dict:
+                  exit_codes: dict[str, int | None],
+                  faults: dict | None = None,
+                  respawns: int = 0) -> dict:
     """Fold child summaries + parent client metrics into one report."""
     byte_stats: dict[int, NicStats] = {}
     events = sum(router.stats.total_recv_msgs()
@@ -506,6 +668,8 @@ def _merge_report(*, protocol: str, n: int, metrics: MetricsCollector,
         transport["unroutable_frames"] += summary["unroutable_frames"]
         transport["decode_errors"] += summary["decode_errors"]
         transport["handler_errors"] += summary["handler_errors"]
+        transport["reconnects"] += summary.get("reconnects", 0)
+        transport["backoff_retries"] += summary.get("backoff_retries", 0)
     # The measurement window is the parent's client-serving span: replica
     # children boot before it and are stopped after it, so commits only
     # happen inside it.
@@ -520,12 +684,14 @@ def _merge_report(*, protocol: str, n: int, metrics: MetricsCollector,
         measure_replica=measure_replica,
         events_processed=events,
         events_per_sec=events / elapsed if elapsed > 0 else 0.0,
+        faults=faults,
     )
     report["transport"] = transport
     report["deployment"] = {
         "mode": "processes",
         "replica_processes": n,
         "exit_codes": dict(sorted(exit_codes.items())),
+        "respawns": respawns,
     }
     return report
 

@@ -12,7 +12,15 @@ behind real sockets —
   byte accounting;
 * :mod:`repro.net.node` — :class:`LiveNode`, the effect interpreter that
   hosts one unchanged protocol core (timers via the event loop, sends via
-  the router, metrics via the shared collector);
+  the router, metrics via the shared collector), including the same
+  fault-behaviour boundary the simulator applies;
+* :mod:`repro.net.shaping` — in-transport WAN emulation:
+  hot-swappable per-link rate/latency/loss policies and partitions
+  (:class:`LinkPolicy` / :class:`LinkShaper`), applied by every peer
+  connection's drain loop;
+* :mod:`repro.net.chaos` — declarative chaos scenarios (scripted
+  partition / heal / crash / restart / shape timelines) executable
+  against either backend;
 * :mod:`repro.net.protocols` — the protocol registry: how to build
   replica/client cores and smoke-scale configs for ``leopard``, ``pbft``
   and ``hotstuff``, so every protocol the paper compares runs on this
@@ -23,6 +31,14 @@ behind real sockets —
   run.  One OS process per replica instead: :mod:`repro.harness.procs`.
 """
 
+from repro.net.chaos import (
+    BUILTIN_SCENARIOS,
+    ChaosEvent,
+    ChaosScenario,
+    load_scenario,
+    run_scenario_live,
+    schedule_scenario_sim,
+)
 from repro.net.live import LiveCluster, run_live, run_live_sync
 from repro.net.node import LiveNode
 from repro.net.protocols import (
@@ -31,10 +47,16 @@ from repro.net.protocols import (
     default_live_config_for,
     get_protocol,
 )
+from repro.net.shaping import LinkPolicy, LinkShaper
 from repro.net.transport import Listener, PeerConnection, Router
 
 __all__ = [
+    "BUILTIN_SCENARIOS",
+    "ChaosEvent",
+    "ChaosScenario",
     "LIVE_PROTOCOLS",
+    "LinkPolicy",
+    "LinkShaper",
     "Listener",
     "LiveCluster",
     "LiveNode",
@@ -43,6 +65,9 @@ __all__ = [
     "Router",
     "default_live_config_for",
     "get_protocol",
+    "load_scenario",
     "run_live",
     "run_live_sync",
+    "run_scenario_live",
+    "schedule_scenario_sim",
 ]

@@ -1,0 +1,374 @@
+"""Declarative chaos scenarios: scripted fault timelines for either backend.
+
+A scenario is a timeline of chaos events — partitions, heals, crashes,
+restarts, link shaping, fault (mis)behaviour swaps — written in a tiny
+line grammar::
+
+    # seconds are relative to run start; '#' starts a comment
+    at 0.6 shape leader->victim rate_mbps=200 latency=0.01 jitter=0.002
+    at 1.0 partition victim | rest
+    at 2.0 heal
+    at 2.5 crash victim
+    at 3.3 restart victim
+
+Node positions may be symbolic (``leader`` / ``measure`` / ``victim`` /
+``rest``) so one scenario runs unchanged across protocols and cluster
+sizes: ``victim`` resolves to a replica that is neither the leader, nor
+the measurement replica, nor (when possible) any client's submission
+target — crashing it degrades the run without silencing the measurement
+or decapitating the load generators, which is what lets the faulted
+live-vs-sim gate compare like with like.
+
+Execution is backend-agnostic by design: the controller entry points
+(:func:`run_scenario_live` / :func:`schedule_scenario_sim`) resolve the
+symbols against a cluster and hand each event to the cluster's own
+``apply_chaos_event`` — real socket teardown and
+:class:`~repro.net.shaping.LinkShaper` swaps on the live backend,
+:func:`repro.faults.partition_behavior` wrapping and core rebuilds on the
+simulated one.  Shaping is live-only (the simulator models bandwidth in
+its NIC layer already); a sim backend rejects ``shape`` events.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.net.shaping import LinkPolicy
+
+#: Ops a multi-process parent can execute against real child processes.
+PROCESS_OPS = frozenset({"crash", "restart"})
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled chaos action.
+
+    ``args`` values are plain JSON types; node positions may still be
+    symbolic strings until :meth:`ChaosScenario.resolve` pins them.
+    """
+
+    at: float
+    op: str
+    args: dict
+
+    def to_jsonable(self) -> dict:
+        return {"at": self.at, "op": self.op, "args": self.args}
+
+    @staticmethod
+    def from_jsonable(data: dict) -> "ChaosEvent":
+        return ChaosEvent(at=float(data["at"]), op=str(data["op"]),
+                          args=dict(data["args"]))
+
+
+_OPS = frozenset({"partition", "heal", "crash", "restart",
+                  "shape", "unshape", "fault", "unfault"})
+
+_SYMBOLS = frozenset({"leader", "measure", "victim", "rest"})
+
+
+def _parse_kv(tokens: list[str], line: str) -> dict:
+    pairs = {}
+    for token in tokens:
+        if "=" not in token:
+            raise ConfigError(f"expected key=value, got {token!r}: {line!r}")
+        key, value = token.split("=", 1)
+        pairs[key] = value
+    return pairs
+
+
+def _parse_policy(pairs: dict, line: str) -> dict:
+    """kv pairs -> LinkPolicy kwargs (validated immediately)."""
+    kwargs: dict = {}
+    for key, value in pairs.items():
+        if key == "rate_mbps":
+            kwargs["rate_bps"] = float(value) * 1e6
+        elif key == "rate_bps":
+            kwargs["rate_bps"] = float(value)
+        elif key == "burst":
+            kwargs["burst_bytes"] = int(value)
+        elif key in ("latency", "jitter", "loss"):
+            kwargs[key] = float(value)
+        else:
+            raise ConfigError(f"unknown shape parameter {key!r}: {line!r}")
+    try:
+        LinkPolicy(**kwargs)  # validate now, not at fire time
+    except ValueError as exc:
+        raise ConfigError(f"invalid shape policy ({exc}): {line!r}") from exc
+    return kwargs
+
+
+def _parse_fault_spec(kind: str, pairs: dict, line: str) -> dict:
+    spec: dict = {"kind": kind}
+    for key, value in pairs.items():
+        if key in ("delay", "at"):
+            spec[key] = float(value)
+        elif key == "classes":
+            spec["msg_classes"] = value.split(",")
+        elif key == "targets":
+            spec["targets"] = [int(t) for t in value.split(",")]
+        else:
+            raise ConfigError(f"unknown fault parameter {key!r}: {line!r}")
+    return spec
+
+
+def _parse_link(token: str, line: str) -> tuple[str, str]:
+    if "->" not in token:
+        raise ConfigError(f"expected src->dst link, got {token!r}: {line!r}")
+    src, dst = token.split("->", 1)
+    return src.strip(), dst.strip()
+
+
+def _parse_event(line: str) -> ChaosEvent:
+    tokens = line.split()
+    if len(tokens) < 3 or tokens[0] != "at":
+        raise ConfigError(f"chaos line must start 'at TIME OP': {line!r}")
+    try:
+        at = float(tokens[1])
+    except ValueError as exc:
+        raise ConfigError(f"bad chaos event time: {line!r}") from exc
+    op, rest = tokens[2], tokens[3:]
+    if op not in _OPS:
+        raise ConfigError(
+            f"unknown chaos op {op!r}; available: {', '.join(sorted(_OPS))}")
+    if op == "partition":
+        groups = [group.split(",") for group
+                  in " ".join(rest).replace(" ", "").split("|")]
+        if len(groups) < 2 or any(not g or not all(g) for g in groups):
+            raise ConfigError(f"partition needs >= 2 groups: {line!r}")
+        return ChaosEvent(at, op, {"groups": groups})
+    if op == "heal":
+        if rest:
+            raise ConfigError(f"heal takes no arguments: {line!r}")
+        return ChaosEvent(at, op, {})
+    if op in ("crash", "restart", "unfault"):
+        if len(rest) != 1:
+            raise ConfigError(f"{op} takes exactly one node: {line!r}")
+        return ChaosEvent(at, op, {"node": rest[0]})
+    if op == "shape":
+        if not rest:
+            raise ConfigError(f"shape needs a src->dst link: {line!r}")
+        src, dst = _parse_link(rest[0], line)
+        policy = _parse_policy(_parse_kv(rest[1:], line), line)
+        return ChaosEvent(at, op, {"src": src, "dst": dst,
+                                   "policy": policy})
+    if op == "unshape":
+        if len(rest) != 1:
+            raise ConfigError(f"unshape takes one src->dst link: {line!r}")
+        src, dst = _parse_link(rest[0], line)
+        return ChaosEvent(at, op, {"src": src, "dst": dst})
+    # op == "fault"
+    if len(rest) < 2:
+        raise ConfigError(f"fault needs a node and a kind: {line!r}")
+    spec = _parse_fault_spec(rest[1], _parse_kv(rest[2:], line), line)
+    return ChaosEvent(at, op, {"node": rest[0], "spec": spec})
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """A named, ordered chaos timeline."""
+
+    name: str
+    events: tuple[ChaosEvent, ...]
+
+    @staticmethod
+    def parse(text: str, name: str = "inline") -> "ChaosScenario":
+        events = []
+        for raw in text.replace(";", "\n").splitlines():
+            line = raw.split("#", 1)[0].strip()
+            if line:
+                events.append(_parse_event(line))
+        if not events:
+            raise ConfigError(f"chaos scenario {name!r} has no events")
+        return ChaosScenario(
+            name, tuple(sorted(events, key=lambda e: e.at)))
+
+    def duration(self) -> float:
+        """Time of the last event (the run must outlive it)."""
+        return self.events[-1].at if self.events else 0.0
+
+    def ops(self) -> frozenset[str]:
+        return frozenset(event.op for event in self.events)
+
+    def to_jsonable(self) -> dict:
+        return {"name": self.name,
+                "events": [event.to_jsonable() for event in self.events]}
+
+    @staticmethod
+    def from_jsonable(data: dict) -> "ChaosScenario":
+        return ChaosScenario(
+            str(data["name"]),
+            tuple(ChaosEvent.from_jsonable(e) for e in data["events"]))
+
+    # ------------------------------------------------------------------
+    # Symbol resolution
+    # ------------------------------------------------------------------
+
+    def resolve(self, n: int, leader: int, measure_replica: int,
+                client_primaries: frozenset[int] = frozenset()
+                ) -> "ChaosScenario":
+        """Pin symbolic node positions to concrete replica ids.
+
+        ``victim`` prefers the highest replica that is neither the
+        leader, the measurement replica, nor a client's submission
+        target (falling back to the highest non-leader non-measure
+        replica — both backends of a faulted comparison must agree even
+        when their client fan-outs differ); ``rest`` is everyone else.
+        """
+        candidates = [r for r in range(n)
+                      if r != leader and r != measure_replica]
+        if not candidates:
+            raise ConfigError("no viable victim replica in this cluster")
+        free = [r for r in candidates if r not in client_primaries]
+        victim = (free or candidates)[-1]
+        table = {"leader": leader, "measure": measure_replica,
+                 "victim": victim}
+
+        def node(token) -> int:
+            if isinstance(token, int):
+                return token
+            if token in table:
+                return table[token]
+            try:
+                value = int(token)
+            except ValueError:
+                raise ConfigError(
+                    f"unknown node token {token!r}") from None
+            if not 0 <= value < n:
+                raise ConfigError(f"node {value} outside cluster of {n}")
+            return value
+
+        def group(tokens) -> list[int]:
+            members: list[int] = []
+            for token in tokens:
+                if token == "rest":
+                    members.extend(r for r in range(n) if r != victim)
+                else:
+                    members.append(node(token))
+            return sorted(set(members))
+
+        resolved = []
+        for event in self.events:
+            args = dict(event.args)
+            if event.op == "partition":
+                args["groups"] = [group(g) for g in args["groups"]]
+                seen: set[int] = set()
+                for members in args["groups"]:
+                    if seen.intersection(members):
+                        raise ConfigError(
+                            f"partition groups overlap in {self.name!r}")
+                    seen.update(members)
+            elif "node" in args:
+                args["node"] = node(args["node"])
+                if args["node"] >= n and event.op in ("crash", "restart"):
+                    raise ConfigError(
+                        f"{event.op} targets non-replica {args['node']}")
+            elif event.op in ("shape", "unshape"):
+                args["src"] = node(args["src"])
+                args["dst"] = node(args["dst"])
+            resolved.append(ChaosEvent(event.at, event.op, args))
+        return ChaosScenario(self.name, tuple(resolved))
+
+    def resolve_for(self, cluster) -> "ChaosScenario":
+        """Resolve against a live or simulated cluster (duck-typed)."""
+        primaries = set()
+        for client in cluster.clients:
+            primary = getattr(client, "primary",
+                              getattr(client, "target", None))
+            if primary is not None:
+                primaries.add(primary)
+        return self.resolve(cluster.n, cluster.leader,
+                            cluster.measure_replica, frozenset(primaries))
+
+
+#: Named scenarios usable as ``--scenario NAME``.  ``smoke`` is the CI
+#: gate: one shaped link, a minority partition that heals, then a
+#: crash-restart of the same victim — commits must keep flowing.
+BUILTIN_SCENARIOS: dict[str, str] = {
+    "smoke": """
+        at 0.6 shape leader->victim rate_mbps=200 latency=0.01 jitter=0.002
+        at 1.0 partition victim | rest
+        at 2.0 heal
+        at 2.5 crash victim
+        at 3.3 restart victim
+        at 4.0 unshape leader->victim
+    """,
+    "partition-heal": """
+        at 1.0 partition victim | rest
+        at 2.5 heal
+    """,
+    "crash-restart": """
+        at 1.0 crash victim
+        at 3.0 restart victim
+    """,
+    "slow-replica": """
+        at 1.0 fault victim delay_send delay=0.05
+        at 3.0 unfault victim
+    """,
+}
+
+
+def load_scenario(spec: str) -> ChaosScenario:
+    """Load a scenario from a builtin name, a file path, or inline text."""
+    builtin = BUILTIN_SCENARIOS.get(spec)
+    if builtin is not None:
+        return ChaosScenario.parse(builtin, name=spec)
+    if "at " not in spec and not os.path.exists(spec):
+        raise ConfigError(
+            f"unknown scenario {spec!r}; builtins: "
+            f"{', '.join(sorted(BUILTIN_SCENARIOS))}, or a file path, "
+            f"or inline 'at T OP ...' text")
+    if os.path.exists(spec):
+        with open(spec, encoding="utf-8") as handle:
+            return ChaosScenario.parse(
+                handle.read(), name=os.path.basename(spec))
+    return ChaosScenario.parse(spec)
+
+
+# ---------------------------------------------------------------------------
+# Controllers
+# ---------------------------------------------------------------------------
+
+
+async def run_scenario_live(cluster, scenario: ChaosScenario) -> list[dict]:
+    """Drive ``scenario`` against a running live cluster, in real time.
+
+    Sleeps to each event's time on the cluster clock, then hands the
+    resolved event to ``cluster.apply_chaos_event``.  Returns the applied
+    events (jsonable) for the report's ``faults.scenario`` section.
+    """
+    resolved = scenario.resolve_for(cluster)
+    applied: list[dict] = []
+    for event in resolved.events:
+        delay = event.at - cluster.clock()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        await cluster.apply_chaos_event(event)
+        applied.append(event.to_jsonable())
+    return applied
+
+
+def schedule_scenario_sim(cluster, scenario: ChaosScenario) -> ChaosScenario:
+    """Arm ``scenario`` on a simulated cluster's event queue.
+
+    Event times are relative to the simulation's *current* time (arm
+    before running).  Shaping events are rejected up front: the simulator
+    expresses link capacity in its NIC model
+    (:func:`repro.harness.cluster.throttle_all_replicas`), not per-link
+    policies.
+    """
+    resolved = scenario.resolve_for(cluster)
+    unsupported = resolved.ops() & {"shape", "unshape"}
+    if unsupported:
+        raise ConfigError(
+            f"scenario {scenario.name!r} uses live-only ops "
+            f"{sorted(unsupported)}; the simulator models bandwidth at "
+            "the NIC layer instead")
+    queue = cluster.sim.queue
+    base = cluster.sim.now
+    for event in resolved.events:
+        queue.schedule(base + event.at,
+                       lambda e=event: cluster.apply_chaos_event(e))
+    return resolved

@@ -21,8 +21,11 @@ from __future__ import annotations
 import asyncio
 
 from repro.errors import ConfigError
+from repro.faults import HONEST, FaultBehavior, fault_from_spec, fault_to_spec
+from repro.net.chaos import ChaosScenario, run_scenario_live
 from repro.net.node import LiveNode
 from repro.net.protocols import get_protocol
+from repro.net.shaping import LinkPolicy, LinkShaper
 from repro.net.transport import Router
 from repro.stats import MetricsCollector, NicStats, standard_report
 
@@ -50,6 +53,8 @@ def transport_summary(routers: list[Router]) -> dict:
                              if r.listener is not None),
         "handler_errors": sum(r.listener.handler_errors for r in routers
                               if r.listener is not None),
+        "reconnects": sum(r.reconnects() for r in routers),
+        "backoff_retries": sum(r.backoff_retries() for r in routers),
     }
 
 
@@ -81,6 +86,9 @@ class LiveCluster:
             submit to the leader.
         client_timeout: seconds a client waits for an ack before
             re-routing (only with ``resubmit``).
+        faults: optional ``replica_id -> FaultBehavior`` map (≤ f
+            entries) — the same behaviours the simulator hosts, applied
+            at the live node's sans-io boundary.
     """
 
     def __init__(self, n: int, client_count: int = 1,
@@ -89,10 +97,12 @@ class LiveCluster:
                  total_rate: float = 4000.0, bundle_size: int = 200,
                  seed: int = 0, warmup: float = 0.0,
                  host: str = "127.0.0.1", resubmit: bool = False,
-                 client_timeout: float = 2.0) -> None:
+                 client_timeout: float = 2.0,
+                 faults: dict[int, FaultBehavior] | None = None) -> None:
         if client_count < 1:
             raise ConfigError("need at least one client")
         spec = get_protocol(protocol)
+        self._spec = spec
         self.protocol = spec.name
         self.config = config if config is not None \
             else spec.default_config(n, 128, 100)
@@ -109,6 +119,17 @@ class LiveCluster:
         self.measure_replica = next(
             replica_id for replica_id in range(n)
             if replica_id != self.leader)
+        self.faults = dict(faults or {})
+        if len(self.faults) > self.config.f:
+            raise ConfigError(
+                f"at most f={self.config.f} faulty replicas allowed")
+        if self.measure_replica in self.faults:
+            raise ConfigError("the measurement replica must stay honest")
+        #: Cluster-wide link shaper, consulted by every outbound link.
+        self.shaper = LinkShaper(seed=seed)
+        self.restarts = 0
+        self.chaos_log: list[dict] = []
+        self.scenario_name: str | None = None
         self.address_book: dict[int, tuple[str, int]] = {}
         self.nodes: dict[int, LiveNode] = {}
         self.replicas: list = []
@@ -152,9 +173,11 @@ class LiveCluster:
         self._loop = loop
         self._epoch = loop.time()
         for core in [*self.replicas, *self.clients]:
-            router = Router(core.node_id, self.address_book, host=self.host)
+            router = Router(core.node_id, self.address_book, host=self.host,
+                            shaper=self.shaper)
             self.nodes[core.node_id] = LiveNode(
-                core, router, range(self.n), self.metrics, self.clock)
+                core, router, range(self.n), self.metrics, self.clock,
+                fault=self.faults.get(core.node_id, HONEST))
         # All listeners must be routable before any core starts sending.
         results = await asyncio.gather(
             *(node.start() for node in self.nodes.values()),
@@ -177,6 +200,78 @@ class LiveCluster:
     async def kill_replica(self, replica_id: int) -> None:
         """Crash-stop one replica mid-run (fault injection)."""
         await self.nodes[replica_id].kill()
+
+    async def restart_replica(self, replica_id: int) -> None:
+        """Boot a fresh core for a crashed replica on its original port.
+
+        Real crash-recovery semantics: the replacement core starts from
+        protocol genesis (key material re-dealt deterministically from
+        the shared context), binds the *same* address, and the surviving
+        peers' reconnecting outbound links deliver their queued frames to
+        it — no cluster-wide reconfiguration happens.
+        """
+        if replica_id >= self.n:
+            raise ConfigError("only replicas can be restarted")
+        old = self.nodes[replica_id]
+        if not old.crashed:
+            raise ConfigError(
+                f"replica {replica_id} is running; crash it first")
+        address = self.address_book.get(replica_id)
+        if address is None:
+            raise ConfigError(f"replica {replica_id} was never started")
+        core = self._spec.make_replica(replica_id, self.config, self.context)
+        if hasattr(core, "attach_perf"):
+            core.attach_perf(self.metrics.perf)
+        self.replicas[replica_id] = core
+        router = Router(core.node_id, self.address_book, host=address[0],
+                        port=address[1], shaper=self.shaper)
+        node = LiveNode(core, router, range(self.n), self.metrics,
+                        self.clock,
+                        fault=self.faults.get(replica_id, HONEST))
+        self.nodes[replica_id] = node
+        await node.start()
+        node.boot()
+        self.restarts += 1
+
+    def set_fault(self, replica_id: int, fault: FaultBehavior) -> None:
+        """Hot-swap one replica's fault behaviour (chaos ``fault`` op)."""
+        if replica_id == self.measure_replica and fault is not HONEST:
+            raise ConfigError("the measurement replica must stay honest")
+        if fault is HONEST:
+            self.faults.pop(replica_id, None)
+        else:
+            self.faults[replica_id] = fault
+        self.nodes[replica_id].fault = fault
+
+    async def apply_chaos_event(self, event) -> None:
+        """Execute one resolved chaos event against this deployment."""
+        args = event.args
+        if event.op == "partition":
+            self.shaper.set_partition(
+                [frozenset(group) for group in args["groups"]])
+        elif event.op == "heal":
+            self.shaper.heal()
+        elif event.op == "crash":
+            await self.kill_replica(args["node"])
+        elif event.op == "restart":
+            await self.restart_replica(args["node"])
+        elif event.op == "shape":
+            self.shaper.set_policy(args["src"], args["dst"],
+                                   LinkPolicy(**args["policy"]))
+        elif event.op == "unshape":
+            self.shaper.clear_policy(args["src"], args["dst"])
+        elif event.op == "fault":
+            self.set_fault(args["node"], fault_from_spec(args["spec"]))
+        elif event.op == "unfault":
+            self.set_fault(args["node"], HONEST)
+        else:
+            raise ConfigError(f"unknown chaos op {event.op!r}")
+        self.chaos_log.append(event.to_jsonable())
+
+    async def run_scenario(self, scenario: ChaosScenario) -> None:
+        """Drive a chaos scenario to completion against this cluster."""
+        self.scenario_name = scenario.name
+        await run_scenario_live(self, scenario)
 
     async def stop(self) -> None:
         """Tear the whole cluster down (idempotent, safe mid-boot)."""
@@ -226,6 +321,7 @@ class LiveCluster:
             measure_replica=self.measure_replica,
             events_processed=events,
             events_per_sec=events / elapsed if elapsed > 0 else 0.0,
+            faults=self.faults_summary(),
         )
         report["transport"] = transport_summary(
             [node.router for node in self.nodes.values()])
@@ -233,22 +329,64 @@ class LiveCluster:
                                 "replica_processes": 0}
         return report
 
+    def faults_summary(self) -> dict | None:
+        """The report's ``faults`` section (``None`` for a clean run)."""
+        if not (self.faults or self.chaos_log or self.restarts
+                or self.scenario_name):
+            return None
+        def spec_or_custom(fault):
+            try:
+                return fault_to_spec(fault)
+            except ValueError:
+                return {"kind": "custom", "repr": repr(fault)}
+
+        return {
+            "injected": {str(replica_id): spec_or_custom(fault)
+                         for replica_id, fault in sorted(self.faults.items())},
+            "scenario": self.scenario_name,
+            "events_applied": list(self.chaos_log),
+            "restarts": self.restarts,
+            "shaping": self.shaper.snapshot(),
+        }
+
 
 async def run_live(n: int = 4, client_count: int = 1,
                    duration: float = 5.0,
                    protocol: str = "leopard",
                    config=None,
                    total_rate: float = 4000.0, bundle_size: int = 200,
-                   seed: int = 0, warmup: float = 0.0) -> dict:
-    """Boot a localhost cluster, serve for ``duration`` s, return report."""
+                   seed: int = 0, warmup: float = 0.0,
+                   faults: dict[int, FaultBehavior] | None = None,
+                   scenario: ChaosScenario | None = None) -> dict:
+    """Boot a localhost cluster, serve for ``duration`` s, return report.
+
+    With a ``scenario`` the chaos controller runs concurrently with the
+    load; the run lasts ``max(duration, scenario end + 0.5s)`` so the
+    last event always executes before teardown.
+    """
     cluster = LiveCluster(
         n, client_count=client_count, protocol=protocol, config=config,
         total_rate=total_rate, bundle_size=bundle_size, seed=seed,
-        warmup=warmup)
+        warmup=warmup, faults=faults)
+    chaos_task: asyncio.Task | None = None
+    if scenario is not None:
+        duration = max(duration, scenario.duration() + 0.5)
     try:
         await cluster.start()
+        if scenario is not None:
+            chaos_task = asyncio.get_running_loop().create_task(
+                cluster.run_scenario(scenario))
         await cluster.run(duration)
+        if chaos_task is not None:
+            await chaos_task  # surface scenario errors, don't swallow them
+            chaos_task = None
     finally:
+        if chaos_task is not None:
+            chaos_task.cancel()
+            try:
+                await chaos_task
+            except (asyncio.CancelledError, Exception):
+                pass
         await cluster.stop()
     return cluster.report()
 

@@ -9,6 +9,12 @@ metrics collector), but against an asyncio event loop and a
 and modelled NICs.  Because both hosts honour the identical
 :class:`repro.interfaces.ProtocolCore` contract, a replica or client core
 runs unmodified under either backend.
+
+Fault injection happens at the same boundary as in the simulator: a
+:class:`repro.faults.FaultBehavior` filters the core's inbound messages
+and outbound effects, so ``Crash``/``Mute``/``SelectiveDisseminator``/
+``DropIncoming``/``DelaySend`` behaviours written against the sim run
+unchanged on real sockets.
 """
 
 from __future__ import annotations
@@ -16,9 +22,11 @@ from __future__ import annotations
 import asyncio
 from typing import Callable, Hashable, Iterable
 
+from repro.faults import HONEST, FaultBehavior
 from repro.interfaces import (
     Broadcast,
     CancelTimer,
+    Delayed,
     Effect,
     Executed,
     ProtocolCore,
@@ -39,17 +47,21 @@ class LiveNode:
         replica_ids: ids that :class:`Broadcast` effects expand to.
         metrics: shared metrics sink.
         clock: returns seconds since the cluster epoch (the live ``now``).
+        fault: behaviour filter applied at the core's io boundary; the
+            default :data:`~repro.faults.HONEST` is a zero-cost pass.
     """
 
     def __init__(self, core: ProtocolCore, router: Router,
                  replica_ids: Iterable[int], metrics: MetricsCollector,
-                 clock: Callable[[], float]) -> None:
+                 clock: Callable[[], float],
+                 fault: FaultBehavior = HONEST) -> None:
         self.core = core
         self.node_id = core.node_id
         self.router = router
         self.replica_ids = tuple(replica_ids)
         self.metrics = metrics
         self.clock = clock
+        self.fault = fault
         self.crashed = False
         self._timer_generation: dict[Hashable, int] = {}
         self._timer_handles: dict[Hashable, asyncio.TimerHandle] = {}
@@ -57,6 +69,10 @@ class LiveNode:
         # on local egress backlog read the transport's queue depth.
         if hasattr(core, "backlog_probe"):
             core.backlog_probe = router.backlog_seconds
+
+    @property
+    def _honest(self) -> bool:
+        return self.fault is HONEST
 
     async def start(self) -> None:
         """Bind this node's listener (address becomes routable)."""
@@ -70,6 +86,11 @@ class LiveNode:
         """Transport fan-in: one decoded message for the core."""
         if self.crashed:
             return
+        if not self._honest:
+            if self.fault.crashed:
+                return
+            if self.fault.drop_incoming(sender, msg, self.clock()):
+                return
         self._apply(self.core.on_message(sender, msg, self.clock()))
 
     def _fire_timer(self, key: Hashable, generation: int) -> None:
@@ -79,9 +100,18 @@ class LiveNode:
         self._timer_handles.pop(key, None)
         if self.crashed:
             return
+        if not self._honest and self.fault.crashed:
+            return
         self._apply(self.core.on_timer(key, self.clock()))
 
     def _apply(self, effects: list[Effect]) -> None:
+        if not self._honest:
+            effects = self.fault.filter_effects(effects, self.clock())
+        if effects:
+            self._interpret(effects)
+
+    def _interpret(self, effects: list[Effect]) -> None:
+        """Execute already-filtered effects (no fault rewrite pass)."""
         now = self.clock()
         for effect in effects:
             if isinstance(effect, Send):
@@ -89,9 +119,10 @@ class LiveNode:
             elif isinstance(effect, Broadcast):
                 excluded = set(effect.exclude)
                 excluded.add(self.node_id)
-                for dest in self.replica_ids:
-                    if dest not in excluded:
-                        self.router.send(dest, effect.msg)
+                self.router.send_many(
+                    (dest for dest in self.replica_ids
+                     if dest not in excluded),
+                    effect.msg)
             elif isinstance(effect, SetTimer):
                 self._set_timer(effect.key, effect.delay)
             elif isinstance(effect, CancelTimer):
@@ -101,8 +132,18 @@ class LiveNode:
                     self.node_id, effect.count, now)
             elif isinstance(effect, Trace):
                 self._record_trace(effect, now)
+            elif isinstance(effect, Delayed):
+                asyncio.get_running_loop().call_later(
+                    effect.delay, self._interpret_delayed, effect.effect)
             else:
                 raise TypeError(f"unknown effect {effect!r}")
+
+    def _interpret_delayed(self, effect: Effect) -> None:
+        if self.crashed:
+            return
+        if not self._honest and self.fault.crashed:
+            return
+        self._interpret([effect])
 
     def _set_timer(self, key: Hashable, delay: float) -> None:
         generation = self._timer_generation.get(key, 0) + 1

@@ -27,9 +27,12 @@ column-for-column without the transport importing simulator machinery.
 from __future__ import annotations
 
 import asyncio
+import random
+import time
 from collections import deque
 from typing import Callable
 
+from repro.net.shaping import PARTITION_POLL, LinkShaper
 from repro.stats import NicStats
 from repro.wire import codec
 
@@ -159,20 +162,32 @@ class PeerConnection:
     event loop and must never stall on one slow peer); a dedicated writer
     task drains the queue through the socket, honouring TCP backpressure
     via ``drain()``.  While the peer is unreachable the task retries with
-    exponential backoff and the queue keeps absorbing frames up to
-    ``max_queue_bytes``, beyond which new frames are dropped and counted.
+    exponential backoff (jittered, so a cluster of reconnecting peers
+    does not dial a restarted listener in lock-step) and the queue keeps
+    absorbing frames up to ``max_queue_bytes``, beyond which new frames
+    are dropped and counted.
+
+    When a :class:`~repro.net.shaping.LinkShaper` is attached the drain
+    loop consults it per frame: partitioned links hold their queue intact
+    (frames flow again on heal), shaped links sleep out the token-bucket
+    and latency delays, and lost frames are discarded after dequeue.
     """
 
     def __init__(self, peer_id: int, host: str, port: int,
-                 max_queue_bytes: int = DEFAULT_MAX_QUEUE_BYTES) -> None:
+                 max_queue_bytes: int = DEFAULT_MAX_QUEUE_BYTES,
+                 src_id: int | None = None,
+                 shaper: LinkShaper | None = None) -> None:
         self.peer_id = peer_id
         self.host = host
         self.port = port
         self.max_queue_bytes = max_queue_bytes
+        self.src_id = src_id
+        self.shaper = shaper
         self.dropped_frames = 0
         self.sent_frames = 0
         self.connects = 0
-        self._queue: deque[bytes] = deque()
+        self.backoff_retries = 0
+        self._queue: deque[tuple[bytes, float]] = deque()
         self._queued_bytes = 0
         self._wakeup = asyncio.Event()
         self._closed = False
@@ -195,7 +210,7 @@ class PeerConnection:
         if self._queued_bytes + len(frame) > self.max_queue_bytes:
             self.dropped_frames += 1
             return False
-        self._queue.append(frame)
+        self._queue.append((frame, time.monotonic()))
         self._queued_bytes += len(frame)
         self._wakeup.set()
         return True
@@ -207,7 +222,10 @@ class PeerConnection:
                 reader, writer = await asyncio.open_connection(
                     self.host, self.port)
             except OSError:
-                await asyncio.sleep(backoff)
+                self.backoff_retries += 1
+                # Jitter de-synchronizes the reconnect herd after a
+                # restarted peer comes back.
+                await asyncio.sleep(backoff * (1.0 + 0.5 * random.random()))
                 backoff = min(backoff * 2.0, MAX_BACKOFF)
                 continue
             self.connects += 1
@@ -219,11 +237,30 @@ class PeerConnection:
             finally:
                 writer.close()
 
+    def _link_blocked(self) -> bool:
+        return (self.shaper is not None and self.src_id is not None
+                and self.shaper.blocked(self.src_id, self.peer_id))
+
     async def _drain_loop(self, writer: asyncio.StreamWriter) -> None:
         while not self._closed:
             while self._queue:
-                frame = self._queue.popleft()
+                if self._link_blocked():
+                    # Partitioned: hold the queue intact and poll so a
+                    # heal resumes delivery within one poll interval.
+                    await asyncio.sleep(PARTITION_POLL)
+                    continue
+                frame, enqueued_at = self._queue.popleft()
                 self._queued_bytes -= len(frame)
+                if self.shaper is not None and self.src_id is not None:
+                    delay = self.shaper.frame_delay(
+                        self.src_id, self.peer_id, len(frame),
+                        enqueued_at, time.monotonic())
+                    if delay is None:
+                        continue  # shaped loss: frame vanishes in transit
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                    if self._closed:
+                        return
                 writer.write(frame)
                 self.sent_frames += 1
                 await writer.drain()  # kernel-buffer backpressure
@@ -261,18 +298,22 @@ class Router:
             in seconds (the protocol cores' ``backlog_probe`` pacing
             contract, same unit as the simulator's NIC backlog).
         max_queue_bytes: per-peer write-queue bound.
+        shaper: optional cluster-wide link shaper consulted by every
+            outbound link's drain loop (chaos scenarios, WAN emulation).
     """
 
     def __init__(self, node_id: int,
                  address_book: dict[int, tuple[str, int]],
                  host: str = "127.0.0.1", port: int = 0,
                  link_bps: float = DEFAULT_LINK_BPS,
-                 max_queue_bytes: int = DEFAULT_MAX_QUEUE_BYTES) -> None:
+                 max_queue_bytes: int = DEFAULT_MAX_QUEUE_BYTES,
+                 shaper: LinkShaper | None = None) -> None:
         self.node_id = node_id
         self.address_book = address_book
         self.host = host
         self.link_bps = link_bps
         self.max_queue_bytes = max_queue_bytes
+        self.shaper = shaper
         self.stats = NicStats()
         self.unroutable_frames = 0
         self.listener: Listener | None = None
@@ -287,24 +328,54 @@ class Router:
         await self.listener.start()
         self.address_book[self.node_id] = (self.host, self.listener.port)
 
-    def send(self, dest: int, msg) -> bool:
-        """Encode and enqueue ``msg`` for ``dest``; False if dropped."""
-        if self._closed:
-            return False
-        frame = codec.encode(self.node_id, msg)
+    def _peer_for(self, dest: int) -> PeerConnection | None:
+        """The outbound link to ``dest``, dialing lazily; None if unknown."""
         peer = self._peers.get(dest)
         if peer is None:
             address = self.address_book.get(dest)
             if address is None:
                 self.unroutable_frames += 1
-                return False
+                return None
             peer = PeerConnection(dest, address[0], address[1],
-                                  self.max_queue_bytes)
+                                  self.max_queue_bytes,
+                                  src_id=self.node_id, shaper=self.shaper)
             peer.start()
             self._peers[dest] = peer
+        return peer
+
+    def send(self, dest: int, msg) -> bool:
+        """Encode and enqueue ``msg`` for ``dest``; False if dropped."""
+        if self._closed:
+            return False
+        peer = self._peer_for(dest)
+        if peer is None:
+            return False
+        frame = codec.encode(self.node_id, msg)
         accepted = peer.send(frame)
         if accepted:
             self.stats.record_send(msg.msg_class, len(frame))
+        return accepted
+
+    def send_many(self, dests, msg) -> int:
+        """Fan ``msg`` out to every id in ``dests``, encoding once.
+
+        A broadcast sends the identical frame to n-1 peers; encoding it
+        per destination made fan-out cost scale the serialization work
+        with n for no reason.  Returns the number of accepted sends.
+        """
+        if self._closed:
+            return 0
+        frame: bytes | None = None
+        accepted = 0
+        for dest in dests:
+            peer = self._peer_for(dest)
+            if peer is None:
+                continue
+            if frame is None:
+                frame = codec.encode(self.node_id, msg)
+            if peer.send(frame):
+                self.stats.record_send(msg.msg_class, len(frame))
+                accepted += 1
         return accepted
 
     def backlog_seconds(self) -> float:
@@ -315,6 +386,15 @@ class Router:
     def dropped_frames(self) -> int:
         """Frames dropped by full peer queues (overload indicator)."""
         return sum(peer.dropped_frames for peer in self._peers.values())
+
+    def reconnects(self) -> int:
+        """Successful (re)connects beyond each link's first, summed."""
+        return sum(max(0, peer.connects - 1)
+                   for peer in self._peers.values())
+
+    def backoff_retries(self) -> int:
+        """Failed dial attempts across all outbound links."""
+        return sum(peer.backoff_retries for peer in self._peers.values())
 
     async def close(self) -> None:
         """Close the listener and every outbound link."""

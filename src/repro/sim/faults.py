@@ -1,143 +1,39 @@
-"""Composable Byzantine fault behaviours for simulated replicas.
+"""Backward-compatible re-export of :mod:`repro.faults`.
 
-The paper's adversary (§III-A) fully controls up to f replicas.  Rather than
-writing bespoke malicious replicas for every experiment, hosts wrap their
-protocol core with a :class:`FaultBehavior` that intercepts the sans-io
-boundary: outgoing effects can be rewritten/suppressed and incoming messages
-dropped.  Behaviours compose, so "selective disseminator that also withholds
-votes" is a one-liner in tests.
-
-Provided behaviours cover the attacks the paper analyses:
-
-* :class:`Crash` — fail-stop (used for view-change experiments, §VI-D2).
-* :class:`SelectiveDisseminator` — sends its datablocks only to a chosen
-  subset including the leader (the liveness attack of §IV-A2).
-* :class:`DropIncoming` — pretends not to receive selected message classes
-  (e.g. drops honest replicas' datablocks, §V-B case (b)).
-* :class:`Mute` — suppresses selected outgoing message classes
-  (e.g. vote withholding).
-* :class:`DelaySend` — a slow/lagging replica.
+Fault behaviours started life simulator-only; they now live in the
+backend-neutral :mod:`repro.faults` so the live runtime
+(:mod:`repro.net`) can host the identical adversary without importing
+simulator machinery.  Existing imports through this module keep working
+— including identity checks against :data:`~repro.faults.HONEST`, which
+is the same object.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.faults import (
+    HONEST,
+    Combined,
+    Crash,
+    DelaySend,
+    DropIncoming,
+    FaultBehavior,
+    Mute,
+    SelectiveDisseminator,
+    fault_from_spec,
+    fault_to_spec,
+    partition_behavior,
+)
 
-from repro.interfaces import Broadcast, Effect, Message, Send
-
-
-class FaultBehavior:
-    """Base behaviour: fully honest (identity pass-through)."""
-
-    def filter_effects(self, effects: list[Effect], now: float
-                       ) -> list[Effect]:
-        """Rewrite the effects a core emitted before they reach the network."""
-        return effects
-
-    def drop_incoming(self, sender: int, msg: Message, now: float) -> bool:
-        """Return True to silently discard an incoming message."""
-        return False
-
-    @property
-    def crashed(self) -> bool:
-        """Crashed nodes neither send nor receive anything."""
-        return False
-
-
-HONEST = FaultBehavior()
-
-
-@dataclass
-class Crash(FaultBehavior):
-    """Fail-stop at time ``at`` (immediately by default)."""
-
-    at: float = 0.0
-    _now: float = field(default=0.0, repr=False)
-
-    def filter_effects(self, effects: list[Effect], now: float
-                       ) -> list[Effect]:
-        self._now = now
-        return [] if now >= self.at else effects
-
-    def drop_incoming(self, sender: int, msg: Message, now: float) -> bool:
-        self._now = now
-        return now >= self.at
-
-    @property
-    def crashed(self) -> bool:
-        return self._now >= self.at
-
-
-@dataclass
-class SelectiveDisseminator(FaultBehavior):
-    """Multicasts datablocks only to ``targets`` (which includes the leader).
-
-    This is the selective attack of §IV-A2: the faulty replica's datablocks
-    reach the leader (so they get linked into BFTblocks) but not enough
-    replicas to vote, forcing the retrieval mechanism to engage.
-    """
-
-    targets: frozenset[int]
-    msg_classes: frozenset[str] = frozenset({"datablock"})
-
-    def filter_effects(self, effects: list[Effect], now: float
-                       ) -> list[Effect]:
-        rewritten: list[Effect] = []
-        for effect in effects:
-            if (isinstance(effect, Broadcast)
-                    and effect.msg.msg_class in self.msg_classes):
-                rewritten.extend(
-                    Send(dest, effect.msg) for dest in sorted(self.targets))
-            else:
-                rewritten.append(effect)
-        return rewritten
-
-
-@dataclass
-class DropIncoming(FaultBehavior):
-    """Discards incoming messages of the given classes (optionally by sender)."""
-
-    msg_classes: frozenset[str]
-    from_senders: frozenset[int] | None = None
-
-    def drop_incoming(self, sender: int, msg: Message, now: float) -> bool:
-        if msg.msg_class not in self.msg_classes:
-            return False
-        return self.from_senders is None or sender in self.from_senders
-
-
-@dataclass
-class Mute(FaultBehavior):
-    """Suppresses outgoing messages of the given classes (vote withholding)."""
-
-    msg_classes: frozenset[str]
-
-    def filter_effects(self, effects: list[Effect], now: float
-                       ) -> list[Effect]:
-        kept: list[Effect] = []
-        for effect in effects:
-            if isinstance(effect, (Send, Broadcast)) \
-                    and effect.msg.msg_class in self.msg_classes:
-                continue
-            kept.append(effect)
-        return kept
-
-
-@dataclass
-class Combined(FaultBehavior):
-    """Applies several behaviours in order (effects chain, drops OR)."""
-
-    behaviors: tuple[FaultBehavior, ...]
-
-    def filter_effects(self, effects: list[Effect], now: float
-                       ) -> list[Effect]:
-        for behavior in self.behaviors:
-            effects = behavior.filter_effects(effects, now)
-        return effects
-
-    def drop_incoming(self, sender: int, msg: Message, now: float) -> bool:
-        return any(b.drop_incoming(sender, msg, now) for b in self.behaviors)
-
-    @property
-    def crashed(self) -> bool:
-        return any(b.crashed for b in self.behaviors)
+__all__ = [
+    "HONEST",
+    "Combined",
+    "Crash",
+    "DelaySend",
+    "DropIncoming",
+    "FaultBehavior",
+    "Mute",
+    "SelectiveDisseminator",
+    "fault_from_spec",
+    "fault_to_spec",
+    "partition_behavior",
+]

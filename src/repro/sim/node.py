@@ -17,10 +17,12 @@ from __future__ import annotations
 
 from typing import Callable, Hashable, Iterable
 
+from repro.faults import HONEST, FaultBehavior
 from repro.interfaces import (
     DATA_PLANE_CLASSES,
     Broadcast,
     CancelTimer,
+    Delayed,
     Effect,
     Executed,
     Message,
@@ -30,7 +32,6 @@ from repro.interfaces import (
     Trace,
 )
 from repro.sim.events import EventQueue
-from repro.sim.faults import HONEST, FaultBehavior
 from repro.sim.metrics import MetricsCollector
 from repro.sim.network import Network
 
@@ -237,6 +238,11 @@ class SimNode:
             effects = self.fault.filter_effects(effects, self.queue._now)
         if not effects:
             return
+        self._interpret(effects)
+
+    def _interpret(self, effects: list[Effect]) -> None:
+        """Execute already-filtered effects (no fault rewrite pass)."""
+        batched = self.batched
         now = self.queue._now
         for effect in effects:
             if isinstance(effect, Send):
@@ -290,8 +296,21 @@ class SimNode:
                     self.node_id, effect.count, now)
             elif isinstance(effect, Trace):
                 self._record_trace(effect, now)
+            elif isinstance(effect, Delayed):
+                # A fault wrapped this effect in a lag (DelaySend).  The
+                # inner effect is interpreted raw at the later time — NOT
+                # re-filtered, or the fault would delay it again forever.
+                self.queue.schedule(now + effect.delay,
+                                    lambda e=effect.effect:
+                                    self._interpret_delayed(e))
             else:
                 raise TypeError(f"unknown effect {effect!r}")
+
+    def _interpret_delayed(self, effect: Effect) -> None:
+        """Fire one lag-released effect (unless the node crashed since)."""
+        if not self._honest and self.fault.crashed:
+            return
+        self._interpret([effect])
 
     def _record_trace(self, effect: Trace, now: float) -> None:
         if effect.kind == "ack":

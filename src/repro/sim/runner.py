@@ -11,9 +11,9 @@ from __future__ import annotations
 import time
 
 from repro.errors import SimulationError
+from repro.faults import HONEST, FaultBehavior
 from repro.interfaces import Message, ProtocolCore
 from repro.sim.events import EventQueue
-from repro.sim.faults import HONEST, FaultBehavior
 from repro.sim.metrics import MetricsCollector
 from repro.sim.network import Network
 from repro.sim.node import CpuModel, SimNode, zero_cpu

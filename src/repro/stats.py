@@ -297,8 +297,10 @@ class MetricsCollector:
 
 #: Version of the backend-neutral run-report schema below.
 #: v2 added ``events_processed`` / ``sim_events_per_sec``; v3 added
-#: ``event_queue`` (scheduler occupancy counters, ``None`` for live runs).
-REPORT_SCHEMA = 3
+#: ``event_queue`` (scheduler occupancy counters, ``None`` for live runs);
+#: v4 added ``faults`` (injected behaviours, chaos-scenario events applied,
+#: restart and link-shaping counters; ``None`` for a clean run).
+REPORT_SCHEMA = 4
 
 
 def standard_report(*, backend: str, protocol: str, n: int,
@@ -307,7 +309,8 @@ def standard_report(*, backend: str, protocol: str, n: int,
                     measure_replica: int,
                     events_processed: int = 0,
                     events_per_sec: float = 0.0,
-                    event_queue: dict | None = None) -> dict:
+                    event_queue: dict | None = None,
+                    faults: dict | None = None) -> dict:
     """The run report shared by the simulated and live backends.
 
     Args:
@@ -332,6 +335,10 @@ def standard_report(*, backend: str, protocol: str, n: int,
             runs; ``None`` for the live transport, which has no modelled
             scheduler — the key is emitted either way so both backends
             produce identical report shapes.
+        faults: fault-injection summary (injected behaviour specs, chaos
+            events applied, restart/shaping counters); ``None`` for a
+            clean run — like ``event_queue``, the key is always emitted
+            to keep report shapes identical.
 
     Identical keys from both backends make a live localhost run directly
     comparable with a simulated one of the same shape.
@@ -349,6 +356,7 @@ def standard_report(*, backend: str, protocol: str, n: int,
         "events_processed": int(events_processed),
         "sim_events_per_sec": float(events_per_sec),
         "event_queue": event_queue,
+        "faults": faults,
         "latency_s": {
             "mean": metrics.mean_latency(),
             "p50": metrics.latency_percentile(50),

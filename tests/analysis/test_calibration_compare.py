@@ -8,6 +8,7 @@ import pytest
 
 from repro.analysis.calibration import (
     RELEVANT_COSTS,
+    compare_faulted_live_sim,
     compare_live_sim,
 )
 
@@ -66,3 +67,68 @@ class TestCompareLiveSim:
 
         with pytest.raises(ConfigError):
             compare_live_sim(protocol="tendermint", duration=0.1)
+
+
+class TestCompareFaultedLiveSim:
+    """The faulted gate of ISSUE 6: both backends run the same chaos
+    scenario and their *degradation ratios* must reconcile."""
+
+    @pytest.fixture(scope="class")
+    def faulted_report(self):
+        from repro.net.chaos import load_scenario
+
+        scenario = load_scenario(
+            "at 0.4 crash victim; at 1.0 restart victim")
+        return compare_faulted_live_sim(
+            protocol="leopard", scenario=scenario, n=4,
+            total_rate=1500.0, duration=1.2, bundle_size=100,
+            warmup=0.1, seed=3, max_degradation_gap=10.0)
+
+    def test_embeds_clean_and_faulted_comparisons(self, faulted_report):
+        assert faulted_report["kind"] == "faulted_live_vs_sim_calibration"
+        assert faulted_report["clean"]["scenario"] is None
+        assert faulted_report["faulted"]["scenario"] == "inline"
+        # All four runs committed requests.
+        for which in ("clean", "faulted"):
+            for backend in ("live", "sim"):
+                sub = faulted_report[which][backend]
+                assert sub["executed_requests"].get(
+                    sub["measure_replica"], 0) > 0
+
+    def test_scenario_ran_on_both_backends(self, faulted_report):
+        for backend in ("live", "sim"):
+            faults = faulted_report["faulted"][backend]["faults"]
+            assert faults["restarts"] == 1
+            assert [e["op"] for e in faults["events_applied"]] \
+                == ["crash", "restart"]
+
+    def test_degradation_ratios_positive_and_gapped(self, faulted_report):
+        deg = faulted_report["degradation"]
+        assert 0 < deg["live"] <= 1.5  # a crash should not speed things up
+        assert 0 < deg["sim"] <= 1.5
+        gap = deg["gap_ratio_live_over_sim"]
+        assert math.isclose(gap, deg["live"] / deg["sim"], rel_tol=1e-9)
+        assert deg["max_degradation_gap"] == 10.0
+        assert deg["within_bound"] is True
+
+    def test_default_scenario_is_parsed_builtin(self, monkeypatch):
+        """Passing no scenario must load the crash-restart builtin as a
+        parsed ChaosScenario, not its raw text."""
+        import repro.analysis.calibration as calibration_mod
+        from repro.net.chaos import ChaosScenario
+
+        seen = []
+
+        def stub_compare(scenario=None, **kwargs):
+            seen.append(scenario)
+            return {"live": {"throughput_rps": 1000.0},
+                    "sim": {"throughput_rps": 1000.0},
+                    "scenario": scenario.name if scenario else None}
+
+        monkeypatch.setattr(calibration_mod, "compare_live_sim",
+                            stub_compare)
+        report = compare_faulted_live_sim()
+        assert seen[0] is None  # the clean run
+        assert isinstance(seen[1], ChaosScenario)
+        assert seen[1].name == "crash-restart"
+        assert report["degradation"]["within_bound"] is True

@@ -49,7 +49,7 @@ class TestRunLiveCli:
             "--rate", "1000", "--bundle-size", "50", "--json"]) == 0
         report = json.loads(capsys.readouterr().out)
         assert report["backend"] == "live"
-        assert report["schema"] == 3
+        assert report["schema"] == 4
         assert report["events_processed"] > 0
         assert report["sim_events_per_sec"] > 0
 
@@ -118,3 +118,51 @@ class TestCalibrateCli:
             "--warmup", "0.1", "--json"]) == 0
         report = json.loads(capsys.readouterr().out)
         assert report["deltas"]["throughput_rps"]["live"] > 0
+
+
+class TestChaosCli:
+    def test_run_live_scenario_smoke(self, capsys, tmp_path):
+        import json
+
+        output = tmp_path / "chaos.json"
+        assert main([
+            "run-live", "--protocol", "leopard", "--duration", "1.5",
+            "--rate", "2000", "--bundle-size", "100",
+            "--scenario", "at 0.4 crash victim; at 1.0 restart victim",
+            "--min-committed", "1", "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "faults:" in out
+        assert "restarts=1" in out
+        report = json.loads(output.read_text())
+        assert report["faults"]["scenario"] == "inline"
+        assert report["faults"]["restarts"] == 1
+
+    def test_unknown_scenario_lists_builtins(self, capsys):
+        assert main([
+            "run-live", "--duration", "0.5", "--scenario", "no-such"]) == 2
+        err = capsys.readouterr().err
+        assert "crash-restart" in err
+
+    def test_calibrate_scenario_excludes_sweep(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["calibrate", "--scenario", "crash-restart", "--sweep"])
+        assert excinfo.value.code == 2
+
+    def test_calibrate_faulted_gate(self, capsys, tmp_path):
+        import json
+
+        output = tmp_path / "faulted.json"
+        assert main([
+            "calibrate", "--protocol", "leopard",
+            "--scenario", "at 0.4 crash victim; at 1.0 restart victim",
+            "--duration", "1.2", "--rate", "2000",
+            "--bundle-size", "100", "--warmup", "0.1",
+            "--min-committed", "1", "--max-degradation-gap", "10.0",
+            "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "faulted calibration OK" in out
+        report = json.loads(output.read_text())
+        assert report["kind"] == "faulted_live_vs_sim_calibration"
+        assert report["degradation"]["within_bound"] is True

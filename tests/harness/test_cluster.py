@@ -79,3 +79,109 @@ class TestMeasurement:
         cluster = build_leopard_cluster(n=4, warmup=1.0)
         cluster.run(3.0)
         assert cluster.measurement_window() == pytest.approx(2.0)
+
+
+class TestSimChaos:
+    """Scripted chaos on the simulated backend (ISSUE 6 tentpole)."""
+
+    def _cluster(self, **kwargs):
+        return build_leopard_cluster(n=4, total_rate=4000.0,
+                                     warmup=0.25, **kwargs)
+
+    def test_crash_restart_scenario_still_commits(self):
+        from repro.net.chaos import load_scenario, schedule_scenario_sim
+
+        cluster = self._cluster()
+        resolved = schedule_scenario_sim(
+            cluster, load_scenario("crash-restart"))
+        victim = resolved.events[0].args["node"]
+        assert victim not in (cluster.leader, cluster.measure_replica)
+        cluster.run(4.0)
+        assert cluster.restarts == 1
+        assert [e["op"] for e in cluster.chaos_log] == ["crash", "restart"]
+        committed = cluster.metrics.executed_requests.get(
+            cluster.measure_replica, 0)
+        assert committed > 0
+        faults = cluster.faults_summary()
+        assert faults["restarts"] == 1
+        assert faults["shaping"] is None  # live-only section
+
+    def test_shape_events_rejected_on_sim(self):
+        from repro.net.chaos import load_scenario, schedule_scenario_sim
+
+        with pytest.raises(ConfigError, match="live-only"):
+            schedule_scenario_sim(self._cluster(), load_scenario("smoke"))
+
+    def test_partition_wraps_and_heal_unwraps_faults(self):
+        from repro.net.chaos import ChaosEvent
+        from repro.sim.faults import HONEST
+
+        cluster = self._cluster()
+        cluster.apply_chaos_event(ChaosEvent(
+            0.0, "partition", {"groups": [[3], [0, 1, 2]]}))
+        assert cluster.sim.nodes[3].fault.drop_incoming(
+            0, _ProbeMsg("datablock"), 0.0)
+        assert not cluster.sim.nodes[0].fault.drop_incoming(
+            1, _ProbeMsg("datablock"), 0.0)
+        cluster.apply_chaos_event(ChaosEvent(1.0, "heal", {}))
+        assert all(cluster.sim.nodes[r].fault is HONEST for r in range(4))
+
+    def test_partition_combines_with_injected_fault(self):
+        from repro.net.chaos import ChaosEvent
+        from repro.sim.faults import Mute
+
+        cluster = self._cluster(faults={3: Mute(frozenset({"vote"}))})
+        cluster.apply_chaos_event(ChaosEvent(
+            0.0, "partition", {"groups": [[3], [0, 1, 2]]}))
+        fault = cluster.sim.nodes[3].fault
+        assert fault.drop_incoming(0, _ProbeMsg("datablock"), 0.0)
+        assert fault.filter_effects([], 0.0) == []
+        cluster.apply_chaos_event(ChaosEvent(1.0, "heal", {}))
+        assert isinstance(cluster.sim.nodes[3].fault, Mute)
+
+    def test_restart_requires_prior_crash(self):
+        from repro.net.chaos import ChaosEvent
+
+        cluster = self._cluster()
+        with pytest.raises(ConfigError):
+            cluster.apply_chaos_event(
+                ChaosEvent(0.0, "restart", {"node": 3}))
+
+    def test_unknown_op_not_simulatable(self):
+        from repro.net.chaos import ChaosEvent
+
+        cluster = self._cluster()
+        with pytest.raises(ConfigError, match="not simulatable"):
+            cluster.apply_chaos_event(ChaosEvent(
+                0.0, "shape", {"src": 0, "dst": 1, "policy": {}}))
+
+    def test_delay_send_sim_run_commits(self):
+        """Satellite (a): the slow-replica fault on the simulator."""
+        from repro.sim.faults import DelaySend
+
+        cluster = self._cluster(faults={3: DelaySend(delay=0.02)})
+        cluster.run(2.0)
+        committed = cluster.metrics.executed_requests.get(
+            cluster.measure_replica, 0)
+        assert committed > 0
+
+    def test_slow_replica_scenario_swaps_fault_in_and_out(self):
+        from repro.net.chaos import load_scenario, schedule_scenario_sim
+        from repro.sim.faults import DelaySend, HONEST
+
+        cluster = self._cluster()
+        resolved = schedule_scenario_sim(
+            cluster, load_scenario("slow-replica"))
+        victim = resolved.events[0].args["node"]
+        cluster.run(2.0)  # past the fault, before the unfault
+        assert isinstance(cluster.sim.nodes[victim].fault, DelaySend)
+        cluster.run(1.5)
+        assert cluster.sim.nodes[victim].fault is HONEST
+
+
+class _ProbeMsg:
+    def __init__(self, msg_class):
+        self.msg_class = msg_class
+
+    def size_bytes(self):
+        return 10

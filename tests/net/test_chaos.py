@@ -1,0 +1,157 @@
+"""Chaos-scenario tests: grammar, symbol resolution, builtins, loading."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.chaos import (
+    BUILTIN_SCENARIOS,
+    ChaosScenario,
+    load_scenario,
+)
+
+
+class TestGrammar:
+    def test_full_scenario_parses_sorted(self):
+        scenario = ChaosScenario.parse("""
+            # comments are stripped
+            at 2.0 heal
+            at 1.0 partition victim | rest   # trailing comments too
+            at 0.5 shape leader->victim rate_mbps=100 latency=0.01
+        """)
+        assert [e.op for e in scenario.events] == [
+            "shape", "partition", "heal"]
+        assert scenario.duration() == 2.0
+        assert scenario.ops() == {"shape", "partition", "heal"}
+
+    def test_semicolons_separate_events(self):
+        scenario = ChaosScenario.parse(
+            "at 1.0 crash victim; at 2.0 restart victim")
+        assert [e.op for e in scenario.events] == ["crash", "restart"]
+
+    def test_shape_policy_parsed_and_validated(self):
+        scenario = ChaosScenario.parse(
+            "at 0 shape 0->1 rate_mbps=10 burst=4096 jitter=0.001 loss=0.1")
+        args = scenario.events[0].args
+        assert args["policy"] == {
+            "rate_bps": 10e6, "burst_bytes": 4096,
+            "jitter": 0.001, "loss": 0.1}
+
+    @pytest.mark.parametrize("line", [
+        "crash victim",                        # missing 'at TIME'
+        "at soon crash victim",                # bad time
+        "at 1.0 explode victim",               # unknown op
+        "at 1.0 heal now",                     # heal takes no args
+        "at 1.0 crash",                        # crash needs a node
+        "at 1.0 crash a b",                    # ... exactly one node
+        "at 1.0 partition victim",             # one group is no partition
+        "at 1.0 partition a | | b",            # empty group
+        "at 1.0 shape 0->1 warp=9",            # unknown shape parameter
+        "at 1.0 shape 0->1 loss=2.0",          # invalid policy value
+        "at 1.0 shape 0:1 latency=0.1",        # not a src->dst link
+        "at 1.0 fault victim",                 # fault needs a kind
+        "at 1.0 fault victim delay_send speed=3",  # unknown fault param
+    ])
+    def test_bad_lines_rejected(self, line):
+        with pytest.raises(ConfigError):
+            ChaosScenario.parse(line)
+
+    def test_empty_scenario_rejected(self):
+        with pytest.raises(ConfigError, match="no events"):
+            ChaosScenario.parse("# only a comment\n")
+
+
+class TestResolution:
+    def test_victim_avoids_leader_measure_and_primaries(self):
+        scenario = ChaosScenario.parse("at 1.0 crash victim")
+        resolved = scenario.resolve(
+            n=4, leader=1, measure_replica=0,
+            client_primaries=frozenset({3}))
+        assert resolved.events[0].args["node"] == 2
+
+    def test_victim_falls_back_when_all_primaries_taken(self):
+        """Both backends of a faulted comparison must agree on the victim
+        even when one has clients on every replica and the other does not
+        — the fallback picks the same highest candidate either way."""
+        scenario = ChaosScenario.parse("at 1.0 crash victim")
+        sparse = scenario.resolve(n=4, leader=1, measure_replica=0,
+                                  client_primaries=frozenset({2}))
+        saturated = scenario.resolve(n=4, leader=1, measure_replica=0,
+                                     client_primaries=frozenset({2, 3}))
+        assert sparse.events[0].args["node"] == 3
+        assert saturated.events[0].args["node"] == 3
+
+    def test_rest_expands_to_everyone_else(self):
+        scenario = ChaosScenario.parse("at 1.0 partition victim | rest")
+        resolved = scenario.resolve(n=4, leader=1, measure_replica=0)
+        assert resolved.events[0].args["groups"] == [[3], [0, 1, 2]]
+
+    def test_overlapping_groups_rejected(self):
+        scenario = ChaosScenario.parse("at 1.0 partition leader | rest")
+        # leader=1 is also in rest (rest = everyone but the victim).
+        with pytest.raises(ConfigError, match="overlap"):
+            scenario.resolve(n=4, leader=1, measure_replica=0)
+
+    def test_numeric_nodes_bounds_checked(self):
+        scenario = ChaosScenario.parse("at 1.0 crash 9")
+        with pytest.raises(ConfigError, match="outside cluster"):
+            scenario.resolve(n=4, leader=1, measure_replica=0)
+
+    def test_unknown_symbol_rejected(self):
+        scenario = ChaosScenario.parse("at 1.0 crash intruder")
+        with pytest.raises(ConfigError, match="unknown node token"):
+            scenario.resolve(n=4, leader=1, measure_replica=0)
+
+    def test_shape_endpoints_resolved(self):
+        scenario = ChaosScenario.parse(
+            "at 0.5 shape leader->victim latency=0.01")
+        resolved = scenario.resolve(n=4, leader=1, measure_replica=0)
+        args = resolved.events[0].args
+        assert (args["src"], args["dst"]) == (1, 3)
+
+
+class TestSerialization:
+    def test_jsonable_round_trip(self):
+        scenario = ChaosScenario.parse(BUILTIN_SCENARIOS["smoke"],
+                                       name="smoke")
+        clone = ChaosScenario.from_jsonable(scenario.to_jsonable())
+        assert clone == scenario
+
+    def test_resolved_scenario_round_trips(self):
+        resolved = ChaosScenario.parse(
+            "at 1.0 partition victim | rest").resolve(
+            n=4, leader=1, measure_replica=0)
+        import json
+
+        clone = ChaosScenario.from_jsonable(
+            json.loads(json.dumps(resolved.to_jsonable())))
+        assert clone == resolved
+
+
+class TestBuiltinsAndLoading:
+    def test_every_builtin_parses_and_resolves(self):
+        for name, text in BUILTIN_SCENARIOS.items():
+            scenario = ChaosScenario.parse(text, name=name)
+            resolved = scenario.resolve(n=4, leader=1, measure_replica=0)
+            assert resolved.events, name
+
+    def test_load_builtin_by_name(self):
+        scenario = load_scenario("smoke")
+        assert scenario.name == "smoke"
+        assert "crash" in scenario.ops()
+
+    def test_load_inline_text(self):
+        scenario = load_scenario("at 1.0 crash victim")
+        assert scenario.name == "inline"
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "my.chaos"
+        path.write_text("at 1.0 crash victim\n")
+        scenario = load_scenario(str(path))
+        assert scenario.name == "my.chaos"
+        assert scenario.events[0].op == "crash"
+
+    def test_unknown_name_lists_builtins(self):
+        with pytest.raises(ConfigError, match="smoke"):
+            load_scenario("nope")

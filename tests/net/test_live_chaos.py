@@ -1,0 +1,149 @@
+"""Live chaos tests: faults, scenarios, restarts against real sockets."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import Crash, DelaySend, FaultBehavior
+from repro.net import LiveCluster, load_scenario
+from repro.net.chaos import ChaosEvent
+from repro.net.live import run_live
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+SMOKE = dict(total_rate=2000.0, bundle_size=100)
+
+
+class TestFaultInjection:
+    def test_too_many_faults_rejected(self):
+        with pytest.raises(ConfigError, match="at most f="):
+            LiveCluster(4, faults={2: Crash(), 3: Crash()}, **SMOKE)
+
+    def test_measure_replica_must_stay_honest(self):
+        cluster = LiveCluster(4, **SMOKE)
+        with pytest.raises(ConfigError, match="honest"):
+            LiveCluster(4, faults={cluster.measure_replica: Crash()},
+                        **SMOKE)
+
+    def test_clean_cluster_has_no_faults_section(self):
+        assert LiveCluster(4, **SMOKE).faults_summary() is None
+
+    def test_delay_send_fault_live_still_commits(self):
+        """Satellite (a): the sim-validated slow-replica fault runs
+        unchanged on real sockets."""
+        async def scenario():
+            report = await run_live(
+                n=4, duration=1.5, faults={3: DelaySend(delay=0.02)},
+                **SMOKE)
+            return report
+
+        report = run(scenario())
+        committed = report["executed_requests"].get(
+            report["measure_replica"], 0)
+        assert committed > 0
+        faults = report["faults"]
+        assert faults["injected"] == {
+            "3": {"kind": "delay_send", "delay": 0.02, "msg_classes": None}}
+
+    def test_custom_fault_subclass_reported_not_crashing(self):
+        class Weird(FaultBehavior):
+            def filter_effects(self, effects, now):
+                return []
+
+        cluster = LiveCluster(4, faults={3: Weird()}, **SMOKE)
+        summary = cluster.faults_summary()
+        assert summary["injected"]["3"]["kind"] == "custom"
+
+
+class TestScenarioExecution:
+    def test_crash_restart_scenario_commits_and_reports(self):
+        scenario = load_scenario(
+            "at 0.4 crash victim; at 1.0 restart victim")
+        report = run(run_live(n=4, duration=1.6, scenario=scenario,
+                              **SMOKE))
+        faults = report["faults"]
+        assert faults["scenario"] == "inline"
+        assert [e["op"] for e in faults["events_applied"]] \
+            == ["crash", "restart"]
+        assert faults["restarts"] == 1
+        committed = report["executed_requests"].get(
+            report["measure_replica"], 0)
+        assert committed > 0
+
+    def test_partition_heal_scenario_recovers(self):
+        scenario = load_scenario(
+            "at 0.3 partition victim | rest; at 0.8 heal")
+        report = run(run_live(n=4, duration=1.4, scenario=scenario,
+                              **SMOKE))
+        faults = report["faults"]
+        assert faults["shaping"]["partitioned"] is False  # healed
+        committed = report["executed_requests"].get(
+            report["measure_replica"], 0)
+        assert committed > 0
+
+    def test_run_extends_to_cover_scenario(self):
+        """run_live must outlive the last scheduled event."""
+        scenario = load_scenario("at 1.2 heal")
+        report = run(run_live(n=4, duration=0.5, scenario=scenario,
+                              **SMOKE))
+        assert len(report["faults"]["events_applied"]) == 1
+
+
+class TestLiveRestart:
+    def test_restart_requires_prior_crash(self):
+        async def scenario():
+            cluster = LiveCluster(4, **SMOKE)
+            await cluster.start()
+            try:
+                with pytest.raises(ConfigError, match="running"):
+                    await cluster.restart_replica(3)
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_restarted_replica_rejoins_on_same_port(self):
+        async def scenario():
+            cluster = LiveCluster(4, **SMOKE)
+            await cluster.start()
+            try:
+                address = cluster.address_book[3]
+                old_core = cluster.replicas[3]
+                await cluster.apply_chaos_event(
+                    ChaosEvent(0.0, "crash", {"node": 3}))
+                assert cluster.nodes[3].crashed
+                await cluster.apply_chaos_event(
+                    ChaosEvent(0.5, "restart", {"node": 3}))
+                assert cluster.address_book[3] == address
+                assert cluster.replicas[3] is not old_core
+                assert not cluster.nodes[3].crashed
+                assert cluster.restarts == 1
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_shape_and_unshape_swap_link_policies(self):
+        async def scenario():
+            cluster = LiveCluster(4, **SMOKE)
+            await cluster.start()
+            try:
+                await cluster.apply_chaos_event(ChaosEvent(
+                    0.0, "shape",
+                    {"src": 0, "dst": 1, "policy": {"latency": 0.01}}))
+                assert cluster.shaper.policy(0, 1) is not None
+                await cluster.apply_chaos_event(ChaosEvent(
+                    0.1, "unshape", {"src": 0, "dst": 1}))
+                assert cluster.shaper.policy(0, 1) is None
+                return cluster.chaos_log
+            finally:
+                await cluster.stop()
+
+        log = run(scenario())
+        assert [e["op"] for e in log] == ["shape", "unshape"]

@@ -74,6 +74,64 @@ class TestProcessSupervisor:
             codes = supervisor.wait_all(timeout=10.0)
         assert codes == {"quick": 0}
 
+    def test_kill_is_expected_death(self):
+        """A chaos SIGKILL must not surface as a failed child."""
+        with ProcessSupervisor(term_grace=5.0) as supervisor:
+            supervisor.spawn("victim", _sleeper_cmd(60))
+            supervisor.kill("victim")
+            assert supervisor.procs["victim"].poll() is not None
+            assert supervisor.procs["victim"].returncode < 0  # signal death
+            assert "victim" in supervisor.expected_exits
+            assert supervisor.failed() == {}
+
+    def test_respawn_relaunches_killed_child(self):
+        with ProcessSupervisor(term_grace=5.0) as supervisor:
+            first = supervisor.spawn("victim", _sleeper_cmd(60))
+            supervisor.kill("victim")
+            second = supervisor.respawn("victim")
+            assert second is not first
+            assert second.poll() is None  # alive again
+            assert supervisor.respawns == 1
+            # The respawned child is a live process again, so its death
+            # would once more count as a failure.
+            assert "victim" not in supervisor.expected_exits
+
+    def test_respawn_retries_with_backoff(self, monkeypatch):
+        """Transient launch failures are retried before giving up."""
+        with ProcessSupervisor(term_grace=5.0) as supervisor:
+            supervisor.spawn("victim", _sleeper_cmd(60))
+            supervisor.kill("victim")
+            real_spawn = ProcessSupervisor.spawn
+            attempts = []
+
+            def flaky_spawn(self, name, cmd, env=None, log_path=None):
+                attempts.append(name)
+                if len(attempts) < 3:
+                    raise OSError("port still in TIME_WAIT")
+                return real_spawn(self, name, cmd, env=env,
+                                  log_path=log_path)
+
+            monkeypatch.setattr(ProcessSupervisor, "spawn", flaky_spawn)
+            proc = supervisor.respawn("victim")
+            assert proc.poll() is None
+            assert len(attempts) == 3
+            assert supervisor.respawns == 1
+
+    def test_respawn_gives_up_after_attempts(self, monkeypatch):
+        with ProcessSupervisor(term_grace=5.0) as supervisor:
+            supervisor.spawn("victim", _sleeper_cmd(60))
+            supervisor.kill("victim")
+
+            def doomed_spawn(self, name, cmd, env=None, log_path=None):
+                raise OSError("address in use")
+
+            monkeypatch.setattr(ProcessSupervisor, "spawn", doomed_spawn)
+            with pytest.raises(RuntimeError, match="failed to respawn"):
+                supervisor.respawn("victim")
+            # Still an expected death: the health poll must not abort
+            # the run over a fault the scenario itself injected.
+            assert supervisor.failed() == {}
+
 
 class TestRunLiveProcesses:
     def test_warmup_rejected(self):
@@ -82,6 +140,17 @@ class TestRunLiveProcesses:
 
         with pytest.raises(ConfigError, match="warmup"):
             run_live_processes(n=4, duration=1.0, warmup=0.5)
+
+    def test_non_process_scenario_ops_rejected(self):
+        """Only crash/restart act on real processes; shaping ops need
+        the in-process shaper and must be rejected before any spawn."""
+        from repro.errors import ConfigError
+        from repro.net.chaos import load_scenario
+
+        scenario = load_scenario(
+            "at 0.3 partition victim | rest; at 0.8 heal")
+        with pytest.raises(ConfigError, match="crash/restart"):
+            run_live_processes(n=4, duration=1.0, scenario=scenario)
 
     def test_leopard_commits_across_processes(self):
         """One OS process per replica commits real requests end-to-end."""

@@ -1,0 +1,145 @@
+"""Link-shaper unit tests: token bucket, latency pipelining, loss, cuts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.shaping import LinkPolicy, LinkShaper, _TokenBucket
+
+
+class TestLinkPolicy:
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ValueError):
+            LinkPolicy(rate_bps=0)
+
+    def test_rejects_loss_outside_unit_interval(self):
+        with pytest.raises(ValueError):
+            LinkPolicy(loss=1.5)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            LinkPolicy(latency=-0.01)
+
+    def test_describe_is_plain_json(self):
+        policy = LinkPolicy(rate_bps=1e6, latency=0.01)
+        assert policy.describe() == {
+            "rate_bps": 1e6, "burst_bytes": 64 * 1024,
+            "latency": 0.01, "jitter": 0.0, "loss": 0.0}
+
+
+class TestTokenBucket:
+    def test_within_burst_no_wait(self):
+        bucket = _TokenBucket(rate_bps=8e6, burst_bytes=1000)  # 1 MB/s
+        assert bucket.reserve(1000, now=0.0) == 0.0
+
+    def test_exceeding_burst_waits_at_line_rate(self):
+        bucket = _TokenBucket(rate_bps=8e6, burst_bytes=1000)
+        bucket.reserve(1000, now=0.0)  # drain the bucket
+        # Next 1000 bytes at 1e6 bytes/s -> 1 ms wait.
+        assert bucket.reserve(1000, now=0.0) == pytest.approx(1e-3)
+
+    def test_oversized_frame_still_leaves_late(self):
+        """Frames larger than the burst go out after a proportional wait."""
+        bucket = _TokenBucket(rate_bps=8e6, burst_bytes=100)
+        wait = bucket.reserve(1100, now=0.0)
+        assert wait == pytest.approx(1000 / 1e6)
+
+    def test_refill_over_time(self):
+        bucket = _TokenBucket(rate_bps=8e6, burst_bytes=1000)
+        bucket.reserve(1000, now=0.0)
+        # After 1 ms the bucket refilled 1000 bytes: no wait again.
+        assert bucket.reserve(1000, now=1e-3) == 0.0
+
+
+class TestFrameDelay:
+    def test_unshaped_link_flows_free(self):
+        shaper = LinkShaper()
+        assert shaper.frame_delay(0, 1, 100, 0.0, 0.0) == 0.0
+        assert shaper.frames_shaped == 0
+
+    def test_latency_measured_from_enqueue_time(self):
+        """Queue dwell counts toward the added latency (pipelining)."""
+        shaper = LinkShaper()
+        shaper.set_policy(0, 1, LinkPolicy(latency=0.05))
+        # Frame sat queued 30 ms already: only 20 ms left to wait.
+        assert shaper.frame_delay(0, 1, 100, enqueued_at=0.0, now=0.03) \
+            == pytest.approx(0.02)
+        # Frame older than the latency flows immediately.
+        assert shaper.frame_delay(0, 1, 100, enqueued_at=0.0, now=0.1) == 0.0
+
+    def test_jitter_bounded_and_seeded(self):
+        a = LinkShaper(seed=42)
+        b = LinkShaper(seed=42)
+        for shaper in (a, b):
+            shaper.set_policy(0, 1, LinkPolicy(latency=0.01, jitter=0.005))
+        delays_a = [a.frame_delay(0, 1, 10, 0.0, 0.0) for _ in range(20)]
+        delays_b = [b.frame_delay(0, 1, 10, 0.0, 0.0) for _ in range(20)]
+        assert delays_a == delays_b  # same seed, same draws
+        assert all(0.01 <= d < 0.015 for d in delays_a)
+
+    def test_loss_certain_drop_returns_none(self):
+        shaper = LinkShaper()
+        shaper.set_policy(0, 1, LinkPolicy(loss=1.0))
+        assert shaper.frame_delay(0, 1, 100, 0.0, 0.0) is None
+        assert shaper.frames_lost == 1
+
+    def test_rate_limit_adds_on_top_of_latency(self):
+        shaper = LinkShaper()
+        shaper.set_policy(
+            0, 1, LinkPolicy(rate_bps=8e6, burst_bytes=1000, latency=0.001))
+        shaper.frame_delay(0, 1, 1000, 0.0, 0.0)  # drains the bucket
+        delay = shaper.frame_delay(0, 1, 1000, enqueued_at=0.0, now=0.0)
+        # Bucket wait (1 ms) dominates the residual latency here.
+        assert delay == pytest.approx(1e-3)
+
+    def test_only_the_policied_direction_is_shaped(self):
+        shaper = LinkShaper()
+        shaper.set_policy(0, 1, LinkPolicy(loss=1.0))
+        assert shaper.frame_delay(1, 0, 100, 0.0, 0.0) == 0.0
+
+    def test_clear_policy_restores_link(self):
+        shaper = LinkShaper()
+        shaper.set_policy(0, 1, LinkPolicy(loss=1.0))
+        shaper.clear_policy(0, 1)
+        assert shaper.frame_delay(0, 1, 100, 0.0, 0.0) == 0.0
+
+    def test_counters_and_snapshot(self):
+        shaper = LinkShaper()
+        shaper.set_policy(0, 1, LinkPolicy(latency=0.01))
+        shaper.frame_delay(0, 1, 100, 0.0, 0.0)
+        snap = shaper.snapshot()
+        assert snap["frames_shaped"] == 1
+        assert snap["frames_delayed"] == 1
+        assert snap["delay_seconds"] == pytest.approx(0.01)
+        assert snap["active_policies"] == 1
+        assert snap["partitioned"] is False
+
+
+class TestPartition:
+    def test_cross_group_links_blocked_both_ways(self):
+        shaper = LinkShaper()
+        shaper.set_partition([frozenset({3}), frozenset({0, 1, 2})])
+        assert shaper.blocked(3, 0)
+        assert shaper.blocked(0, 3)
+        assert not shaper.blocked(0, 1)
+
+    def test_nodes_outside_every_group_unaffected(self):
+        shaper = LinkShaper()
+        shaper.set_partition([frozenset({0}), frozenset({1})])
+        assert not shaper.blocked(5, 0)
+        assert not shaper.blocked(0, 5)
+
+    def test_heal_unblocks(self):
+        shaper = LinkShaper()
+        shaper.set_partition([frozenset({0}), frozenset({1})])
+        assert shaper.partitioned
+        shaper.heal()
+        assert not shaper.partitioned
+        assert not shaper.blocked(0, 1)
+
+    def test_new_partition_replaces_old(self):
+        shaper = LinkShaper()
+        shaper.set_partition([frozenset({0}), frozenset({1})])
+        shaper.set_partition([frozenset({2}), frozenset({3})])
+        assert not shaper.blocked(0, 1)
+        assert shaper.blocked(2, 3)
