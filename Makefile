@@ -9,7 +9,9 @@
 # per replica, each committing real requests on localhost TCP), the
 # live-vs-sim calibration smoke (one reconciled point per protocol), and
 # the chaos smoke (a scripted partition/heal/crash/restart scenario per
-# protocol plus one faulted live-vs-sim degradation-gap point).
+# protocol plus one faulted live-vs-sim degradation-gap point), and the
+# trace smoke (request lifecycles recorded on both backends, exported as
+# validated Chrome trace_event JSON).
 # Reports land in artifacts/ (CI uploads them on every run).
 
 PYTHON ?= python
@@ -20,7 +22,7 @@ SMOKE_ARGS := --duration 3 --rate 2000 --bundle-size 100 --min-committed 1
 
 .PHONY: lint test bench-micro bench-micro-full bench-sim bench-sim-full \
 	live-smoke live-smoke-all calibrate-smoke chaos-smoke \
-	calibrate-faulted check
+	calibrate-faulted trace-smoke check
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -105,6 +107,27 @@ calibrate-faulted:
 		--max-degradation-gap 3.0 \
 		--output artifacts/calibration_faulted_leopard.json
 
+# Trace smoke: record request lifecycles on both backends — one
+# simulated run and one live run with one OS process per replica — and
+# export Chrome trace_event JSON.  --require-request fails the target
+# unless at least one committed request produced a complete
+# submit->batch->propose->commit lifecycle; the chrome export is
+# structurally validated before it is written.
+trace-smoke:
+	@mkdir -p artifacts
+	@echo "== trace-smoke leopard (sim) =="
+	$(PYTHON) -m repro.harness.cli trace --backend sim \
+		--duration 2 --rate 2000 --bundle-size 100 \
+		--require-request \
+		--chrome artifacts/trace_leopard_sim.trace.json \
+		--output artifacts/trace_leopard_sim.json
+	@echo "== trace-smoke leopard (live, processes) =="
+	$(PYTHON) -m repro.harness.cli trace --backend live --processes \
+		--duration 2 --rate 2000 --bundle-size 100 \
+		--require-request \
+		--chrome artifacts/trace_leopard_processes.trace.json \
+		--output artifacts/trace_leopard_processes.json
+
 # (n, rate, payload) reconciliation grid; --apply-presets folds the
 # combined cost scale back into benchmarks/CALIBRATION_presets.json,
 # keyed by this host's fingerprint (commit the file to re-baseline).
@@ -115,4 +138,4 @@ calibrate-sweep:
 		--output artifacts/calibration_sweep_leopard.json
 
 check: lint test bench-micro bench-sim live-smoke-all calibrate-smoke \
-	chaos-smoke calibrate-faulted
+	chaos-smoke calibrate-faulted trace-smoke

@@ -300,6 +300,85 @@ def measure_commit_smoke(n: int = 1000, sim_cap: float = 4.0) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Telemetry overhead (the observability layer's <2% default-config gate)
+# ---------------------------------------------------------------------------
+
+#: Minimum allowed off/on wall ratio for shipped-default telemetry.  The
+#: interval time-series collector is attached to every cluster builder by
+#: default; this row proves the feeds cost under 2% wall-clock on the
+#: Fig. 9 n = 300 Leopard point.  (Lifecycle *tracing* is structurally
+#: free when disabled — no core is wrapped — so the A/B isolates the only
+#: telemetry that runs unconditionally.)
+TELEMETRY_GATE = 0.98
+
+
+def _one_telemetry_run(n: int, sim_seconds: float,
+                       telemetry: bool) -> tuple[float, int]:
+    """One fixed-window Leopard run with telemetry on or detached."""
+    cluster = build_leopard_cluster(
+        n=n, seed=6, config=_leopard_config(n), warmup=0.0)
+    if not telemetry:
+        cluster.metrics.timeseries = None  # pre-telemetry collector
+    gc.collect()
+    started = time.perf_counter()
+    cluster.run(sim_seconds)
+    wall = time.perf_counter() - started
+    return wall, cluster.sim.queue.processed
+
+
+def measure_telemetry_overhead(n: int = 300, sim_seconds: float = 0.2,
+                               repeats: int = 3) -> dict:
+    """Interleaved min-of-k A/B of telemetry-off vs shipped defaults.
+
+    Both arms run in one process (host load cancels out of the ratio,
+    like the engine rows).  Fails the bench outright below
+    :data:`TELEMETRY_GATE`; a first miss re-measures once with doubled
+    repeats before the verdict, so a single scheduling hiccup on a busy
+    host does not flake the gate.
+    """
+    _one_telemetry_run(n, sim_seconds, telemetry=False)
+    _one_telemetry_run(n, sim_seconds, telemetry=True)
+    off_walls: list[float] = []
+    on_walls: list[float] = []
+    off_events = on_events = 0
+
+    def measure(rounds: int) -> None:
+        nonlocal off_events, on_events
+        for _ in range(rounds):
+            wall, off_events = _one_telemetry_run(n, sim_seconds, False)
+            off_walls.append(wall)
+            wall, on_events = _one_telemetry_run(n, sim_seconds, True)
+            on_walls.append(wall)
+
+    measure(repeats)
+    if min(off_walls) / min(on_walls) < TELEMETRY_GATE:
+        measure(repeats * 2)
+    off_wall = min(off_walls)
+    on_wall = min(on_walls)
+    speedup = off_wall / on_wall
+    if speedup < TELEMETRY_GATE:
+        raise SystemExit(
+            f"telemetry-overhead FAILED: telemetry-on wall {on_wall:.3f}s "
+            f"vs off {off_wall:.3f}s (ratio {speedup:.3f} < "
+            f"{TELEMETRY_GATE}) — default time-series collection costs "
+            f"more than {1 - TELEMETRY_GATE:.0%} on the n={n} Leopard "
+            f"point")
+    return {
+        "op": "telemetry-overhead",
+        "k": 0,
+        "n": n,
+        "size": int(sim_seconds * 1000),
+        "baseline_wall_s": round(off_wall, 4),
+        "vectorized_wall_s": round(on_wall, 4),
+        "baseline_events": off_events,
+        "vectorized_events": on_events,
+        "baseline_eps": round(off_events / off_wall, 1),
+        "vectorized_eps": round(on_events / on_wall, 1),
+        "speedup": round(speedup, 3),
+    }
+
+
+# ---------------------------------------------------------------------------
 # Allocation probe
 # ---------------------------------------------------------------------------
 
@@ -387,6 +466,8 @@ def run_bench(mode: str, repeats: int) -> list[dict]:
                                     min(repeats, 3))
              for protocol, n, sim_seconds in QUEUE_SCENARIOS]
     rows.append(measure_commit_smoke())
+    # The observability layer's own acceptance row, gated in both modes.
+    rows.append(measure_telemetry_overhead(repeats=min(repeats, 3)))
     rows.append(measure_allocs(300 if mode == "full" else 64))
     return rows
 

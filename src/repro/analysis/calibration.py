@@ -378,6 +378,19 @@ def compare_faulted_live_sim(protocol: str = "leopard",
         gap = live_deg / sim_deg
     within = (not math.isnan(gap) and gap > 0
               and 1.0 / max_degradation_gap <= gap <= max_degradation_gap)
+    # Per-backend dip-and-recovery brackets from the schema-5 timeseries:
+    # mean throughput before the first scenario event, inside the fault
+    # window, and after the last event — the curve behind the single
+    # degradation ratio the gate checks.
+    from repro.obs.timeseries import bracket_throughput
+
+    fault_at = scenario.events[0].at
+    recover_at = scenario.events[-1].at
+    timeline = {
+        backend: bracket_throughput(section, fault_at, recover_at)
+        for backend in ("live", "sim")
+        if (section := faulted[backend].get("timeseries"))
+    }
     return {
         "schema": 1,
         "kind": "faulted_live_vs_sim_calibration",
@@ -393,6 +406,7 @@ def compare_faulted_live_sim(protocol: str = "leopard",
             "gap_ratio_live_over_sim": gap,
             "max_degradation_gap": max_degradation_gap,
             "within_bound": within,
+            "timeline": timeline or None,
         },
     }
 

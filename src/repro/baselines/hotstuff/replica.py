@@ -205,9 +205,11 @@ class HotStuffReplica:
     def _execute(self, now: float) -> list[Effect]:
         effects: list[Effect] = []
         executed = 0
+        executed_heights: list[int] = []
         acks: list[Effect] = []
         while self.executed_height < self.committed_height:
             self.executed_height += 1
+            executed_heights.append(self.executed_height)
             block = self.blocks[self.executed_height]
             executed += block.request_count
             if self.is_leader:
@@ -217,7 +219,8 @@ class HotStuffReplica:
                         span.submitted_at, now)))
         if executed > 0:
             self.total_executed += executed
-            effects.append(Executed(executed))
+            effects.append(Executed(executed,
+                                    info=tuple(executed_heights)))
             effects.extend(acks)
         return effects
 

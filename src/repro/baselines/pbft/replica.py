@@ -163,11 +163,13 @@ class PbftReplica:
     def _execute(self, now: float) -> list[Effect]:
         effects: list[Effect] = []
         executed = 0
+        executed_sns: list[int] = []
         while True:
             instance = self.instances.get(self.executed_sn + 1)
             if instance is None or not instance.committed:
                 break
             self.executed_sn += 1
+            executed_sns.append(self.executed_sn)
             block = instance.block
             executed += block.request_count
             if self.is_leader:
@@ -178,7 +180,7 @@ class PbftReplica:
             del self.instances[self.executed_sn]
         if executed > 0:
             self.total_executed += executed
-            effects.insert(0, Executed(executed))
+            effects.insert(0, Executed(executed, info=tuple(executed_sns)))
         return effects
 
     def _buffer_early(self, sender: int, msg) -> None:

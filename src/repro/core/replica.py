@@ -475,7 +475,9 @@ class LeopardReplica:
         effects: list[Effect] = []
         if result.executed_requests > 0:
             self.total_executed += result.executed_requests
-            effects.append(Executed(result.executed_requests))
+            effects.append(Executed(
+                result.executed_requests,
+                info=tuple(entry.sn for entry in result.blocks)))
         for span in result.acked_spans:
             effects.append(Send(span.client_id, Ack(
                 span.client_id, span.bundle_id, span.count,

@@ -79,6 +79,15 @@ def _render_live_report(report: dict) -> str:
                 f"shaped={shaping.get('frames_shaped', 0)} "
                 f"delayed={shaping.get('frames_delayed', 0)} "
                 f"lost={shaping.get('frames_lost', 0)}")
+    # Schema-tolerant: committed schema-4 artifacts have no timeseries.
+    series = report.get("timeseries")
+    if series and series.get("intervals"):
+        rates = [entry["throughput_rps"] for entry in series["intervals"]]
+        lines.append(
+            f"  timeseries: {len(rates)} x {series['interval_s']:.2f}s "
+            f"intervals, throughput min {min(rates):.0f} / "
+            f"max {max(rates):.0f} req/s, "
+            f"{len(series.get('annotations') or [])} annotations")
     return "\n".join(lines)
 
 
@@ -227,7 +236,7 @@ def _render_faulted_calibration(report: dict) -> str:
 
     deg = report["degradation"]
     verdict = "within" if deg["within_bound"] else "OUTSIDE"
-    return "\n".join([
+    lines = [
         f"faulted calibration: {report['protocol']} n={report['n']} "
         f"scenario={report['scenario']}",
         "  clean point:",
@@ -241,7 +250,16 @@ def _render_faulted_calibration(report: dict) -> str:
         f"  degradation gap (live/sim): "
         f"{fmt(deg['gap_ratio_live_over_sim'])} — {verdict} bound "
         f"{deg['max_degradation_gap']:.3g}x",
-    ])
+    ]
+    # Schema-tolerant: pre-schema-5 artifacts carry no timeline bracket.
+    for backend, bracket in sorted((deg.get("timeline") or {}).items()):
+        lines.append(
+            f"  {backend} dip (req/s): pre {fmt(bracket['pre_rps'])} "
+            f"-> during {fmt(bracket['during_rps'])} "
+            f"-> post {fmt(bracket['post_rps'])} "
+            f"(fault window {bracket['fault_at']:.2f}s"
+            f"-{bracket['recover_at']:.2f}s)")
+    return "\n".join(lines)
 
 
 def calibrate_command(argv: list[str]) -> int:
@@ -457,6 +475,199 @@ def calibrate_command(argv: list[str]) -> int:
     return 0
 
 
+def _traced_sim_run(args, tracer, scenario) -> dict:
+    """One simulated run with lifecycle tracing, in the live topology.
+
+    Mirrors the sim side of :func:`repro.analysis.calibration.
+    compare_live_sim`: the same live smoke config and client topology,
+    so a sim trace and a live trace of the same point line up
+    phase-for-phase.
+    """
+    from repro.harness.cluster import (
+        build_hotstuff_cluster,
+        build_leopard_cluster,
+        build_pbft_cluster,
+    )
+    from repro.net.protocols import default_live_config_for
+
+    config = default_live_config_for(
+        args.protocol, args.replicas, payload_size=args.payload,
+        datablock_size=args.datablock_size)
+    if args.protocol == "leopard":
+        cluster = build_leopard_cluster(
+            args.replicas, seed=args.seed, config=config,
+            total_rate=args.rate, clients_per_replica=1,
+            bundle_size=args.bundle_size, warmup=0.0, prime=False)
+    elif args.protocol == "pbft":
+        cluster = build_pbft_cluster(
+            args.replicas, seed=args.seed, config=config,
+            total_rate=args.rate, client_count=1,
+            bundle_size=args.bundle_size, warmup=0.0)
+    else:
+        cluster = build_hotstuff_cluster(
+            args.replicas, seed=args.seed, config=config,
+            total_rate=args.rate, client_count=1,
+            bundle_size=args.bundle_size, warmup=0.0)
+    cluster.install_tracer(tracer)
+    run_seconds = args.duration
+    if scenario is not None:
+        from repro.net.chaos import schedule_scenario_sim
+
+        run_seconds = max(run_seconds, scenario.duration() + 0.5)
+        cluster.scenario_name = scenario.name
+        schedule_scenario_sim(cluster, scenario)
+    cluster.run(run_seconds)
+    return cluster.report()
+
+
+def trace_command(argv: list[str]) -> int:
+    """The ``trace`` subcommand: record and render request lifecycles."""
+    from repro.net.protocols import LIVE_PROTOCOLS
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments trace",
+        description="Run one traced deployment (simulated or live, "
+                    "in-process or one OS process per replica), "
+                    "reconstruct per-request lifecycles — submit, "
+                    "batch, proposal, commit, ack — and render them as "
+                    "a text timeline and/or a Chrome trace_event JSON "
+                    "for chrome://tracing / Perfetto.")
+    parser.add_argument("--backend", choices=("sim", "live"),
+                        default="sim",
+                        help="execution backend to trace (default sim)")
+    parser.add_argument("--processes", action="store_true",
+                        help="live backend only: one OS process per "
+                             "replica; per-child ring traces are merged "
+                             "onto the parent's measurement clock")
+    parser.add_argument("--protocol", choices=LIVE_PROTOCOLS,
+                        default="leopard")
+    parser.add_argument("--replicas", type=int, default=4,
+                        help="replica count n (default 4)")
+    parser.add_argument("--clients", type=int, default=1,
+                        help="live-backend client count (default 1)")
+    parser.add_argument("--duration", type=float, default=2.0,
+                        help="seconds to serve/simulate (default 2)")
+    parser.add_argument("--rate", type=float, default=2000.0,
+                        help="offered load, requests/second total")
+    parser.add_argument("--bundle-size", type=int, default=100)
+    parser.add_argument("--payload", type=int, default=128)
+    parser.add_argument("--datablock-size", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--capacity", type=int, default=65536,
+                        help="ring-buffer capacity in events")
+    parser.add_argument("--limit", type=int, default=10,
+                        help="request rows in the text timeline")
+    parser.add_argument("--scenario", default=None, metavar="SPEC",
+                        help="chaos scenario to run during the traced "
+                             "run (annotations land in the timeline)")
+    parser.add_argument("--chrome", default=None, metavar="FILE",
+                        help="export a validated Chrome trace_event "
+                             "JSON document to FILE")
+    parser.add_argument("--json", action="store_true",
+                        help="print lifecycles + phase summary as JSON "
+                             "instead of the text timeline")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="also write the full run report (including "
+                             "the raw trace) to FILE")
+    parser.add_argument("--require-request", action="store_true",
+                        help="exit non-zero unless at least one request "
+                             "has a complete committed lifecycle "
+                             "(smoke gating)")
+    args = parser.parse_args(argv)
+    if args.processes and args.backend != "live":
+        parser.error("--processes requires --backend live")
+
+    scenario = None
+    if args.scenario is not None:
+        from repro.errors import ConfigError
+        from repro.net.chaos import load_scenario
+
+        try:
+            scenario = load_scenario(args.scenario)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    from repro.obs import (
+        RingTracer,
+        build_lifecycles,
+        chrome_trace,
+        render_timeline,
+        summarize_lifecycles,
+        validate_chrome_trace,
+    )
+
+    tracer = RingTracer(capacity=args.capacity)
+    if args.backend == "sim":
+        report = _traced_sim_run(args, tracer, scenario)
+    elif args.processes:
+        from repro.harness.procs import run_live_processes
+
+        report = run_live_processes(
+            n=args.replicas, client_count=args.clients,
+            duration=args.duration, protocol=args.protocol,
+            total_rate=args.rate, bundle_size=args.bundle_size,
+            payload_size=args.payload,
+            datablock_size=args.datablock_size, seed=args.seed,
+            scenario=scenario, tracer=tracer)
+    else:
+        from repro.net.live import run_live_sync
+        from repro.net.protocols import default_live_config_for
+
+        config = default_live_config_for(
+            args.protocol, args.replicas, payload_size=args.payload,
+            datablock_size=args.datablock_size)
+        report = run_live_sync(
+            n=args.replicas, client_count=args.clients,
+            duration=args.duration, protocol=args.protocol,
+            config=config, total_rate=args.rate,
+            bundle_size=args.bundle_size, seed=args.seed,
+            scenario=scenario, tracer=tracer)
+
+    trace = report.get("trace") or tracer.to_jsonable()
+    annotations = (report.get("timeseries") or {}).get("annotations", [])
+    lifecycles = build_lifecycles(trace["events"],
+                                  measure_replica=report["measure_replica"])
+    complete = sum(1 for lc in lifecycles if lc["complete"])
+
+    if args.json:
+        print(json.dumps({
+            "backend": report["backend"],
+            "protocol": report["protocol"],
+            "n": report["n"],
+            "deployment": report.get("deployment"),
+            "events_recorded": len(trace["events"]),
+            "events_dropped": trace.get("dropped", 0),
+            "lifecycles": lifecycles,
+            "phase_summary": summarize_lifecycles(lifecycles),
+            "annotations": annotations,
+        }, indent=2, sort_keys=True))
+    else:
+        mode = (report.get("deployment") or {}).get("mode", "in-process")
+        print(f"traced {report['backend']} run: n={report['n']} "
+              f"{report['protocol']} [{mode}], "
+              f"{len(trace['events'])} events recorded "
+              f"({trace.get('dropped', 0)} dropped)")
+        print(render_timeline(lifecycles, annotations, limit=args.limit))
+    _write_report(report, args.output)
+
+    if args.chrome:
+        doc = chrome_trace(lifecycles, annotations)
+        spans = validate_chrome_trace(doc)
+        with open(args.chrome, "w") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+        print(f"chrome trace written to {args.chrome} "
+              f"({spans} spans; load in chrome://tracing or Perfetto)")
+
+    if args.require_request and complete == 0:
+        print("FAIL: no request completed a traced lifecycle "
+              "(submit through commit)", file=sys.stderr)
+        return 1
+    if args.require_request:
+        print(f"trace smoke OK: {complete} committed lifecycles traced")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the requested experiments (or the live cluster) and report."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
@@ -464,18 +675,21 @@ def main(argv: list[str] | None = None) -> int:
         return run_live_command(argv[1:])
     if argv and argv[0] == "calibrate":
         return calibrate_command(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_command(argv[1:])
 
     from repro.harness.experiments import ALL_EXPERIMENTS, full_scale
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the Leopard paper's tables and figures, "
-                    "boot a live cluster with 'run-live', or reconcile "
-                    "the backends with 'calibrate'.")
+                    "boot a live cluster with 'run-live', reconcile "
+                    "the backends with 'calibrate', or record request "
+                    "lifecycles with 'trace'.")
     parser.add_argument(
         "experiments", nargs="*",
         help="experiment ids (e.g. fig9 table3), 'all', 'run-live', "
-             "or 'calibrate'")
+             "'calibrate', or 'trace'")
     parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit")
     parser.add_argument(
@@ -499,6 +713,8 @@ def main(argv: list[str] | None = None) -> int:
               "--clients C --duration S (see run-live --help)")
         print("live-vs-sim reconciliation: calibrate --protocol P "
               "--duration S (see calibrate --help)")
+        print("request-lifecycle tracing: trace --backend {sim,live} "
+              "[--processes] [--chrome FILE] (see trace --help)")
         print(f"paper-scale grids: {'ON' if full_scale() else 'off'} "
               f"(set REPRO_FULL=1 to enable)")
         return 0

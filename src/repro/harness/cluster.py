@@ -37,6 +37,7 @@ from repro.faults import (
     fault_to_spec,
     partition_behavior,
 )
+from repro.obs.timeseries import TimeSeries
 from repro.sim.metrics import (
     MetricsCollector,
     node_bandwidth_bps,
@@ -67,6 +68,10 @@ class Cluster:
     chaos_log: list = field(default_factory=list)
     scenario_name: str | None = None
     partition_groups: list = field(default_factory=list)
+    #: Lifecycle tracer (``install_tracer``); ``None`` keeps the hot
+    #: paths structurally untouched.
+    tracer: object | None = None
+    _sampler_installed: bool = field(default=False, repr=False)
 
     @property
     def metrics(self) -> MetricsCollector:
@@ -84,9 +89,45 @@ class Cluster:
         Returns:
             Number of events the engine executed during this call.
         """
+        self._install_sampler()
         executed = self.sim.run(seconds)
         self.run_seconds = self.sim.now
         return executed
+
+    def install_tracer(self, tracer) -> None:
+        """Record lifecycle traces for every node in this cluster.
+
+        Wraps each hosted core in the :mod:`repro.obs` boundary tracer;
+        chaos restarts re-wrap the rebuilt core automatically.
+        """
+        self.tracer = tracer
+        for node in self.sim.nodes.values():
+            node.install_tracer(tracer)
+
+    def _install_sampler(self) -> None:
+        """Arm the recurring time-series host sampler (first run only).
+
+        Samples the measure replica's NIC backlog and the scheduler's
+        pending-event depth into the metrics' :class:`TimeSeries` every
+        interval — a handful of read-only events per simulated second.
+        """
+        series = self.metrics.timeseries
+        if self._sampler_installed or series is None:
+            return
+        self._sampler_installed = True
+        queue = self.sim.queue
+        nic = self.network.nics[self.measure_replica]
+        interval = series.interval
+
+        def tick() -> None:
+            now = queue.now
+            backlog = nic.tx_busy_until - now
+            series.sample(now,
+                          backlog_s=backlog if backlog > 0 else 0.0,
+                          queue_depth=queue.pending)
+            queue.schedule(now + interval, tick)
+
+        queue.schedule(queue.now + interval, tick)
 
     def measurement_window(self) -> float:
         """Seconds of post-warmup time the metrics cover."""
@@ -120,7 +161,7 @@ class Cluster:
         produces the identical structure from real socket counters, so the
         two are directly comparable (see :mod:`repro.net.live`).
         """
-        return standard_report(
+        report = standard_report(
             backend="sim",
             protocol=self.protocol,
             n=self.n,
@@ -133,7 +174,20 @@ class Cluster:
             events_per_sec=self.sim.events_per_sec(),
             event_queue=self.sim.queue.occupancy(),
             faults=self.faults_summary(),
+            timeseries=self.timeseries_section(),
         )
+        if self.tracer is not None and getattr(self.tracer, "enabled",
+                                               False):
+            report["trace"] = self.tracer.to_jsonable()
+        return report
+
+    def timeseries_section(self) -> dict | None:
+        """Rendered interval curve (``None`` without a collector)."""
+        series = self.metrics.timeseries
+        if series is None:
+            return None
+        return series.section(measure_replica=self.measure_replica,
+                              end=self.run_seconds)
 
     # ------------------------------------------------------------------
     # Chaos (the simulated backend of repro.net.chaos scenarios)
@@ -188,6 +242,8 @@ class Cluster:
         node._timer_generation.clear()
         if hasattr(core, "backlog_probe"):
             core.backlog_probe = node._backlog_probe
+        if self.tracer is not None:
+            node.install_tracer(self.tracer)
         node.boot()
         self.restarts += 1
 
@@ -222,6 +278,9 @@ class Cluster:
             raise ConfigError(
                 f"chaos op {event.op!r} is not simulatable")
         self.chaos_log.append(event.to_jsonable())
+        series = self.metrics.timeseries
+        if series is not None:
+            series.annotate(self.sim.now, event.op, event.describe())
 
     def faults_summary(self) -> dict | None:
         """The report's ``faults`` section (``None`` for a clean run)."""
@@ -343,7 +402,7 @@ def build_leopard_cluster(
             config = dc_replace(config, progress_timeout=2.0 * warmup)
     network = Network(n + client_count, bandwidth_bps=bandwidth_bps,
                       gst=gst, seed=seed)
-    metrics = MetricsCollector(warmup=warmup)
+    metrics = MetricsCollector(warmup=warmup, timeseries=TimeSeries())
     sim = Simulation(
         network, replica_count=n, metrics=metrics,
         queue_backend=queue_backend,
@@ -458,7 +517,7 @@ def build_hotstuff_cluster(
         total_rate = 1.5 * min(nic_ceiling, cpu_ceiling)
     network = Network(n + client_count, bandwidth_bps=bandwidth_bps,
                       seed=seed)
-    metrics = MetricsCollector(warmup=warmup)
+    metrics = MetricsCollector(warmup=warmup, timeseries=TimeSeries())
     sim = Simulation(
         network, replica_count=n, metrics=metrics,
         queue_backend=queue_backend,
@@ -526,7 +585,7 @@ def build_pbft_cluster(
         total_rate = 1.5 * min(nic_ceiling, cpu_ceiling)
     network = Network(n + client_count, bandwidth_bps=bandwidth_bps,
                       seed=seed)
-    metrics = MetricsCollector(warmup=warmup)
+    metrics = MetricsCollector(warmup=warmup, timeseries=TimeSeries())
     sim = Simulation(
         network, replica_count=n, metrics=metrics,
         queue_backend=queue_backend,

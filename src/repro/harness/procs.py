@@ -50,6 +50,8 @@ from repro.net.live import transport_summary
 from repro.net.node import LiveNode
 from repro.net.protocols import default_live_config_for, get_protocol
 from repro.net.transport import Router
+from repro.obs.timeseries import TimeSeries
+from repro.obs.tracer import RingTracer, merge_trace_parts
 from repro.stats import MetricsCollector, NicStats, standard_report
 
 #: Seconds a child gets to exit after its stop time before SIGTERM.
@@ -249,7 +251,8 @@ def run_replica_from_spec(spec: dict) -> dict:
         datablock_size=int(spec["datablock_size"]))
     context = proto.make_context(config, int(spec["seed"]))
     core = proto.make_replica(node_id, config, context)
-    metrics = MetricsCollector(warmup=float(spec["warmup"]))
+    metrics = MetricsCollector(warmup=float(spec["warmup"]),
+                               timeseries=TimeSeries())
     if hasattr(core, "attach_perf"):
         core.attach_perf(metrics.perf)
     address_book = {int(key): (host, int(port))
@@ -264,6 +267,17 @@ def run_replica_from_spec(spec: dict) -> dict:
     # object itself never crosses the process boundary).
     fault = fault_from_spec(spec.get("fault"))
     node = LiveNode(core, router, range(n), metrics, clock, fault=fault)
+    trace_capacity = spec.get("trace_capacity")
+    tracer = RingTracer(int(trace_capacity)) if trace_capacity else None
+    if tracer is not None:
+        node.install_tracer(tracer)
+
+    async def sample_loop(series: TimeSeries) -> None:
+        while True:
+            await asyncio.sleep(series.interval)
+            series.sample(clock(),
+                          backlog_s=router.backlog_seconds(),
+                          queue_depth=router.queued_bytes())
 
     async def serve() -> float:
         stop = asyncio.Event()
@@ -275,6 +289,8 @@ def run_replica_from_spec(spec: dict) -> dict:
         loop.add_signal_handler(signal.SIGTERM, stop.set)
         await node.start()
         node.boot()
+        sampler = loop.create_task(sample_loop(metrics.timeseries)) \
+            if metrics.timeseries is not None else None
         remaining = stop_at_unix - time.time()
         if remaining > 0:
             try:
@@ -282,6 +298,12 @@ def run_replica_from_spec(spec: dict) -> dict:
             except asyncio.TimeoutError:
                 pass
         stopped_at = clock()
+        if sampler is not None:
+            sampler.cancel()
+            try:
+                await sampler
+            except asyncio.CancelledError:
+                pass
         await node.shutdown()
         return stopped_at
 
@@ -303,6 +325,10 @@ def run_replica_from_spec(spec: dict) -> dict:
         "handler_errors": listener.handler_errors if listener else 0,
         "reconnects": router.reconnects(),
         "backoff_retries": router.backoff_retries(),
+        "timeseries": metrics.timeseries.to_jsonable()
+        if metrics.timeseries is not None else None,
+        "perf": metrics.perf.snapshot(),
+        "trace": tracer.to_jsonable() if tracer is not None else None,
     }
 
 
@@ -380,7 +406,8 @@ async def _serve_clients(clients: list, n: int,
                          stop_at_unix: float,
                          supervisor: ProcessSupervisor,
                          chaos_events: list | None = None,
-                         chaos_applied: list | None = None) -> list[Router]:
+                         chaos_applied: list | None = None,
+                         tracer=None) -> list[Router]:
     """Host the client cores in-parent until stop time or a child death.
 
     With ``chaos_events`` (resolved crash/restart events, sorted by
@@ -396,7 +423,10 @@ async def _serve_clients(clients: list, n: int,
     for core in clients:
         host, port = address_book[core.node_id]
         router = Router(core.node_id, address_book, host=host, port=port)
-        nodes.append(LiveNode(core, router, range(n), metrics, clock))
+        node = LiveNode(core, router, range(n), metrics, clock)
+        if tracer is not None:
+            node.install_tracer(tracer)
+        nodes.append(node)
     try:
         await asyncio.gather(*(node.start() for node in nodes))
         for node in nodes:
@@ -415,6 +445,9 @@ async def _serve_clients(clients: list, n: int,
                     supervisor.respawn(name)
                 if chaos_applied is not None:
                     chaos_applied.append(event.to_jsonable())
+                if metrics.timeseries is not None:
+                    metrics.timeseries.annotate(
+                        clock(), event.op, event.describe())
             sleep_until = stop_at_unix
             if pending:
                 sleep_until = min(sleep_until, epoch + pending[0].at)
@@ -433,7 +466,8 @@ def run_live_processes(n: int = 4, client_count: int = 1,
                        seed: int = 0, warmup: float = 0.0,
                        host: str = "127.0.0.1",
                        faults: dict[int, FaultBehavior] | None = None,
-                       scenario: ChaosScenario | None = None) -> dict:
+                       scenario: ChaosScenario | None = None,
+                       tracer: RingTracer | None = None) -> dict:
     """Boot one process per replica, serve ``duration`` s, merge reports.
 
     Returns the :func:`repro.stats.standard_report` dict with a
@@ -457,6 +491,15 @@ def run_live_processes(n: int = 4, client_count: int = 1,
     beyond crash/restart (partitions, shaping, mid-run fault swaps)
     would need an in-child control channel and are rejected up front;
     use the in-process mode for those.
+
+    Telemetry crosses the boundary the same way: each child buckets its
+    own executions into a :class:`repro.obs.timeseries.TimeSeries` on
+    its process clock and ships the raw buckets (plus its perf-counter
+    snapshot and, with a ``tracer``, its ring-buffer trace) home in the
+    summary; the parent shifts them onto the measurement epoch and
+    merges them with its client-side series, so the report's
+    ``timeseries``/``trace`` sections look exactly like an in-process
+    run's.
 
     Raises:
         ConfigError: for a nonzero ``warmup`` (see above), no clients,
@@ -490,7 +533,7 @@ def run_live_processes(n: int = 4, client_count: int = 1,
     ports = pick_free_ports(n + client_count, host)
     address_book = {node_id: (host, ports[node_id])
                     for node_id in range(n + client_count)}
-    metrics = MetricsCollector(warmup=warmup)
+    metrics = MetricsCollector(warmup=warmup, timeseries=TimeSeries())
     per_client_rate = total_rate / client_count
     clients = [proto.make_client(n + index, config, per_client_rate,
                                  bundle_size, False, 2.0)
@@ -542,6 +585,8 @@ def run_live_processes(n: int = 4, client_count: int = 1,
                     "address_book": address_book,
                     "report_path": str(report_paths[replica_id]),
                     "fault": fault_specs.get(replica_id),
+                    "trace_capacity": tracer.capacity
+                    if tracer is not None else None,
                 }
                 spec_path = tmpdir / f"replica-{replica_id}.spec.json"
                 spec_path.write_text(json.dumps(spec))
@@ -561,7 +606,8 @@ def run_live_processes(n: int = 4, client_count: int = 1,
                     clients, n, address_book, metrics, epoch,
                     epoch + duration, supervisor,
                     chaos_events=chaos_events,
-                    chaos_applied=chaos_applied))
+                    chaos_applied=chaos_applied,
+                    tracer=tracer))
             except RuntimeError as exc:
                 raise RuntimeError(
                     f"{exc}; logs: {_tail_logs(log_paths)}") from exc
@@ -603,11 +649,34 @@ def run_live_processes(n: int = 4, client_count: int = 1,
             "restarts": respawns,
             "shaping": None,  # needs the in-process shaper; not available
         }
+    # Children timestamp on their process clock (epoch = spawn); the
+    # parent measures from the post-boot epoch.  Shifting by the delta
+    # lands every child bucket and trace event on the measurement clock.
+    child_shift = epoch - spawn_epoch
+    series = metrics.timeseries
+    for replica_id, summary in sorted(summaries.items()):
+        if series is not None and summary.get("timeseries"):
+            series.merge_raw(summary["timeseries"], shift=child_shift,
+                             samples=replica_id == measure_replica)
+        if summary.get("perf"):
+            metrics.perf.merge_snapshot(summary["perf"])
+    timeseries_section = series.section(
+        measure_replica=measure_replica,
+        end=elapsed) if series is not None else None
+    trace_section = None
+    if tracer is not None and tracer.enabled:
+        parts = [(tracer.to_jsonable(), 0.0)]
+        parts.extend((summary["trace"], child_shift)
+                     for _, summary in sorted(summaries.items())
+                     if summary.get("trace"))
+        trace_section = merge_trace_parts(parts)
     return _merge_report(protocol=protocol, n=n, metrics=metrics,
                          summaries=summaries, client_routers=client_routers,
                          measure_replica=measure_replica, warmup=warmup,
                          elapsed=elapsed, exit_codes=exit_codes,
-                         faults=faults_section, respawns=respawns)
+                         faults=faults_section, respawns=respawns,
+                         timeseries=timeseries_section,
+                         trace=trace_section)
 
 
 def _stub_summary(replica_id: int, protocol: str) -> dict:
@@ -623,6 +692,7 @@ def _stub_summary(replica_id: int, protocol: str) -> dict:
         "dropped_frames": 0, "unroutable_frames": 0,
         "decode_errors": 0, "handler_errors": 0,
         "reconnects": 0, "backoff_retries": 0,
+        "timeseries": None, "perf": None, "trace": None,
     }
 
 
@@ -644,7 +714,9 @@ def _merge_report(*, protocol: str, n: int, metrics: MetricsCollector,
                   warmup: float, elapsed: float,
                   exit_codes: dict[str, int | None],
                   faults: dict | None = None,
-                  respawns: int = 0) -> dict:
+                  respawns: int = 0,
+                  timeseries: dict | None = None,
+                  trace: dict | None = None) -> dict:
     """Fold child summaries + parent client metrics into one report."""
     byte_stats: dict[int, NicStats] = {}
     events = sum(router.stats.total_recv_msgs()
@@ -685,6 +757,7 @@ def _merge_report(*, protocol: str, n: int, metrics: MetricsCollector,
         events_processed=events,
         events_per_sec=events / elapsed if elapsed > 0 else 0.0,
         faults=faults,
+        timeseries=timeseries,
     )
     report["transport"] = transport
     report["deployment"] = {
@@ -693,6 +766,8 @@ def _merge_report(*, protocol: str, n: int, metrics: MetricsCollector,
         "exit_codes": dict(sorted(exit_codes.items())),
         "respawns": respawns,
     }
+    if trace is not None:
+        report["trace"] = trace
     return report
 
 

@@ -89,7 +89,12 @@ class Executed(Effect):
 
     Attributes:
         count: number of requests executed.
-        info: optional protocol-specific detail (e.g. block ids) for tests.
+        info: optional protocol-specific commit identities — Leopard and
+            PBFT cores pass the executed sequence numbers, HotStuff the
+            executed heights, as a tuple.  The tracing layer
+            (:mod:`repro.obs`) joins these against the proposal that
+            carried each request to measure the agreement phase; tests
+            may inspect them directly.
     """
 
     count: int

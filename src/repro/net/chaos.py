@@ -57,6 +57,12 @@ class ChaosEvent:
     def to_jsonable(self) -> dict:
         return {"at": self.at, "op": self.op, "args": self.args}
 
+    def describe(self) -> str:
+        """Compact human-readable form for timeline annotations."""
+        details = " ".join(f"{key}={self.args[key]}"
+                           for key in sorted(self.args))
+        return f"{self.op} {details}".strip()
+
     @staticmethod
     def from_jsonable(data: dict) -> "ChaosEvent":
         return ChaosEvent(at=float(data["at"]), op=str(data["op"]),

@@ -27,6 +27,7 @@ from repro.net.node import LiveNode
 from repro.net.protocols import get_protocol
 from repro.net.shaping import LinkPolicy, LinkShaper
 from repro.net.transport import Router
+from repro.obs.timeseries import TimeSeries
 from repro.stats import MetricsCollector, NicStats, standard_report
 
 
@@ -89,6 +90,10 @@ class LiveCluster:
         faults: optional ``replica_id -> FaultBehavior`` map (≤ f
             entries) — the same behaviours the simulator hosts, applied
             at the live node's sans-io boundary.
+        tracer: optional :class:`repro.obs.tracer.RingTracer`; when set,
+            every hosted core is wrapped in a
+            :class:`~repro.obs.tracer.TracedCore` and the report gains a
+            ``trace`` dump (lifecycle events at the sans-io boundary).
     """
 
     def __init__(self, n: int, client_count: int = 1,
@@ -98,7 +103,8 @@ class LiveCluster:
                  seed: int = 0, warmup: float = 0.0,
                  host: str = "127.0.0.1", resubmit: bool = False,
                  client_timeout: float = 2.0,
-                 faults: dict[int, FaultBehavior] | None = None) -> None:
+                 faults: dict[int, FaultBehavior] | None = None,
+                 tracer=None) -> None:
         if client_count < 1:
             raise ConfigError("need at least one client")
         spec = get_protocol(protocol)
@@ -114,7 +120,9 @@ class LiveCluster:
         self.host = host
         self.warmup = warmup
         self.context = spec.make_context(self.config, seed)
-        self.metrics = MetricsCollector(warmup=warmup)
+        self.metrics = MetricsCollector(warmup=warmup,
+                                        timeseries=TimeSeries())
+        self.tracer = tracer
         self.leader = self.config.leader_of(1)
         self.measure_replica = next(
             replica_id for replica_id in range(n)
@@ -137,6 +145,7 @@ class LiveCluster:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._epoch: float | None = None
         self._stopped_at: float | None = None
+        self._sampler_task: asyncio.Task | None = None
 
         for replica_id in range(n):
             replica = spec.make_replica(replica_id, self.config,
@@ -175,9 +184,12 @@ class LiveCluster:
         for core in [*self.replicas, *self.clients]:
             router = Router(core.node_id, self.address_book, host=self.host,
                             shaper=self.shaper)
-            self.nodes[core.node_id] = LiveNode(
+            node = LiveNode(
                 core, router, range(self.n), self.metrics, self.clock,
                 fault=self.faults.get(core.node_id, HONEST))
+            if self.tracer is not None:
+                node.install_tracer(self.tracer)
+            self.nodes[core.node_id] = node
         # All listeners must be routable before any core starts sending.
         results = await asyncio.gather(
             *(node.start() for node in self.nodes.values()),
@@ -192,6 +204,24 @@ class LiveCluster:
         except Exception:
             await self.stop()
             raise
+        if self.metrics.timeseries is not None:
+            self._sampler_task = loop.create_task(self._sample_loop())
+
+    async def _sample_loop(self) -> None:
+        """Feed host samples (backlog, queue depth, shaper drops) to the
+        time series at its bucket cadence; runs until :meth:`stop`."""
+        series = self.metrics.timeseries
+        last_lost = self.shaper.frames_lost
+        while True:
+            await asyncio.sleep(series.interval)
+            lost = self.shaper.frames_lost
+            node = self.nodes.get(self.measure_replica)
+            if node is not None and not node.crashed:
+                series.sample(self.clock(),
+                              backlog_s=node.router.backlog_seconds(),
+                              queue_depth=node.router.queued_bytes(),
+                              shaper_drops=lost - last_lost)
+            last_lost = lost
 
     async def run(self, duration: float) -> None:
         """Let the cluster serve traffic for ``duration`` real seconds."""
@@ -228,6 +258,8 @@ class LiveCluster:
         node = LiveNode(core, router, range(self.n), self.metrics,
                         self.clock,
                         fault=self.faults.get(replica_id, HONEST))
+        if self.tracer is not None:
+            node.install_tracer(self.tracer)
         self.nodes[replica_id] = node
         await node.start()
         node.boot()
@@ -267,6 +299,9 @@ class LiveCluster:
         else:
             raise ConfigError(f"unknown chaos op {event.op!r}")
         self.chaos_log.append(event.to_jsonable())
+        series = self.metrics.timeseries
+        if series is not None:
+            series.annotate(self.clock(), event.op, event.describe())
 
     async def run_scenario(self, scenario: ChaosScenario) -> None:
         """Drive a chaos scenario to completion against this cluster."""
@@ -277,6 +312,13 @@ class LiveCluster:
         """Tear the whole cluster down (idempotent, safe mid-boot)."""
         if self._stopped_at is None:
             self._stopped_at = self.clock()
+        if self._sampler_task is not None:
+            self._sampler_task.cancel()
+            try:
+                await self._sampler_task
+            except asyncio.CancelledError:
+                pass
+            self._sampler_task = None
         await asyncio.gather(
             *(node.shutdown() for node in self.nodes.values()))
 
@@ -322,12 +364,25 @@ class LiveCluster:
             events_processed=events,
             events_per_sec=events / elapsed if elapsed > 0 else 0.0,
             faults=self.faults_summary(),
+            timeseries=self.timeseries_section(),
         )
         report["transport"] = transport_summary(
             [node.router for node in self.nodes.values()])
         report["deployment"] = {"mode": "in-process",
                                 "replica_processes": 0}
+        if self.tracer is not None and self.tracer.enabled:
+            report["trace"] = self.tracer.to_jsonable()
         return report
+
+    def timeseries_section(self) -> dict | None:
+        """The schema-5 ``timeseries`` section for this run (live clock)."""
+        series = self.metrics.timeseries
+        if series is None:
+            return None
+        end = self._stopped_at if self._stopped_at is not None \
+            else self.clock()
+        return series.section(measure_replica=self.measure_replica,
+                              end=end)
 
     def faults_summary(self) -> dict | None:
         """The report's ``faults`` section (``None`` for a clean run)."""
@@ -357,7 +412,8 @@ async def run_live(n: int = 4, client_count: int = 1,
                    total_rate: float = 4000.0, bundle_size: int = 200,
                    seed: int = 0, warmup: float = 0.0,
                    faults: dict[int, FaultBehavior] | None = None,
-                   scenario: ChaosScenario | None = None) -> dict:
+                   scenario: ChaosScenario | None = None,
+                   tracer=None) -> dict:
     """Boot a localhost cluster, serve for ``duration`` s, return report.
 
     With a ``scenario`` the chaos controller runs concurrently with the
@@ -367,7 +423,7 @@ async def run_live(n: int = 4, client_count: int = 1,
     cluster = LiveCluster(
         n, client_count=client_count, protocol=protocol, config=config,
         total_rate=total_rate, bundle_size=bundle_size, seed=seed,
-        warmup=warmup, faults=faults)
+        warmup=warmup, faults=faults, tracer=tracer)
     chaos_task: asyncio.Task | None = None
     if scenario is not None:
         duration = max(duration, scenario.duration() + 0.5)

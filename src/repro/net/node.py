@@ -74,6 +74,20 @@ class LiveNode:
     def _honest(self) -> bool:
         return self.fault is HONEST
 
+    def install_tracer(self, tracer) -> None:
+        """Enable lifecycle tracing by wrapping the hosted core.
+
+        Same contract as :meth:`repro.sim.node.SimNode.install_tracer`:
+        the :class:`repro.obs.tracer.TracedCore` wrapper stamps events
+        at the sans-io boundary, nothing changes for untraced nodes,
+        and the call is idempotent per hosted core (re-invoke after a
+        restart swaps in a fresh core).
+        """
+        from repro.obs.tracer import TracedCore
+
+        if not isinstance(self.core, TracedCore):
+            self.core = TracedCore(self.core, tracer)
+
     async def start(self) -> None:
         """Bind this node's listener (address becomes routable)."""
         await self.router.start(self.deliver)

@@ -380,8 +380,16 @@ class Router:
 
     def backlog_seconds(self) -> float:
         """Seconds of egress work queued across all peers at link rate."""
-        queued = sum(peer.queued_bytes for peer in self._peers.values())
-        return queued * 8.0 / self.link_bps
+        return self.queued_bytes() * 8.0 / self.link_bps
+
+    def queued_bytes(self) -> int:
+        """Bytes waiting across all outbound peer queues.
+
+        The live analogue of the simulator's event-queue depth for the
+        telemetry sampler: it is the only backlog that builds up when a
+        peer stalls, so the timeseries ``queue_depth`` column tracks it.
+        """
+        return sum(peer.queued_bytes for peer in self._peers.values())
 
     def dropped_frames(self) -> int:
         """Frames dropped by full peer queues (overload indicator)."""

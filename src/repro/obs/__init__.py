@@ -1,0 +1,53 @@
+"""Backend-neutral telemetry: lifecycle tracing and time-series metrics.
+
+The observability layer sits next to :mod:`repro.stats`, below both
+execution backends:
+
+* :mod:`repro.obs.tracer` — a no-op-by-default ``Tracer`` and a
+  ring-buffer recorder that stamp structured lifecycle events at the
+  sans-io boundary (request submitted → datablock assembled → dispersal
+  → proposal → commit → ack), keyed so the same trace schema comes out
+  of a simulated run and a live TCP run.
+* :mod:`repro.obs.timeseries` — an interval collector folded into the
+  ``standard_report`` schema as the ``timeseries`` section: throughput,
+  commit-latency percentiles, NIC backlog / event-queue depth, shaper
+  drops, and chaos events as annotations.
+* :mod:`repro.obs.timeline` — reconstruction of per-request phase spans
+  from a recorded trace.
+* :mod:`repro.obs.chrome` — Chrome ``trace_event`` JSON export of those
+  spans (load the file in ``chrome://tracing`` / Perfetto).
+"""
+
+from repro.obs.chrome import chrome_trace, validate_chrome_trace
+from repro.obs.timeline import (
+    build_lifecycles,
+    render_timeline,
+    summarize_lifecycles,
+)
+from repro.obs.timeseries import TimeSeries, bracket_throughput
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    RingTracer,
+    TracedCore,
+    merge_trace_parts,
+    trace_data,
+    trace_key,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "RingTracer",
+    "TimeSeries",
+    "TracedCore",
+    "bracket_throughput",
+    "build_lifecycles",
+    "chrome_trace",
+    "merge_trace_parts",
+    "render_timeline",
+    "summarize_lifecycles",
+    "trace_data",
+    "trace_key",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,100 @@
+"""Chrome ``trace_event`` JSON export of reconstructed lifecycles.
+
+The output loads directly in ``chrome://tracing`` or Perfetto: one
+"process" per client, one "thread" per request bundle, one complete
+("X") span per lifecycle phase, and chaos events as global instants.
+Format reference: the Trace Event Format document (JSON Array/Object
+flavour) — only ``name``/``ph``/``ts``/``dur``/``pid``/``tid`` plus
+metadata events are used.
+"""
+
+from __future__ import annotations
+
+from repro.obs.timeline import PHASES
+
+#: pid offset for client lanes (pid 0 carries global annotations).
+_CLIENT_PID_BASE = 1
+
+
+def chrome_trace(lifecycles: list[dict],
+                 annotations: list[dict] | None = None,
+                 limit: int = 500) -> dict:
+    """Build a Chrome trace_event document from lifecycle dicts.
+
+    Args:
+        lifecycles: :func:`repro.obs.timeline.build_lifecycles` output.
+        annotations: timeseries annotations (chaos events).
+        limit: cap on exported request lanes (earliest submitted first).
+    """
+    events: list[dict] = []
+    clients_named: set[int] = set()
+    for lifecycle in lifecycles[:limit]:
+        pid = _CLIENT_PID_BASE + lifecycle["client"]
+        tid = lifecycle["bundle"]
+        if lifecycle["client"] not in clients_named:
+            clients_named.add(lifecycle["client"])
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": f"client {lifecycle['client']}"},
+            })
+        for phase, (start, end) in PHASES.items():
+            t_start = lifecycle[start]
+            t_end = lifecycle[end]
+            if t_start is None or t_end is None:
+                continue
+            events.append({
+                "name": phase,
+                "cat": "request",
+                "ph": "X",
+                "ts": round(t_start * 1e6, 3),
+                "dur": round(max(t_end - t_start, 0.0) * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": {"client": lifecycle["client"],
+                         "bundle": lifecycle["bundle"]},
+            })
+    for annotation in annotations or ():
+        events.append({
+            "name": f"{annotation['op']}: {annotation['label']}",
+            "cat": "chaos",
+            "ph": "i",
+            "s": "g",
+            "ts": round(annotation["t"] * 1e6, 3),
+            "pid": 0,
+            "tid": 0,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(doc: dict) -> int:
+    """Check a trace_event document's structure; return its span count.
+
+    Raises :class:`ValueError` on malformed documents — used by
+    ``make trace-smoke`` to gate exported artifacts.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document missing 'traceEvents' list")
+    spans = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in event:
+                raise ValueError(f"traceEvents[{i}] missing {field!r}")
+        ph = event["ph"]
+        if ph not in ("X", "M", "i", "B", "E", "C"):
+            raise ValueError(f"traceEvents[{i}] has unknown phase {ph!r}")
+        if ph == "M":
+            continue
+        if "ts" not in event or not isinstance(event["ts"], (int, float)):
+            raise ValueError(f"traceEvents[{i}] missing numeric 'ts'")
+        if ph == "X":
+            if not isinstance(event.get("dur"), (int, float)) \
+                    or event["dur"] < 0:
+                raise ValueError(
+                    f"traceEvents[{i}] 'X' span missing valid 'dur'")
+            spans += 1
+    return spans

@@ -1,0 +1,191 @@
+"""Per-request lifecycle reconstruction from recorded trace events.
+
+A recorded trace is a flat list of events from many nodes.  This module
+joins them back into per-request chains using the identity keys from
+:func:`repro.obs.tracer.trace_key`:
+
+* Leopard: submit → datablock broadcast (its spans name the batched
+  requests) → BFTblock broadcast (its links name the datablock digests,
+  marking dispersal/ACK-quorum complete) → ``exec`` at the measure
+  replica (its ids name the committed sequence numbers) → ack at the
+  client.
+* PBFT / HotStuff: the block broadcast both batches and proposes, so
+  the dispersal phase collapses to the proposal point.
+
+The derived phases are the paper's latency decomposition (Table IV),
+*measured* from a run instead of computed analytically.
+"""
+
+from __future__ import annotations
+
+from repro.stats import percentile
+
+#: Ordered lifecycle stamps; adjacent pairs delimit the phases below.
+STAMPS = ("submitted", "batched", "proposed", "committed", "acked")
+
+#: phase name -> (start stamp, end stamp)
+PHASES = {
+    "batching": ("submitted", "batched"),
+    "dispersal": ("batched", "proposed"),
+    "agreement": ("proposed", "committed"),
+    "response": ("committed", "acked"),
+}
+
+
+def build_lifecycles(events: list[dict],
+                     measure_replica: int | None = None) -> list[dict]:
+    """Join trace events into per-request lifecycle dicts.
+
+    Args:
+        events: chronologically ordered trace events (``RingTracer``
+            dumps or merged multi-process traces; keys may be tuples or
+            lists).
+        measure_replica: node whose ``exec`` events define commit time;
+            ``None`` takes the earliest commit seen on any node.
+
+    Returns:
+        One dict per submitted request bundle, sorted by submit time:
+        ``{"client", "bundle", "submitted", "batched", "proposed",
+        "committed", "acked", "phases", "complete"}`` — stamps are
+        ``None`` when the trace window missed them, ``phases`` maps
+        phase name to duration for every adjacent stamp pair present.
+    """
+    submitted: dict[tuple, float] = {}
+    batched: dict[tuple, tuple[float, object]] = {}
+    link_proposed: dict[object, tuple[float, object]] = {}
+    exec_times: dict[object, float] = {}
+    acked: dict[tuple, float] = {}
+
+    for event in events:
+        kind = event["kind"]
+        key = event["key"]
+        key = tuple(key) if key is not None else None
+        t = event["t"]
+        if kind in ("send", "bcast"):
+            cls = event["cls"]
+            if cls == "client" and key is not None:
+                if key[1:] not in submitted or t < submitted[key[1:]]:
+                    submitted[key[1:]] = t
+            elif cls == "datablock":
+                data = event["data"] or {}
+                digest = data.get("digest")
+                for span in data.get("spans", ()):
+                    batched.setdefault(tuple(span), (t, digest))
+            elif cls == "bftblock" and key is not None:
+                data = event["data"] or {}
+                sn = key[2]
+                for link in data.get("links", ()):
+                    link_proposed.setdefault(link, (t, sn))
+            elif cls == "block" and key is not None:
+                # PBFT ("sn", view, sn) / HotStuff ("ht", height):
+                # batching and proposal are the same broadcast.
+                data = event["data"] or {}
+                commit_id = key[2] if key[0] == "sn" else key[1]
+                for span in data.get("spans", ()):
+                    batched.setdefault(tuple(span), (t, None))
+                    link_proposed.setdefault(
+                        ("span",) + tuple(span), (t, commit_id))
+        elif kind == "exec":
+            if measure_replica is not None \
+                    and event["node"] != measure_replica:
+                continue
+            data = event["data"] or {}
+            for commit_id in data.get("ids") or ():
+                if commit_id not in exec_times or t < exec_times[commit_id]:
+                    exec_times[commit_id] = t
+        elif kind == "recv" and event["cls"] == "ack" and key is not None:
+            if key[1:] not in acked or t < acked[key[1:]]:
+                acked[key[1:]] = t
+
+    lifecycles = []
+    for request, t_submit in sorted(submitted.items(),
+                                    key=lambda item: (item[1], item[0])):
+        t_batch = t_prop = t_commit = None
+        entry = batched.get(request)
+        if entry is not None:
+            t_batch, digest = entry
+            link = digest if digest is not None else ("span",) + request
+            proposal = link_proposed.get(link)
+            if proposal is not None:
+                t_prop, commit_id = proposal
+                t_commit = exec_times.get(commit_id)
+        stamps = {
+            "submitted": t_submit,
+            "batched": t_batch,
+            "proposed": t_prop,
+            "committed": t_commit,
+            "acked": acked.get(request),
+        }
+        phases = {}
+        for phase, (start, end) in PHASES.items():
+            if stamps[start] is not None and stamps[end] is not None:
+                phases[phase] = stamps[end] - stamps[start]
+        lifecycles.append({
+            "client": request[0],
+            "bundle": request[1],
+            **stamps,
+            "phases": phases,
+            "complete": t_commit is not None,
+        })
+    return lifecycles
+
+
+def summarize_lifecycles(lifecycles: list[dict]) -> dict:
+    """Per-phase duration statistics across reconstructed requests."""
+    by_phase: dict[str, list[float]] = {}
+    for lifecycle in lifecycles:
+        for phase, duration in lifecycle["phases"].items():
+            by_phase.setdefault(phase, []).append(duration)
+    summary = {}
+    for phase in PHASES:
+        durations = sorted(by_phase.get(phase, ()))
+        if not durations:
+            continue
+        summary[phase] = {
+            "count": len(durations),
+            "mean_s": sum(durations) / len(durations),
+            "p50_s": percentile(durations, 50),
+            "p99_s": percentile(durations, 99),
+        }
+    return summary
+
+
+def render_timeline(lifecycles: list[dict],
+                    annotations: list[dict] | None = None,
+                    limit: int = 10) -> str:
+    """Human-readable phase breakdown plus the first few request rows."""
+    def fmt(value: float | None) -> str:
+        return "-" if value is None else f"{value * 1e3:8.1f}"
+
+    complete = [lc for lc in lifecycles if lc["complete"]]
+    lines = [
+        f"trace: {len(lifecycles)} request bundles observed, "
+        f"{len(complete)} with a committed lifecycle",
+    ]
+    summary = summarize_lifecycles(lifecycles)
+    if summary:
+        lines.append("  phase breakdown (ms):")
+        for phase, stats in summary.items():
+            lines.append(
+                f"    {phase:<10} n={stats['count']:<6} "
+                f"mean {stats['mean_s'] * 1e3:8.1f}  "
+                f"p50 {stats['p50_s'] * 1e3:8.1f}  "
+                f"p99 {stats['p99_s'] * 1e3:8.1f}")
+    if complete:
+        lines.append("  first committed requests "
+                     "(client/bundle, stamps in ms):")
+        lines.append(f"    {'req':<10}{'submit':>9}{'batch':>9}"
+                     f"{'propose':>9}{'commit':>9}{'ack':>9}")
+        for lifecycle in complete[:limit]:
+            req = f"{lifecycle['client']}/{lifecycle['bundle']}"
+            lines.append(
+                f"    {req:<10}"
+                f"{fmt(lifecycle['submitted']):>9}"
+                f"{fmt(lifecycle['batched']):>9}"
+                f"{fmt(lifecycle['proposed']):>9}"
+                f"{fmt(lifecycle['committed']):>9}"
+                f"{fmt(lifecycle['acked']):>9}")
+    for annotation in annotations or ():
+        lines.append(f"  @{annotation['t']:.3f}s {annotation['op']}: "
+                     f"{annotation['label']}")
+    return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Interval time-series collection for the ``standard_report`` schema.
+
+A :class:`TimeSeries` buckets executions, ack latencies and host samples
+(NIC backlog, event-queue depth, shaper drops) into fixed intervals on
+the run's protocol clock, and chaos events land as annotations.  The
+section it renders is what makes a ``calibrate --scenario`` run show the
+dip-and-recovery *curve* around an injected fault instead of one
+end-of-run aggregate.
+
+Unlike the headline throughput/latency numbers, the series is **not**
+warmup-gated: :class:`repro.stats.MetricsCollector` feeds it before the
+warmup cut so a fault injected during ramp-up is still visible.
+"""
+
+from __future__ import annotations
+
+from repro.stats import percentile
+
+#: Default bucket width in seconds — fine enough to bracket a 1-second
+#: chaos timeline, coarse enough that second-long smoke runs still get
+#: several samples per bucket.
+DEFAULT_INTERVAL = 0.25
+
+
+class TimeSeries:
+    """Fixed-interval collector shared by both execution backends."""
+
+    __slots__ = ("interval", "annotations", "_exec", "_acks", "_samples")
+
+    def __init__(self, interval: float = DEFAULT_INTERVAL) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = interval
+        #: Chaos/fault events: ``{"t", "op", "label"}`` dicts.
+        self.annotations: list[dict] = []
+        self._exec: dict[int, dict[int, int]] = {}
+        self._acks: dict[int, list[float]] = {}
+        self._samples: dict[int, dict[str, float]] = {}
+
+    def _bucket(self, now: float) -> int:
+        return int(now / self.interval) if now > 0 else 0
+
+    # -- recording ------------------------------------------------------
+
+    def record_execution(self, node_id: int, count: int,
+                         now: float) -> None:
+        """Count ``count`` requests executed at ``node_id``."""
+        per_node = self._exec.setdefault(self._bucket(now), {})
+        per_node[node_id] = per_node.get(node_id, 0) + count
+
+    def record_ack(self, latency: float, now: float) -> None:
+        """Record one acknowledged bundle's client latency."""
+        self._acks.setdefault(self._bucket(now), []).append(latency)
+
+    def sample(self, now: float, *, backlog_s: float = 0.0,
+               queue_depth: int = 0, shaper_drops: int = 0) -> None:
+        """Fold one host sample into the current bucket.
+
+        ``backlog_s`` (measure replica's NIC/transport backlog) and
+        ``queue_depth`` (pending scheduler events) keep the bucket
+        maximum; ``shaper_drops`` is an increment since the previous
+        sample and accumulates.
+        """
+        bucket = self._samples.setdefault(
+            self._bucket(now),
+            {"backlog_s": 0.0, "queue_depth": 0, "shaper_drops": 0})
+        if backlog_s > bucket["backlog_s"]:
+            bucket["backlog_s"] = backlog_s
+        if queue_depth > bucket["queue_depth"]:
+            bucket["queue_depth"] = queue_depth
+        bucket["shaper_drops"] += shaper_drops
+
+    def annotate(self, at: float, op: str, label: str) -> None:
+        """Pin a fault/chaos event to the timeline."""
+        self.annotations.append({"t": at, "op": op, "label": label})
+
+    # -- multi-process merging -----------------------------------------
+
+    def to_jsonable(self) -> dict:
+        """Raw dump a child process ships to the merging parent."""
+        return {
+            "interval_s": self.interval,
+            "exec": {str(bucket): dict(per_node)
+                     for bucket, per_node in sorted(self._exec.items())},
+            "samples": {str(bucket): dict(values)
+                        for bucket, values
+                        in sorted(self._samples.items())},
+        }
+
+    def merge_raw(self, raw: dict, *, shift: float = 0.0,
+                  samples: bool = False) -> None:
+        """Fold a child's :meth:`to_jsonable` dump into this series.
+
+        ``shift`` seconds are subtracted from the child's timestamps
+        (its clock starts at spawn, the parent's at the measurement
+        epoch).  Buckets that land before t=0 after shifting happened
+        before measurement started and are dropped.  Host ``samples``
+        are per-replica, so they are only merged for the child the
+        caller designates (the measure replica).
+        """
+        child_interval = raw.get("interval_s", self.interval)
+        for bucket_str, per_node in raw.get("exec", {}).items():
+            t = int(bucket_str) * child_interval - shift
+            if t < 0:
+                continue
+            for node_id, count in per_node.items():
+                self.record_execution(int(node_id), count, t)
+        if samples:
+            for bucket_str, values in raw.get("samples", {}).items():
+                t = int(bucket_str) * child_interval - shift
+                if t < 0:
+                    continue
+                self.sample(t,
+                            backlog_s=values.get("backlog_s", 0.0),
+                            queue_depth=int(values.get("queue_depth", 0)),
+                            shaper_drops=int(
+                                values.get("shaper_drops", 0)))
+
+    # -- the report section --------------------------------------------
+
+    def section(self, *, measure_replica: int, end: float) -> dict:
+        """Render the schema-5 ``timeseries`` report section.
+
+        Intervals are zero-filled from t=0 through ``end`` so both
+        backends emit identical shapes for the same run length and the
+        dip after a crash shows as explicit zero-throughput buckets.
+        """
+        interval = self.interval
+        last = self._bucket(max(end - 1e-9, 0.0))
+        for buckets in (self._exec, self._acks, self._samples):
+            if buckets:
+                last = max(last, max(buckets))
+        intervals = []
+        for bucket in range(last + 1):
+            per_node = self._exec.get(bucket, {})
+            committed = per_node.get(measure_replica, 0)
+            acks = self._acks.get(bucket)
+            ordered = sorted(acks) if acks else None
+            samples = self._samples.get(bucket, {})
+            intervals.append({
+                "t": round(bucket * interval, 9),
+                "committed": committed,
+                "committed_all": sum(per_node.values()),
+                "throughput_rps": committed / interval,
+                "acks": len(acks) if acks else 0,
+                "latency_p50_s": percentile(ordered, 50)
+                if ordered else None,
+                "latency_p99_s": percentile(ordered, 99)
+                if ordered else None,
+                "backlog_s": samples.get("backlog_s", 0.0),
+                "queue_depth": int(samples.get("queue_depth", 0)),
+                "shaper_drops": int(samples.get("shaper_drops", 0)),
+            })
+        return {
+            "interval_s": interval,
+            "intervals": intervals,
+            "annotations": sorted(
+                self.annotations,
+                key=lambda a: (a["t"], a["op"], a["label"])),
+        }
+
+
+def bracket_throughput(section: dict, fault_at: float,
+                       recover_at: float) -> dict:
+    """Mean throughput before, during and after a fault window.
+
+    The three numbers make "the timeseries visibly brackets the fault"
+    checkable: a crash shows as ``during_rps`` well below ``pre_rps``
+    with ``post_rps`` recovering.
+    """
+    pre: list[float] = []
+    during: list[float] = []
+    post: list[float] = []
+    interval = section["interval_s"]
+    for entry in section["intervals"]:
+        start, end = entry["t"], entry["t"] + interval
+        if end <= fault_at:
+            pre.append(entry["throughput_rps"])
+        elif start >= recover_at:
+            post.append(entry["throughput_rps"])
+        elif start >= fault_at and end <= recover_at:
+            during.append(entry["throughput_rps"])
+
+    def mean(values: list[float]) -> float | None:
+        return sum(values) / len(values) if values else None
+
+    return {"fault_at": fault_at, "recover_at": recover_at,
+            "pre_rps": mean(pre), "during_rps": mean(during),
+            "post_rps": mean(post)}

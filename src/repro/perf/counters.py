@@ -71,6 +71,19 @@ class PerfCounters:
             "seconds": dict(self._timings),
         }
 
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` dict into these counters.
+
+        The multi-process harness ships each replica child's data-plane
+        counters (coding/hashing time) home in its JSON summary; merging
+        them here makes the parent's report carry cluster-wide totals,
+        the same quantities an in-process run accumulates directly.
+        """
+        for name, value in snapshot.get("counts", {}).items():
+            self._counts[name] += value
+        for name, value in snapshot.get("seconds", {}).items():
+            self._timings[name] += value
+
     def reset(self) -> None:
         """Zero every counter and timer."""
         self._counts.clear()

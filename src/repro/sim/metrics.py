@@ -29,6 +29,7 @@ from repro.stats import (  # noqa: F401  (re-exported sim-facing API)
     LatencySample,
     MetricsCollector,
     NicStats,
+    percentile,
     standard_report,
 )
 

@@ -99,6 +99,21 @@ class SimNode:
         if hasattr(core, "backlog_probe"):
             core.backlog_probe = self._backlog_probe
 
+    def install_tracer(self, tracer) -> None:
+        """Enable lifecycle tracing by wrapping the hosted core.
+
+        Tracing lives entirely in the :class:`repro.obs.tracer.
+        TracedCore` wrapper at the sans-io boundary, so a node that
+        never installs a tracer pays nothing — no flag checks on the
+        delivery or effect hot paths (the <2% disabled-overhead policy
+        gated by ``benchmarks/run_sim_bench.py``).  Idempotent per
+        core: call again after swapping :attr:`core` (restarts).
+        """
+        from repro.obs.tracer import TracedCore
+
+        if not isinstance(self.core, TracedCore):
+            self.core = TracedCore(self.core, tracer)
+
     def _backlog_probe(self) -> float:
         """Seconds of queued egress work at this node's NIC (one frame).
 

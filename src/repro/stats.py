@@ -204,6 +204,24 @@ class NicStats:
 # ---------------------------------------------------------------------------
 
 
+def percentile(ordered: list[float], pct: float) -> float:
+    """Linear-interpolation percentile of pre-sorted ``ordered`` values.
+
+    The one percentile definition shared by every consumer — headline
+    latency percentiles, per-interval time-series buckets and trace
+    phase summaries — so simulated and live runs (and the calibration
+    deltas between them) never disagree by estimator choice.  Matches
+    numpy's default ("linear") method; NaN when ``ordered`` is empty.
+    """
+    if not ordered:
+        return math.nan
+    rank = pct / 100.0 * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
 @dataclass
 class LatencySample:
     """One acknowledged client bundle."""
@@ -237,9 +255,17 @@ class MetricsCollector:
     #: Data-plane instrumentation (coding/hashing wall-clock) shared with
     #: every component the cluster builder attaches it to.
     perf: PerfCounters = field(default_factory=PerfCounters)
+    #: Optional :class:`repro.obs.timeseries.TimeSeries` (kept opaque so
+    #: this module stays at the bottom of the layering).  Fed *before*
+    #: the warmup cut: the interval curve must show ramp-up and faults
+    #: the headline aggregates deliberately ignore.
+    timeseries: object | None = None
 
     def record_execution(self, node_id: int, count: int, now: float) -> None:
         """Record ``count`` requests executed at ``node_id``."""
+        series = self.timeseries
+        if series is not None:
+            series.record_execution(node_id, count, now)
         if now < self.warmup:
             return
         self.executed_requests[node_id] = (
@@ -249,6 +275,9 @@ class MetricsCollector:
 
     def record_ack(self, submitted_at: float, now: float) -> None:
         """Record a client acknowledgement (one bundle)."""
+        series = self.timeseries
+        if series is not None:
+            series.record_ack(now - submitted_at, now)
         if now < self.warmup:
             return
         self.latencies.append(LatencySample(submitted_at, now))
@@ -275,12 +304,7 @@ class MetricsCollector:
 
     def latency_percentile(self, pct: float) -> float:
         """Latency percentile in seconds (NaN when no samples)."""
-        if not self.latencies:
-            return math.nan
-        ordered = sorted(s.latency for s in self.latencies)
-        rank = min(len(ordered) - 1,
-                   max(0, int(round(pct / 100.0 * (len(ordered) - 1)))))
-        return ordered[rank]
+        return percentile(sorted(s.latency for s in self.latencies), pct)
 
     def phase_breakdown(self) -> dict[str, float]:
         """Fraction of total phase time per phase (sums to 1.0)."""
@@ -299,8 +323,11 @@ class MetricsCollector:
 #: v2 added ``events_processed`` / ``sim_events_per_sec``; v3 added
 #: ``event_queue`` (scheduler occupancy counters, ``None`` for live runs);
 #: v4 added ``faults`` (injected behaviours, chaos-scenario events applied,
-#: restart and link-shaping counters; ``None`` for a clean run).
-REPORT_SCHEMA = 4
+#: restart and link-shaping counters; ``None`` for a clean run); v5 added
+#: ``timeseries`` (interval throughput/latency/backlog curve with chaos
+#: annotations, :mod:`repro.obs.timeseries`; ``None`` when no collector
+#: was attached).
+REPORT_SCHEMA = 5
 
 
 def standard_report(*, backend: str, protocol: str, n: int,
@@ -310,7 +337,8 @@ def standard_report(*, backend: str, protocol: str, n: int,
                     events_processed: int = 0,
                     events_per_sec: float = 0.0,
                     event_queue: dict | None = None,
-                    faults: dict | None = None) -> dict:
+                    faults: dict | None = None,
+                    timeseries: dict | None = None) -> dict:
     """The run report shared by the simulated and live backends.
 
     Args:
@@ -339,6 +367,10 @@ def standard_report(*, backend: str, protocol: str, n: int,
             events applied, restart/shaping counters); ``None`` for a
             clean run — like ``event_queue``, the key is always emitted
             to keep report shapes identical.
+        timeseries: rendered interval section
+            (:meth:`repro.obs.timeseries.TimeSeries.section`) — the
+            dip-and-recovery curve for chaos/calibration runs; ``None``
+            when the run attached no collector, key always emitted.
 
     Identical keys from both backends make a live localhost run directly
     comparable with a simulated one of the same shape.
@@ -357,6 +389,7 @@ def standard_report(*, backend: str, protocol: str, n: int,
         "sim_events_per_sec": float(events_per_sec),
         "event_queue": event_queue,
         "faults": faults,
+        "timeseries": timeseries,
         "latency_s": {
             "mean": metrics.mean_latency(),
             "p50": metrics.latency_percentile(50),

@@ -1,0 +1,80 @@
+"""Schema back-compat: consumers must still read schema-4 artifacts.
+
+The schema-5 bump added ``timeseries``/``trace`` report sections and a
+``timeline`` bracket to faulted calibrations.  ``tests/harness/data/``
+holds committed schema-4 artifacts in the exact pre-bump shape (a chaos
+run report and a faulted calibration), and the renderers — the
+consumers most likely to trip on a missing key — are driven against
+them here.  When regenerated artifacts are present in ``artifacts/``
+they are rendered too, whatever schema they carry.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.cli import (
+    _render_faulted_calibration,
+    _render_live_report,
+)
+
+DATA = Path(__file__).resolve().parent / "data"
+ARTIFACTS = Path(__file__).resolve().parents[2] / "artifacts"
+
+
+def test_schema4_chaos_report_still_renders():
+    report = json.loads(
+        (DATA / "chaos_leopard_schema4.json").read_text())
+    assert report["schema"] == 4  # the committed pre-timeseries shape
+    assert "timeseries" not in report
+    text = _render_live_report(report)
+    assert f"live run: n={report['n']} {report['protocol']}" in text
+    assert "timeseries:" not in text  # absent section renders as absent
+
+
+def test_schema4_faulted_calibration_still_renders():
+    report = json.loads(
+        (DATA / "calibration_faulted_schema4.json").read_text())
+    assert "timeline" not in report["degradation"]
+    assert report["faulted"]["live"]["schema"] == 4
+    text = _render_faulted_calibration(report)
+    assert "degradation" in text
+    assert "dip (req/s)" not in text  # no bracket without a timeseries
+
+
+def test_schema5_report_renders_timeseries_line():
+    # The schema-4 fixture upgraded with the schema-5 section must grow
+    # exactly the new output line.
+    report = json.loads(
+        (DATA / "chaos_leopard_schema4.json").read_text())
+    report["schema"] = 5
+    report["timeseries"] = {
+        "interval_s": 0.25,
+        "intervals": [
+            {"t": 0.0, "committed": 225, "committed_all": 900,
+             "throughput_rps": 900.0, "acks": 2,
+             "latency_p50_s": 0.01, "latency_p99_s": 0.02,
+             "backlog_s": 0.0, "queue_depth": 0, "shaper_drops": 0},
+        ],
+        "annotations": [{"t": 0.1, "op": "crash",
+                         "label": "crash node=2"}],
+    }
+    text = _render_live_report(report)
+    assert "timeseries: 1 x 0.25s intervals" in text
+    assert "1 annotations" in text
+
+
+GENERATED = sorted(ARTIFACTS.glob("chaos_*.json")) \
+    if ARTIFACTS.is_dir() else []
+
+
+@pytest.mark.skipif(not GENERATED,
+                    reason="no locally generated chaos artifacts")
+@pytest.mark.parametrize("path", GENERATED, ids=lambda p: p.stem)
+def test_generated_chaos_artifacts_render(path):
+    report = json.loads(path.read_text())
+    text = _render_live_report(report)
+    assert f"live run: n={report['n']}" in text

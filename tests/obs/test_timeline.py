@@ -1,0 +1,147 @@
+"""Lifecycle reconstruction and Chrome trace export tests.
+
+Events here are synthetic dicts in the exact shape a
+``RingTracer.to_jsonable`` dump carries (keys as lists), so the tests
+pin the on-disk trace schema as well as the join logic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.chrome import chrome_trace, validate_chrome_trace
+from repro.obs.timeline import (
+    PHASES,
+    build_lifecycles,
+    render_timeline,
+    summarize_lifecycles,
+)
+
+
+def _leopard_events():
+    """submit -> datablock -> bftblock -> exec -> ack for request (4, 0)."""
+    return [
+        {"t": 0.00, "node": 4, "kind": "send", "cls": "client",
+         "key": ["req", 4, 0], "data": None},
+        {"t": 0.01, "node": 1, "kind": "bcast", "cls": "datablock",
+         "key": ["db", 1, 0],
+         "data": {"digest": "aabbccddeeff", "spans": [[4, 0]]}},
+        {"t": 0.02, "node": 0, "kind": "bcast", "cls": "bftblock",
+         "key": ["bft", 0, 1], "data": {"links": ["aabbccddeeff"]}},
+        {"t": 0.03, "node": 0, "kind": "exec", "cls": "exec",
+         "key": None, "data": {"count": 100, "ids": [1]}},
+        {"t": 0.04, "node": 4, "kind": "recv", "cls": "ack",
+         "key": ["req", 4, 0], "data": None},
+    ]
+
+
+class TestLeopardJoin:
+    def test_full_chain_yields_all_stamps(self):
+        (lifecycle,) = build_lifecycles(_leopard_events(),
+                                        measure_replica=0)
+        assert lifecycle["client"] == 4 and lifecycle["bundle"] == 0
+        assert lifecycle["complete"] is True
+        assert lifecycle["submitted"] == 0.00
+        assert lifecycle["batched"] == 0.01
+        assert lifecycle["proposed"] == 0.02
+        assert lifecycle["committed"] == 0.03
+        assert lifecycle["acked"] == 0.04
+        assert set(lifecycle["phases"]) == set(PHASES)
+        for duration in lifecycle["phases"].values():
+            assert duration == pytest.approx(0.01)
+
+    def test_measure_replica_filters_foreign_execs(self):
+        events = _leopard_events()
+        events.insert(3, {"t": 0.025, "node": 2, "kind": "exec",
+                          "cls": "exec", "key": None,
+                          "data": {"count": 100, "ids": [1]}})
+        (measured,) = build_lifecycles(events, measure_replica=0)
+        assert measured["committed"] == 0.03
+        (earliest,) = build_lifecycles(events, measure_replica=None)
+        assert earliest["committed"] == 0.025
+
+    def test_truncated_chain_is_incomplete(self):
+        (lifecycle,) = build_lifecycles(_leopard_events()[:2])
+        assert lifecycle["complete"] is False
+        assert lifecycle["committed"] is None
+        assert lifecycle["phases"] == {"batching": pytest.approx(0.01)}
+
+
+class TestBaselineJoin:
+    def test_pbft_block_collapses_batch_and_proposal(self):
+        events = [
+            {"t": 0.00, "node": 4, "kind": "send", "cls": "client",
+             "key": ["req", 4, 0], "data": None},
+            {"t": 0.01, "node": 0, "kind": "bcast", "cls": "block",
+             "key": ["sn", 0, 7], "data": {"spans": [[4, 0]]}},
+            {"t": 0.02, "node": 0, "kind": "exec", "cls": "exec",
+             "key": None, "data": {"count": 100, "ids": [7]}},
+            {"t": 0.03, "node": 4, "kind": "recv", "cls": "ack",
+             "key": ["req", 4, 0], "data": None},
+        ]
+        (lifecycle,) = build_lifecycles(events, measure_replica=0)
+        assert lifecycle["complete"] is True
+        assert lifecycle["batched"] == lifecycle["proposed"] == 0.01
+        assert lifecycle["phases"]["dispersal"] == 0.0
+
+    def test_hotstuff_block_keys_on_height(self):
+        events = [
+            {"t": 0.00, "node": 4, "kind": "send", "cls": "client",
+             "key": ["req", 4, 2], "data": None},
+            {"t": 0.01, "node": 0, "kind": "bcast", "cls": "block",
+             "key": ["ht", 5], "data": {"spans": [[4, 2]]}},
+            {"t": 0.02, "node": 0, "kind": "exec", "cls": "exec",
+             "key": None, "data": {"count": 100, "ids": [5]}},
+        ]
+        (lifecycle,) = build_lifecycles(events, measure_replica=0)
+        assert lifecycle["committed"] == 0.02
+        assert lifecycle["acked"] is None
+
+
+class TestRendering:
+    def test_summary_and_timeline_text(self):
+        lifecycles = build_lifecycles(_leopard_events(),
+                                      measure_replica=0)
+        summary = summarize_lifecycles(lifecycles)
+        assert summary["agreement"]["count"] == 1
+        assert summary["agreement"]["p50_s"] == pytest.approx(0.01)
+        text = render_timeline(
+            lifecycles,
+            annotations=[{"t": 1.0, "op": "crash",
+                          "label": "crash node=2"}])
+        assert "1 with a committed lifecycle" in text
+        assert "agreement" in text
+        assert "4/0" in text
+        assert "@1.000s crash: crash node=2" in text
+
+
+class TestChromeExport:
+    def test_export_and_validate(self):
+        lifecycles = build_lifecycles(_leopard_events(),
+                                      measure_replica=0)
+        doc = chrome_trace(
+            lifecycles,
+            annotations=[{"t": 1.0, "op": "crash",
+                          "label": "crash node=2"}])
+        assert doc["displayTimeUnit"] == "ms"
+        assert validate_chrome_trace(doc) == len(PHASES)
+        metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert metas[0]["args"]["name"] == "client 4"
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert instants[0]["name"] == "crash: crash node=2"
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert all(e["pid"] == 5 and e["tid"] == 0 for e in spans)
+        assert {e["name"] for e in spans} == set(PHASES)
+
+    def test_validate_rejects_malformed_documents(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([])
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": None})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "ph": "Z", "pid": 0, "tid": 0}]})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "ph": "X", "pid": 0, "tid": 0,
+                 "ts": 1.0}]})  # X span without dur

@@ -1,0 +1,134 @@
+"""TimeSeries unit tests: bucketing, merging, sections, fault brackets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.timeseries import TimeSeries, bracket_throughput
+
+
+class TestRecording:
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            TimeSeries(interval=0.0)
+
+    def test_executions_bucket_per_node(self):
+        series = TimeSeries(interval=0.5)
+        series.record_execution(0, 10, now=0.1)
+        series.record_execution(0, 5, now=0.4)
+        series.record_execution(1, 7, now=0.4)
+        series.record_execution(0, 3, now=0.6)
+        section = series.section(measure_replica=0, end=1.0)
+        first, second = section["intervals"]
+        assert first["committed"] == 15
+        assert first["committed_all"] == 22
+        assert first["throughput_rps"] == 30.0
+        assert second["committed"] == 3
+
+    def test_ack_latency_percentiles(self):
+        series = TimeSeries(interval=1.0)
+        for latency in (0.010, 0.020, 0.030, 0.040):
+            series.record_ack(latency, now=0.5)
+        entry = series.section(measure_replica=0, end=1.0)["intervals"][0]
+        assert entry["acks"] == 4
+        assert entry["latency_p50_s"] == pytest.approx(0.025)
+        assert entry["latency_p99_s"] == pytest.approx(0.040, abs=1e-3)
+
+    def test_sample_semantics_max_max_sum(self):
+        series = TimeSeries(interval=1.0)
+        series.sample(0.1, backlog_s=0.5, queue_depth=10, shaper_drops=2)
+        series.sample(0.2, backlog_s=0.2, queue_depth=30, shaper_drops=3)
+        entry = series.section(measure_replica=0, end=1.0)["intervals"][0]
+        assert entry["backlog_s"] == 0.5       # max
+        assert entry["queue_depth"] == 30      # max
+        assert entry["shaper_drops"] == 5      # sum
+
+
+class TestSection:
+    def test_zero_fills_through_end(self):
+        series = TimeSeries(interval=0.25)
+        series.record_execution(0, 4, now=0.1)
+        section = series.section(measure_replica=0, end=1.0)
+        assert len(section["intervals"]) == 4
+        assert [e["t"] for e in section["intervals"]] == [0.0, 0.25,
+                                                          0.5, 0.75]
+        assert [e["committed"] for e in section["intervals"]] == [4, 0,
+                                                                  0, 0]
+        assert section["intervals"][1]["latency_p50_s"] is None
+
+    def test_extends_past_end_for_late_buckets(self):
+        series = TimeSeries(interval=0.25)
+        series.record_execution(0, 1, now=1.9)
+        section = series.section(measure_replica=0, end=0.5)
+        assert len(section["intervals"]) == 8
+        assert section["intervals"][-1]["committed"] == 1
+
+    def test_annotations_sorted(self):
+        series = TimeSeries()
+        series.annotate(3.0, "restart", "restart node=2")
+        series.annotate(1.0, "crash", "crash node=2")
+        section = series.section(measure_replica=0, end=0.5)
+        assert [a["op"] for a in section["annotations"]] == ["crash",
+                                                             "restart"]
+        assert section["annotations"][0]["t"] == 1.0
+
+
+class TestMergeRaw:
+    def test_shift_and_pre_epoch_drop(self):
+        child = TimeSeries(interval=0.25)
+        child.record_execution(2, 5, now=0.1)   # before parent epoch
+        child.record_execution(2, 7, now=1.1)   # bucket 4 -> t=0.0
+        parent = TimeSeries(interval=0.25)
+        parent.merge_raw(child.to_jsonable(), shift=1.0)
+        section = parent.section(measure_replica=2, end=0.25)
+        assert len(section["intervals"]) == 1
+        assert section["intervals"][0]["committed"] == 7
+
+    def test_samples_gated_to_measure_child(self):
+        child = TimeSeries(interval=0.25)
+        child.sample(0.1, backlog_s=0.8, queue_depth=4, shaper_drops=1)
+        ignored = TimeSeries(interval=0.25)
+        ignored.merge_raw(child.to_jsonable(), samples=False)
+        merged = TimeSeries(interval=0.25)
+        merged.merge_raw(child.to_jsonable(), samples=True)
+        assert ignored.section(
+            measure_replica=0, end=0.25)["intervals"][0]["backlog_s"] == 0.0
+        assert merged.section(
+            measure_replica=0, end=0.25)["intervals"][0]["backlog_s"] == 0.8
+
+    def test_round_trips_through_json_types(self):
+        import json
+
+        child = TimeSeries(interval=0.25)
+        child.record_execution(1, 9, now=0.3)
+        child.sample(0.3, backlog_s=0.1, queue_depth=2, shaper_drops=0)
+        wire = json.loads(json.dumps(child.to_jsonable()))
+        parent = TimeSeries(interval=0.25)
+        parent.merge_raw(wire, samples=True)
+        entry = parent.section(measure_replica=1, end=0.5)["intervals"][1]
+        assert entry["committed"] == 9
+        assert entry["queue_depth"] == 2
+
+
+class TestBracketThroughput:
+    def _section(self):
+        series = TimeSeries(interval=0.5)
+        for t, count in ((0.2, 100), (0.7, 100),     # pre
+                         (1.2, 10), (1.7, 10),       # during
+                         (2.2, 80), (2.7, 90)):      # post
+            series.record_execution(0, count, now=t)
+        return series.section(measure_replica=0, end=3.0)
+
+    def test_brackets_fault_window(self):
+        timeline = bracket_throughput(self._section(),
+                                      fault_at=1.0, recover_at=2.0)
+        assert timeline["pre_rps"] == pytest.approx(200.0)
+        assert timeline["during_rps"] == pytest.approx(20.0)
+        assert timeline["post_rps"] == pytest.approx(170.0)
+        assert timeline["fault_at"] == 1.0
+
+    def test_empty_window_is_none(self):
+        timeline = bracket_throughput(self._section(),
+                                      fault_at=0.0, recover_at=3.0)
+        assert timeline["pre_rps"] is None
+        assert timeline["post_rps"] is None
