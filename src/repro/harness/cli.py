@@ -79,6 +79,19 @@ def _render_live_report(report: dict) -> str:
                 f"shaped={shaping.get('frames_shaped', 0)} "
                 f"delayed={shaping.get('frames_delayed', 0)} "
                 f"lost={shaping.get('frames_lost', 0)}")
+    # Schema-tolerant: sim-backed reports carry scheduler occupancy;
+    # live runs (and committed schema-4 artifacts) have none, and
+    # schema-5 artifacts predate the wave counters.
+    queue = report.get("event_queue")
+    if queue:
+        line = (f"  event queue: backend={queue.get('backend', '?')} "
+                f"max_pending={queue.get('max_pending', 0)}")
+        if queue.get("waves"):
+            line += (f" wave_events={queue.get('wave_events', 0)} "
+                     f"wave_receivers={queue.get('wave_receivers', 0)} "
+                     f"scalar_fallbacks="
+                     f"{queue.get('scalar_fallbacks', 0)}")
+        lines.append(line)
     # Schema-tolerant: committed schema-4 artifacts have no timeseries.
     series = report.get("timeseries")
     if series and series.get("intervals"):
@@ -555,6 +568,12 @@ def trace_command(argv: list[str]) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--capacity", type=int, default=65536,
                         help="ring-buffer capacity in events")
+    parser.add_argument("--trace-sample", type=int, default=1,
+                        metavar="K",
+                        help="record only every K-th request lifecycle "
+                             "(bundle id divisible by K); aggregate "
+                             "events are always kept (default 1: "
+                             "record everything)")
     parser.add_argument("--limit", type=int, default=10,
                         help="request rows in the text timeline")
     parser.add_argument("--scenario", default=None, metavar="SPEC",
@@ -597,7 +616,12 @@ def trace_command(argv: list[str]) -> int:
         validate_chrome_trace,
     )
 
-    tracer = RingTracer(capacity=args.capacity)
+    try:
+        tracer = RingTracer(capacity=args.capacity,
+                            sample=args.trace_sample)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.backend == "sim":
         report = _traced_sim_run(args, tracer, scenario)
     elif args.processes:
@@ -697,12 +721,26 @@ def main(argv: list[str] | None = None) -> int:
         help="discrete-event scheduler backend for every simulated "
              "cluster (default: calendar; 'heap' replays grids on the "
              "measured reference engine)")
+    parser.add_argument(
+        "--waves", action="store_true",
+        help="enable the calendar backend's wave-aggregation tier for "
+             "every simulated cluster (byte-identical reports, far "
+             "fewer processed events on saturated broadcast grids; "
+             "requires the calendar backend)")
     args = parser.parse_args(argv)
 
     if args.queue_backend:
         from repro.sim.events import set_default_backend
 
         set_default_backend(args.queue_backend)
+    if args.waves:
+        if args.queue_backend == "heap":
+            print("error: --waves requires the calendar queue backend",
+                  file=sys.stderr)
+            return 2
+        from repro.sim.events import set_default_waves
+
+        set_default_waves(True)
 
     if args.list or not args.experiments:
         print("available experiments:")

@@ -349,6 +349,7 @@ def build_leopard_cluster(
         trace_phases: bool = False,
         gst: float = 0.0,
         queue_backend: str | None = None,
+        waves: bool | None = None,
         prime: bool = True,
 ) -> Cluster:
     """Build a Leopard deployment of ``n`` replicas plus load clients.
@@ -374,6 +375,10 @@ def build_leopard_cluster(
         gst: global stabilization time of the partial-synchrony model.
         queue_backend: event-queue backend (``"calendar"`` / ``"heap"``);
             ``None`` uses the process default.
+        waves: enable the calendar backend's wave-aggregation tier
+            (byte-identical execution, collapsed ``events_processed``);
+            ``None`` uses the process default
+            (:func:`repro.sim.events.set_default_waves`).
         prime: inject the initial saturating request burst into every
             client (the paper's steady-saturation setup).  Disable for
             targeted workloads — e.g. the n = 1000 single-block commit
@@ -405,7 +410,7 @@ def build_leopard_cluster(
     metrics = MetricsCollector(warmup=warmup, timeseries=TimeSeries())
     sim = Simulation(
         network, replica_count=n, metrics=metrics,
-        queue_backend=queue_backend,
+        queue_backend=queue_backend, waves=waves,
         bucket_width=_bucket_width_hint(
             n, config.datablock_size * config.payload_size, bandwidth_bps))
     registry = KeyRegistry(n, config.f, seed=seed)
@@ -492,6 +497,7 @@ def build_hotstuff_cluster(
         warmup: float = 1.0,
         faults: dict[int, FaultBehavior] | None = None,
         queue_backend: str | None = None,
+        waves: bool | None = None,
 ) -> Cluster:
     """Build a chained-HotStuff deployment (clients submit to the leader).
 
@@ -520,7 +526,7 @@ def build_hotstuff_cluster(
     metrics = MetricsCollector(warmup=warmup, timeseries=TimeSeries())
     sim = Simulation(
         network, replica_count=n, metrics=metrics,
-        queue_backend=queue_backend,
+        queue_backend=queue_backend, waves=waves,
         bucket_width=_bucket_width_hint(
             n, config.payload_size * bundle_size, bandwidth_bps,
             fanout=n - 1))
@@ -565,6 +571,7 @@ def build_pbft_cluster(
         warmup: float = 1.0,
         faults: dict[int, FaultBehavior] | None = None,
         queue_backend: str | None = None,
+        waves: bool | None = None,
 ) -> Cluster:
     """Build a PBFT / BFT-SMaRt deployment (Fig. 1 baseline)."""
     from repro.baselines.client import BaselineClient
@@ -588,7 +595,7 @@ def build_pbft_cluster(
     metrics = MetricsCollector(warmup=warmup, timeseries=TimeSeries())
     sim = Simulation(
         network, replica_count=n, metrics=metrics,
-        queue_backend=queue_backend,
+        queue_backend=queue_backend, waves=waves,
         bucket_width=_bucket_width_hint(
             n, config.payload_size * bundle_size, bandwidth_bps,
             fanout=n - 1))

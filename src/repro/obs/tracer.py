@@ -49,17 +49,29 @@ class RingTracer:
     overwritten and counted in :attr:`dropped`.  Workloads submit
     continuously, so the retained tail always contains complete
     request lifecycles.
+
+    ``sample=k`` keeps only every *k*-th request lifecycle: events whose
+    :func:`trace_key` is ``("req", client, bundle)`` are discarded unless
+    ``bundle % k == 0``.  Aggregate events (datablocks, BFTblocks,
+    commits) batch many requests and are always kept, so the sampled
+    lifecycles still join end to end.  Sampling selects which requests
+    are retained — each retained trace is still exact, because traced
+    nodes deliver on the scalar path.
     """
 
-    __slots__ = ("capacity", "dropped", "_events", "_next")
+    __slots__ = ("capacity", "dropped", "sample", "_events", "_next")
 
     enabled = True
 
-    def __init__(self, capacity: int = 65536) -> None:
+    def __init__(self, capacity: int = 65536, sample: int = 1) -> None:
         if capacity <= 0:
             raise ValueError(f"tracer capacity must be positive, "
                              f"got {capacity}")
+        if sample <= 0:
+            raise ValueError(f"tracer sample stride must be positive, "
+                             f"got {sample}")
         self.capacity = capacity
+        self.sample = sample
         self.dropped = 0
         self._events: list[dict] = []
         self._next = 0
@@ -67,6 +79,9 @@ class RingTracer:
     def record(self, t: float, node: int, kind: str, cls: str,
                key: tuple | None, data: dict | None) -> None:
         """Append one lifecycle event (overwriting the oldest when full)."""
+        if (self.sample != 1 and key is not None and key[0] == "req"
+                and key[2] % self.sample != 0):
+            return
         event = {"t": t, "node": node, "kind": kind, "cls": cls,
                  "key": key, "data": data}
         events = self._events
@@ -91,6 +106,7 @@ class RingTracer:
         """JSON-ready dump (tuple keys become lists)."""
         return {
             "capacity": self.capacity,
+            "sample": self.sample,
             "dropped": self.dropped,
             "events": [
                 {**event, "key": list(event["key"])

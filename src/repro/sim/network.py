@@ -217,6 +217,160 @@ class Transmission(EventRecord):
             ready_at = node.ctrl_busy_until = start + cost
         queue.push(ready_at, node._deliver_ready, (self.src, msg))
 
+    # -- wave-aggregated delivery (calendar backend, waves=True) --------
+
+    def arrive_wave(self, dest: int) -> float | None:
+        """Wave-tier sibling of :meth:`arrive` for a single arrival.
+
+        Identical rx serialization, byte accounting and CPU-lane
+        reservation at the identical ``(time, seq)`` — the only change
+        is where the delivery continuation is queued: an honest,
+        wave-eligible destination continues inside the wave tier
+        (:meth:`SimNode._deliver_ready_wave` on its per-lane FIFO
+        stream); everything else — faulty, crashed, shaped-by-fault or
+        traced nodes — transparently falls back to the scalar path,
+        which also demotes waves already registered before a chaos
+        scenario faulted the node (eligibility is re-checked at *fire*
+        time, never cached at send time).
+
+        Returns the wave continuation's timestamp, or ``None`` when the
+        arrival took a scalar or router path — the merged-slab runner
+        (:meth:`CalendarEventQueue._run_merged`) uses this to stop its
+        batch exactly where the batch callback would.
+        """
+        nic = self.nics[dest]
+        queue = self.queue
+        now = queue._now
+        size = self.size
+        busy = nic.rx_busy_until
+        start = busy if busy > now else now
+        delivered = nic.rx_busy_until = (
+            start + size * 16.0 / nic.bandwidth_bps)
+        stats = nic.stats
+        class_id = self.class_id
+        try:
+            stats._recv_bytes[class_id] += size
+            stats._recv_msgs[class_id] += 1
+        except IndexError:
+            stats.bump_recv(class_id, size)
+        nodes = self.nodes
+        if nodes is None:
+            self.router.deliver_at(self.src, dest, self.msg, delivered)
+            return None
+        node = nodes.get(dest)
+        if node is None:
+            return None
+        if not node._honest:
+            queue._scalar_fallbacks += 1
+            node.receive_at(self.src, self.msg, delivered)
+            return None
+        msg = self.msg
+        model = node.cpu_model
+        if model is self.cost_model:
+            cost = self.recv_cost
+        else:
+            cost = model(msg, True)
+            self.cost_model = model
+            self.recv_cost = cost
+        if self.data_plane:
+            busy = node.data_busy_until
+            start = busy if busy > delivered else delivered
+            ready_at = node.data_busy_until = start + cost
+            lane = dest * 2
+        else:
+            busy = node.ctrl_busy_until
+            start = busy if busy > delivered else delivered
+            ready_at = node.ctrl_busy_until = start + cost
+            lane = dest * 2 + 1
+        if node.wave_ok:
+            queue.wave_push(ready_at, node._deliver_ready_wave,
+                            (self.src, msg), lane)
+            return ready_at
+        queue._scalar_fallbacks += 1
+        queue.push(ready_at, node._deliver_ready, (self.src, msg))
+        return None
+
+    def arrive_wave_many(self, times: list, dests: list, start: int,
+                         stop: int) -> int:
+        """Batch segment of a wave slab: arrivals ``start..stop-1``.
+
+        Called by :meth:`CalendarEventQueue._drain_waves` with a
+        contiguous run of arrivals already proven to precede every
+        other pending event.  Each element executes at its exact
+        timestamp (the clock is stepped per element) against
+        *disjoint* per-destination state, so processing them
+        back-to-back is order-exact — with two stop conditions the
+        queue cannot see:
+
+        * a follow-on continuation this batch created would fire before
+          the next arrival (``min_follow``), or
+        * an element fell back to the scalar path with an unknown
+          follow-on time (faulty destination).
+
+        Returns the number of elements consumed (>= 1).
+        """
+        queue = self.queue
+        nics = self.nics
+        nodes = self.nodes
+        size = self.size
+        ser = size * 16.0
+        class_id = self.class_id
+        data_plane = self.data_plane
+        src = self.src
+        msg = self.msg
+        min_follow = float("inf")
+        i = start
+        while i < stop:
+            t = times[i]
+            if min_follow < t:
+                break
+            dest = dests[i]
+            queue._now = t
+            i += 1
+            nic = nics[dest]
+            busy = nic.rx_busy_until
+            rx_start = busy if busy > t else t
+            delivered = nic.rx_busy_until = rx_start + ser / nic.bandwidth_bps
+            stats = nic.stats
+            try:
+                stats._recv_bytes[class_id] += size
+                stats._recv_msgs[class_id] += 1
+            except IndexError:
+                stats.bump_recv(class_id, size)
+            node = nodes.get(dest)
+            if node is None:
+                continue
+            if not node._honest:
+                queue._scalar_fallbacks += 1
+                node.receive_at(src, msg, delivered)
+                break
+            model = node.cpu_model
+            if model is self.cost_model:
+                cost = self.recv_cost
+            else:
+                cost = model(msg, True)
+                self.cost_model = model
+                self.recv_cost = cost
+            if data_plane:
+                busy = node.data_busy_until
+                s = busy if busy > delivered else delivered
+                ready_at = node.data_busy_until = s + cost
+                lane = dest * 2
+            else:
+                busy = node.ctrl_busy_until
+                s = busy if busy > delivered else delivered
+                ready_at = node.ctrl_busy_until = s + cost
+                lane = dest * 2 + 1
+            if node.wave_ok:
+                queue.wave_push(ready_at, node._deliver_ready_wave,
+                                (src, msg), lane)
+            else:
+                queue._scalar_fallbacks += 1
+                queue.push(ready_at, node._deliver_ready, (src, msg))
+            if ready_at < min_follow:
+                min_follow = ready_at
+        return i - start
+
 
 class Network:
     """The modelled network connecting all nodes (replicas and clients).
@@ -328,6 +482,31 @@ class Network:
             queue.schedule_call(arrival, flight.arrive, dest)
         return departed
 
+    def send_unicast_wave(self, src: int, dest: int, msg: Message,
+                          now: float, queue: EventQueue, router) -> float:
+        """Wave-tier unicast: identical pipeline, wave-registered arrival.
+
+        Egress serialization, byte accounting and the propagation-delay
+        RNG draw are exactly :meth:`send_unicast` (same draw order, same
+        NIC state); only the arrival event rides the wave tier's head
+        heap instead of the scalar queue.  This keeps a quorum wave's
+        vote fan-in — the n-1 Ready unicasts a datablock broadcast
+        triggers — inside the aggregated tier, so the whole
+        (datablock, round) chain counts a handful of processed events.
+        """
+        size = msg.size_bytes()
+        src_nic = self.nics[src]
+        departed = src_nic.occupy_tx(now, size)
+        src_nic.stats.record_send(msg.msg_class, size)
+        if router is not None:
+            arrival = departed + self.propagation_delay(departed)
+            flight = Transmission(self, queue, router, src, msg, size)
+            if queue.wave_enabled and flight.nodes is not None:
+                queue.wave_push_heap(arrival, flight.arrive_wave, dest)
+            else:
+                queue.schedule_call(arrival, flight.arrive, dest)
+        return departed
+
     def send_broadcast(self, src: int, dests: list[int], msg: Message,
                        now: float, queue: EventQueue, router) -> float:
         """Serialize one message to every destination in a single pass.
@@ -372,6 +551,15 @@ class Network:
             extra = self._rng.random(count) * self.pre_gst_extra_delay
             arrivals += np.where(departures < self.gst, extra, 0.0)
         flight = Transmission(self, queue, router, src, msg, size)
+        if queue.wave_enabled and flight.nodes is not None:
+            # Wave eligibility is decided per *receiver* at fire time
+            # (arrive_wave_many), so the whole broadcast registers as
+            # one wave unconditionally — faulty or traced receivers
+            # demote their own copies to the scalar path when the wave
+            # reaches them.
+            queue.schedule_wave(arrivals, flight.arrive_wave_many, dests,
+                                flight.arrive_wave)
+            return src_nic.tx_busy_until
         # The arrival vector is handed over as-is: the calendar backend
         # slices it into per-bucket pre-sorted slabs (arrival coalescing),
         # the heap backend materialises a list and bulk-inserts.

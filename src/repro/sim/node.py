@@ -70,7 +70,7 @@ class SimNode:
     __slots__ = ("core", "node_id", "network", "queue", "metrics",
                  "replica_ids", "cpu_model", "fault", "_honest",
                  "data_busy_until", "ctrl_busy_until", "_timer_generation",
-                 "router")
+                 "router", "wave_ok")
 
     def __init__(self, core: ProtocolCore, network: Network,
                  queue: EventQueue, metrics: MetricsCollector,
@@ -88,6 +88,11 @@ class SimNode:
         #: Fast-path flag: honest nodes skip the crash/drop checks and
         #: the effect-rewrite hook on every delivery.
         self._honest = fault is HONEST
+        #: Wave-tier eligibility (with :attr:`_honest`, re-checked at
+        #: every wave fire): cleared when a tracer wraps the core, so
+        #: traced requests always take the exact scalar path and
+        #: lifecycle traces stay complete.
+        self.wave_ok = True
         self.data_busy_until = 0.0
         self.ctrl_busy_until = 0.0
         self._timer_generation: dict[Hashable, int] = {}
@@ -113,6 +118,7 @@ class SimNode:
 
         if not isinstance(self.core, TracedCore):
             self.core = TracedCore(self.core, tracer)
+        self.wave_ok = False
 
     def _backlog_probe(self) -> float:
         """Seconds of queued egress work at this node's NIC (one frame).
@@ -216,6 +222,27 @@ class SimNode:
         if effects or not self._honest:
             self._apply(effects)
 
+    def _deliver_ready_wave(self, pending: tuple[int, Message]) -> None:
+        """Wave-tier CPU-lane completion (batched quorum advancement).
+
+        Runs inside a drained wave run: the core is invoked at the
+        exact time and sequence the scalar engine would use, so quorum
+        counters (e.g. :class:`repro.core.datablock_pool.ReadyTracker`)
+        advance identically — the wave merely keeps the whole chain
+        counted as one processed event.  A node faulted *after* this
+        continuation was queued (mid-run chaos injection) demotes to
+        the exact scalar delivery, which applies the crash/rewrite
+        semantics.
+        """
+        if not self._honest:
+            self.queue._scalar_fallbacks += 1
+            self._deliver_ready(pending)
+            return
+        effects = self.core.on_message(pending[0], pending[1],
+                                       self.queue._now)
+        if effects:
+            self._interpret_wave(effects)
+
     def _fire_timer(self, armed: tuple[Hashable, int]) -> None:
         key, generation = armed
         generations = self._timer_generation
@@ -238,11 +265,42 @@ class SimNode:
                 generation += 1
                 generations[key] = generation
                 queue = self.queue
-                queue.push(queue._now + effect.delay, self._fire_timer,
-                           (key, generation))
+                if queue.wave_enabled and self.wave_ok:
+                    # Recurring ticks are FIFO-monotone per (node, key),
+                    # so they ride the wave tier's per-lane streams; the
+                    # callback is the scalar one, so crash and
+                    # generation checks at fire time are unchanged.
+                    queue.wave_push(queue._now + effect.delay,
+                                    self._fire_timer, (key, generation),
+                                    ("t", self.node_id, key))
+                else:
+                    queue.push(queue._now + effect.delay,
+                               self._fire_timer, (key, generation))
                 return
         del generations[key]
         self._apply(effects)
+
+    def _interpret_wave(self, effects: list[Effect]) -> None:
+        """Interpret effects from a wave continuation.
+
+        The dominant shape — one :class:`Send` (a quorum vote or an
+        ack) — stays inside the wave tier via
+        :meth:`Network.send_unicast_wave`, with CPU charging identical
+        to :meth:`_interpret`.  Every other effect list takes the
+        standard interpreter (broadcasts re-enter the wave tier through
+        :meth:`Network.send_broadcast` on their own).
+        """
+        if len(effects) == 1:
+            effect = effects[0]
+            if type(effect) is Send:
+                msg = effect.msg
+                self._charge_cpu(
+                    self.cpu_model(msg, False), msg.msg_class)
+                self.network.send_unicast_wave(
+                    self.node_id, effect.dest, msg, self.queue._now,
+                    self.queue, self.router)
+                return
+        self._interpret(effects)
 
     def _apply(self, effects: list[Effect]) -> None:
         batched = self.batched

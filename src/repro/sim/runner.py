@@ -34,17 +34,24 @@ class Simulation:
             size it from the NIC serialization quantum so one bucket
             spans roughly one broadcast egress ramp.  Ignored by the
             heap backend.
+        waves: enable the calendar backend's wave-aggregation tier
+            (``None`` inherits the process default,
+            :func:`repro.sim.events.set_default_waves`).  Execution is
+            event-for-event identical; only ``events_processed``
+            collapses (one event per drained wave run).
     """
 
     def __init__(self, network: Network, replica_count: int,
                  metrics: MetricsCollector | None = None,
                  queue_backend: str | None = None,
-                 bucket_width: float | None = None) -> None:
+                 bucket_width: float | None = None,
+                 waves: bool | None = None) -> None:
         if replica_count > network.node_count:
             raise SimulationError("more replicas than network nodes")
         self.network = network
         self.queue = EventQueue(backend=queue_backend,
-                                bucket_width=bucket_width)
+                                bucket_width=bucket_width,
+                                waves=waves)
         self.metrics = metrics if metrics is not None else MetricsCollector()
         self.replica_count = replica_count
         self.nodes: dict[int, SimNode] = {}

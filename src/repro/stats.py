@@ -326,8 +326,12 @@ class MetricsCollector:
 #: restart and link-shaping counters; ``None`` for a clean run); v5 added
 #: ``timeseries`` (interval throughput/latency/backlog curve with chaos
 #: annotations, :mod:`repro.obs.timeseries`; ``None`` when no collector
-#: was attached).
-REPORT_SCHEMA = 5
+#: was attached); v6 added the wave-aggregation counters to the
+#: ``event_queue`` section (``waves``, ``wave_events``,
+#: ``wave_receivers``, ``wave_slabs``, ``wave_pending``,
+#: ``scalar_fallbacks`` — both scheduler backends emit the keys, the
+#: scalar engines always report zeros).
+REPORT_SCHEMA = 6
 
 
 def standard_report(*, backend: str, protocol: str, n: int,

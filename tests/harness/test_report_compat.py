@@ -67,6 +67,39 @@ def test_schema5_report_renders_timeseries_line():
     assert "1 annotations" in text
 
 
+def test_schema5_event_queue_without_wave_counters_still_renders():
+    # A schema-5 artifact carries an ``event_queue`` section from before
+    # the schema-6 wave counters.  The renderer must not require them.
+    report = json.loads(
+        (DATA / "chaos_leopard_schema4.json").read_text())
+    report["schema"] = 5
+    report["event_queue"] = {
+        "backend": "calendar", "pending": 0, "max_pending": 512,
+        "late_clamped": 0, "bucket_width": 0.00025,
+        "bucket_count": 32000, "bucket_loads": 3, "bucket_events": 900,
+        "fanout_slabs": 12, "active_slabs": 0, "slab_pending": 0,
+        "overflow_migrated": 0,
+    }
+    text = _render_live_report(report)
+    assert "event queue: backend=calendar max_pending=512" in text
+    assert "wave_events" not in text  # pre-wave artifact: no wave line
+
+
+def test_schema6_event_queue_renders_wave_counters():
+    report = json.loads(
+        (DATA / "chaos_leopard_schema4.json").read_text())
+    report["schema"] = 6
+    report["event_queue"] = {
+        "backend": "calendar", "max_pending": 512,
+        "waves": True, "wave_events": 40, "wave_receivers": 1200,
+        "wave_slabs": 18, "wave_pending": 0, "scalar_fallbacks": 3,
+    }
+    text = _render_live_report(report)
+    assert "wave_events=40" in text
+    assert "wave_receivers=1200" in text
+    assert "scalar_fallbacks=3" in text
+
+
 GENERATED = sorted(ARTIFACTS.glob("chaos_*.json")) \
     if ARTIFACTS.is_dir() else []
 

@@ -60,6 +60,27 @@ class TestRingTracer:
         with pytest.raises(ValueError):
             RingTracer(capacity=0)
 
+    def test_sample_keeps_every_kth_request(self):
+        tracer = RingTracer(capacity=64, sample=3)
+        for bundle in range(7):
+            tracer.record(float(bundle), 0, "recv", "client",
+                          ("req", 4, bundle), None)
+        kept = [e["key"][2] for e in tracer.events()]
+        assert kept == [0, 3, 6]  # bundle % 3 == 0
+
+    def test_sample_keeps_aggregate_events(self):
+        tracer = RingTracer(capacity=64, sample=10)
+        tracer.record(0.0, 0, "recv", "client", ("req", 4, 7), None)
+        tracer.record(0.1, 0, "send", "datablock", ("db", 1, 3), None)
+        tracer.record(0.2, 0, "exec", "exec", None, {"count": 5})
+        kinds = [e["kind"] for e in tracer.events()]
+        assert kinds == ["send", "exec"]  # only the req event sampled out
+        assert tracer.to_jsonable()["sample"] == 10
+
+    def test_rejects_bad_sample(self):
+        with pytest.raises(ValueError):
+            RingTracer(sample=0)
+
     def test_null_tracer_is_disabled_noop(self):
         assert NULL_TRACER.enabled is False
         NULL_TRACER.record(0.0, 0, "recv", "client", None, None)

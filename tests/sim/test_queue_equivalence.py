@@ -172,3 +172,50 @@ class TestLeopardSimEquivalence:
         # …through a real workload.
         assert heap_report["events_processed"] > 10_000
         assert heap_report["throughput_rps"] == cal_report["throughput_rps"]
+
+
+class TestWaveEquivalence:
+    """Wave aggregation must not change *anything* but the event count.
+
+    The wave tier collapses each broadcast wave into one processed
+    event, but every arrival still fires at its exact ``(time, seq)``
+    with the clock stepped — so a waves-on run of the full n=64 Leopard
+    deployment must render a byte-identical report, modulo the engine
+    counters that deliberately differ (``events_processed`` shrinks;
+    ``event_queue`` gains non-zero wave counters).
+    """
+
+    ENGINE_KEYS = TestLeopardSimEquivalence.WALL_CLOCK_KEYS \
+        + ("events_processed",)
+
+    @staticmethod
+    def _report(waves: bool) -> tuple[dict, dict, int]:
+        from repro.harness.cluster import build_leopard_cluster
+        from repro.harness.experiments import _leopard_config
+
+        cluster = build_leopard_cluster(
+            n=64, seed=11, config=_leopard_config(64), warmup=0.0,
+            queue_backend="calendar", waves=waves)
+        cluster.run(0.3)
+        report = cluster.report()
+        occupancy = report["event_queue"]
+        processed = report["events_processed"]
+        for key in TestWaveEquivalence.ENGINE_KEYS:
+            report.pop(key)
+        return report, occupancy, processed
+
+    def test_byte_identical_reports_waves_on_vs_off(self):
+        scalar_report, scalar_occ, scalar_events = self._report(False)
+        wave_report, wave_occ, wave_events = self._report(True)
+        assert json.dumps(scalar_report, sort_keys=True) \
+            == json.dumps(wave_report, sort_keys=True)
+        # The wave run really aggregated…
+        assert not scalar_occ["waves"]
+        assert wave_occ["waves"]
+        assert wave_occ["wave_events"] > 0
+        assert wave_occ["wave_receivers"] > wave_occ["wave_events"]
+        assert wave_occ["wave_slabs"] > 0
+        # …and each drained run counted as one processed event.
+        assert wave_events < scalar_events
+        assert scalar_events - wave_events \
+            == wave_occ["wave_receivers"] - wave_occ["wave_events"]

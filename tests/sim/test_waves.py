@@ -1,0 +1,287 @@
+"""Wave-aggregation tier: unit, property and chaos-regression tests.
+
+The wave tier (``repro.sim.events``) collapses each eligible broadcast
+wave into one *processed* event while still firing every arrival at its
+exact ``(time, sequence)``.  These tests pin the three load-bearing
+claims:
+
+* the tier is calendar-only and opt-in (the heap reference engine
+  rejects it),
+* wave delivery is behaviourally invisible — reports, quorum counters
+  and commit counts match scalar delivery under randomized fault and
+  bandwidth mixes (hypothesis),
+* faults injected *mid-run* by chaos scenarios demote already-registered
+  waves for the victim to scalar fallbacks instead of delivering past
+  the fault.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.faults import Crash, DelaySend, DropIncoming, Mute
+from repro.sim.events import (
+    CalendarEventQueue,
+    EventQueue,
+    HeapEventQueue,
+    set_default_waves,
+)
+
+
+class TestWaveConfig:
+    def test_heap_backend_rejects_waves(self):
+        with pytest.raises(ConfigError):
+            EventQueue(backend="heap", waves=True)
+        with pytest.raises(ConfigError):
+            HeapEventQueue(waves=True)
+
+    def test_heap_set_waves_rejects_enable(self):
+        queue = EventQueue(backend="heap")
+        with pytest.raises(ConfigError):
+            queue.set_waves(True)
+        queue.set_waves(False)  # disabling is always legal
+        assert not queue.wave_enabled
+
+    def test_calendar_toggles(self):
+        queue = CalendarEventQueue()
+        assert not queue.wave_enabled  # opt-in
+        queue.set_waves(True)
+        assert queue.wave_enabled
+        queue.set_waves(False)
+        assert not queue.wave_enabled
+        assert CalendarEventQueue(waves=True).wave_enabled
+
+    def test_default_waves_switch(self):
+        assert not EventQueue(backend="calendar").wave_enabled
+        set_default_waves(True)
+        try:
+            assert EventQueue(backend="calendar").wave_enabled
+            # An explicit argument still wins over the default.
+            assert not EventQueue(backend="calendar",
+                                  waves=False).wave_enabled
+        finally:
+            set_default_waves(False)
+        assert not EventQueue(backend="calendar").wave_enabled
+
+    def test_occupancy_keys_identical_across_backends(self):
+        heap_occ = EventQueue(backend="heap").occupancy()
+        cal_occ = EventQueue(backend="calendar").occupancy()
+        assert set(heap_occ) == set(cal_occ)
+        for key in ("wave_events", "wave_receivers", "wave_slabs",
+                    "wave_pending", "scalar_fallbacks"):
+            assert heap_occ[key] == 0
+        assert heap_occ["waves"] is False
+
+
+class TestWaveQueueSemantics:
+    """Direct queue-level checks of the wave primitives."""
+
+    def test_schedule_wave_fires_in_global_order(self):
+        queue = CalendarEventQueue(bucket_width=0.25, waves=True)
+        fired: list[tuple[float, object]] = []
+
+        def arrive_many(times, args, start, stop):
+            consumed = 0
+            for i in range(start, stop):
+                queue._now = times[i]
+                fired.append((times[i], args[i]))
+                consumed += 1
+            return consumed
+
+        queue.schedule_wave([0.1, 0.2, 0.4], arrive_many,
+                            ["a", "b", "c"])
+        queue.push(0.3, lambda tag: fired.append((queue.now, tag)),
+                   "scalar")
+        queue.run_until_idle()
+        assert fired == [(0.1, "a"), (0.2, "b"), (0.3, "scalar"),
+                         (0.4, "c")]
+        occ = queue.occupancy()
+        assert occ["wave_slabs"] == 1
+        assert occ["wave_receivers"] == 3
+        # Interrupted by the scalar event: two drained runs.
+        assert occ["wave_events"] == 2
+        assert queue.processed == 3  # 2 runs + 1 scalar event
+
+    def test_wave_push_preserves_fifo_per_stream(self):
+        queue = CalendarEventQueue(bucket_width=0.25, waves=True)
+        fired: list[object] = []
+        queue.wave_push(0.1, fired.append, "s0-first", 0)
+        queue.wave_push(0.1, fired.append, "s0-second", 0)
+        queue.wave_push(0.05, fired.append, "s1-first", 1)
+        queue.run_until_idle()
+        assert fired == ["s1-first", "s0-first", "s0-second"]
+        assert queue.occupancy()["scalar_fallbacks"] == 0
+
+    def test_wave_push_non_monotone_falls_back_to_scalar(self):
+        queue = CalendarEventQueue(bucket_width=0.25, waves=True)
+        fired: list[object] = []
+        queue.wave_push(0.2, fired.append, "late", 0)
+        queue.wave_push(0.1, fired.append, "early", 0)  # violates FIFO
+        queue.run_until_idle()
+        assert fired == ["early", "late"]  # still exact global order
+        assert queue.occupancy()["scalar_fallbacks"] == 1
+
+    def test_wave_pending_counts_toward_queue_depth(self):
+        queue = CalendarEventQueue(bucket_width=0.25, waves=True)
+        queue.schedule_wave([1.0, 2.0], lambda *a: 0, [None, None])
+        queue.wave_push(1.5, lambda _: None, None, 0)
+        assert queue.pending == 3
+
+    def test_run_until_respects_deadline_mid_slab(self):
+        queue = CalendarEventQueue(bucket_width=0.25, waves=True)
+        fired: list[float] = []
+
+        def arrive_many(times, args, start, stop):
+            consumed = 0
+            for i in range(start, stop):
+                queue._now = times[i]
+                fired.append(times[i])
+                consumed += 1
+            return consumed
+
+        queue.schedule_wave([0.1, 0.2, 0.9], arrive_many,
+                            [None, None, None])
+        queue.run_until(0.5)
+        assert fired == [0.1, 0.2]
+        queue.run_until_idle()
+        assert fired == [0.1, 0.2, 0.9]
+
+
+def _quorum_snapshot(cluster) -> list:
+    """Per-replica ReadyTracker state, JSON-comparable."""
+    snapshot = []
+    for replica_id, core in enumerate(cluster.replicas):
+        ready = getattr(core, "ready", None)
+        if ready is None:
+            continue
+        snapshot.append([
+            replica_id,
+            ready.ready_count,
+            sorted((digest.hex(), sorted(replicas))
+                   for digest, replicas in ready._ready_from.items()),
+        ])
+    return snapshot
+
+
+def _leopard_run(n, seed, waves, faults=None, bandwidth=None,
+                 duration=0.25):
+    from repro.harness.cluster import build_leopard_cluster, \
+        throttle_all_replicas
+
+    cluster = build_leopard_cluster(
+        n=n, seed=seed, warmup=0.0, faults=faults,
+        queue_backend="calendar", waves=waves)
+    if bandwidth is not None:
+        throttle_all_replicas(cluster, bandwidth)
+    cluster.run(duration)
+    report = cluster.report()
+    occupancy = report["event_queue"]
+    for key in ("sim_events_per_sec", "event_queue", "perf",
+                "events_processed"):
+        report.pop(key)
+    return report, occupancy, _quorum_snapshot(cluster)
+
+
+FAULT_KINDS = (None, Crash(at=0.05),
+               Mute(msg_classes=frozenset({"ready"})),
+               DropIncoming(msg_classes=None),
+               DelaySend(delay=0.02))
+
+
+class TestWaveScalarProperty:
+    """Hypothesis: wave delivery ≡ scalar delivery under fault mixes."""
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=2**16),
+           fault_picks=st.lists(
+               st.integers(min_value=0, max_value=len(FAULT_KINDS) - 1),
+               min_size=2, max_size=2),
+           throttled=st.booleans())
+    def test_wave_matches_scalar(self, seed, fault_picks, throttled):
+        n = 8
+        faults = {}
+        # Fault replicas 2 and 5: never the leader (0) and never the
+        # measurement replica, with n=8 tolerating f=2.
+        for replica_id, pick in zip((2, 5), fault_picks):
+            kind = FAULT_KINDS[pick]
+            if kind is not None:
+                faults[replica_id] = kind
+        bandwidth = 200e6 if throttled else None
+        scalar = _leopard_run(n, seed, waves=False, faults=dict(faults),
+                              bandwidth=bandwidth)
+        wave = _leopard_run(n, seed, waves=True, faults=dict(faults),
+                            bandwidth=bandwidth)
+        assert json.dumps(scalar[0], sort_keys=True) \
+            == json.dumps(wave[0], sort_keys=True)
+        assert scalar[2] == wave[2]  # quorum counters match exactly
+        if faults:
+            # Faulted receivers must have been demoted to scalar events.
+            assert wave[1]["scalar_fallbacks"] > 0
+
+
+class TestChaosWaveDemotion:
+    """Mid-run chaos faults demote registered waves for the victim."""
+
+    @staticmethod
+    def _chaos_run(waves: bool) -> tuple[dict, dict]:
+        from repro.harness.cluster import build_leopard_cluster
+        from repro.net.chaos import load_scenario, schedule_scenario_sim
+
+        cluster = build_leopard_cluster(
+            n=64, seed=7, warmup=0.0, queue_backend="calendar",
+            waves=waves)
+        schedule_scenario_sim(cluster, load_scenario("crash-restart"))
+        cluster.run(0.4)
+        report = cluster.report()
+        occupancy = report["event_queue"]
+        for key in ("sim_events_per_sec", "event_queue", "perf",
+                    "events_processed"):
+            report.pop(key)
+        return report, occupancy
+
+    def test_crash_restart_commits_match_scalar(self):
+        scalar_report, _ = self._chaos_run(False)
+        wave_report, wave_occ = self._chaos_run(True)
+        assert wave_report["executed_requests"] \
+            == scalar_report["executed_requests"]
+        assert wave_report["acked_bundles"] \
+            == scalar_report["acked_bundles"]
+        # The whole report matches, not just the commit counts.
+        assert json.dumps(scalar_report, sort_keys=True) \
+            == json.dumps(wave_report, sort_keys=True)
+        assert wave_occ["wave_events"] > 0
+
+    def test_mid_run_fault_demotes_registered_waves(self):
+        """A wave registered *before* the fault lands must not deliver
+        on the wave fast path after it: the fire-time eligibility check
+        demotes the victim's arrival to an exact scalar event."""
+        from repro.faults import Crash
+        from repro.harness.cluster import build_leopard_cluster
+
+        cluster = build_leopard_cluster(
+            n=4, seed=3, warmup=0.0, queue_backend="calendar",
+            waves=True, prime=False)
+        sim = cluster.sim
+        queue = sim.queue
+        cluster.run(0.05)  # boot; let the protocol circulate
+
+        # Hand-register a broadcast wave from the leader, then crash a
+        # receiver before any of its arrivals fire.
+        from repro.messages.leopard import Ready
+        msg = Ready(block_digest=b"\x5a" * 32)
+        pending_before = queue._wave_pending
+        sim.network.send_broadcast(0, [1, 2, 3], msg, sim.now, queue,
+                                   sim)
+        assert queue._wave_pending > pending_before  # wave registered
+        fallbacks_before = queue.occupancy()["scalar_fallbacks"]
+        crash = Crash(at=sim.now)
+        crash._now = sim.now
+        cluster.set_fault(2, crash)
+        cluster.run(0.05)
+        assert queue.occupancy()["scalar_fallbacks"] > fallbacks_before
