@@ -9,9 +9,11 @@
 # per replica, each committing real requests on localhost TCP), the
 # live-vs-sim calibration smoke (one reconciled point per protocol), and
 # the chaos smoke (a scripted partition/heal/crash/restart scenario per
-# protocol plus one faulted live-vs-sim degradation-gap point), and the
+# protocol plus one faulted live-vs-sim degradation-gap point), the
 # trace smoke (request lifecycles recorded on both backends, exported as
-# validated Chrome trace_event JSON).
+# validated Chrome trace_event JSON), and the experiment-service smoke
+# (the committed 6-trial matrix through `expt run`, legacy artifacts
+# ingested into the longitudinal store, cross-protocol report rendered).
 # Reports land in artifacts/ (CI uploads them on every run).
 
 PYTHON ?= python
@@ -22,7 +24,7 @@ SMOKE_ARGS := --duration 3 --rate 2000 --bundle-size 100 --min-committed 1
 
 .PHONY: lint test bench-micro bench-micro-full bench-sim bench-sim-full \
 	live-smoke live-smoke-all calibrate-smoke chaos-smoke \
-	calibrate-faulted trace-smoke check
+	calibrate-faulted trace-smoke expt-smoke check
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -128,6 +130,27 @@ trace-smoke:
 		--chrome artifacts/trace_leopard_processes.trace.json \
 		--output artifacts/trace_leopard_processes.json
 
+# Experiment-service smoke: run the committed 6-trial matrix (3
+# protocols x {sim, live}) through `expt run` — parallel, resumable —
+# ingest the committed BENCH_*/CALIBRATION_* artifacts into the same
+# longitudinal store, and render the cross-protocol report.  Artifacts
+# land under artifacts/expt-smoke/ (CI uploads store + report).
+expt-smoke:
+	@mkdir -p artifacts/expt-smoke
+	$(PYTHON) -m repro.harness.cli expt run \
+		--config benchmarks/experiments/smoke.yaml \
+		--results-dir artifacts/expt-smoke/results \
+		--store artifacts/expt-smoke/store.jsonl --retries 1
+	$(PYTHON) -m repro.harness.cli expt ingest \
+		--store artifacts/expt-smoke/store.jsonl \
+		benchmarks/BENCH_micro_coding.json \
+		benchmarks/BENCH_sim_eventloop.json \
+		benchmarks/CALIBRATION_presets.json
+	$(PYTHON) -m repro.harness.cli expt report \
+		--store artifacts/expt-smoke/store.jsonl \
+		--markdown artifacts/expt-smoke/report.md \
+		--html artifacts/expt-smoke/report.html
+
 # (n, rate, payload) reconciliation grid; --apply-presets folds the
 # combined cost scale back into benchmarks/CALIBRATION_presets.json,
 # keyed by this host's fingerprint (commit the file to re-baseline).
@@ -138,4 +161,4 @@ calibrate-sweep:
 		--output artifacts/calibration_sweep_leopard.json
 
 check: lint test bench-micro bench-sim live-smoke-all calibrate-smoke \
-	chaos-smoke calibrate-faulted trace-smoke
+	chaos-smoke calibrate-faulted trace-smoke expt-smoke

@@ -45,6 +45,7 @@ from repro.crypto.reed_solomon import Chunk, ReedSolomonCode
 from repro.messages.leopard import Datablock
 from repro.perf import (
     Timer,
+    build_report,
     find_regressions,
     load_report,
     select_gate_metric,
@@ -241,6 +242,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.20)
     parser.add_argument("--min-seconds", type=float, default=0.2,
                         help="minimum sampling time per measurement")
+    parser.add_argument("--store", type=Path, default=None,
+                        help="also append this run's rows to the "
+                             "longitudinal JSONL results store")
+    parser.add_argument("--run-label", default=None,
+                        help="store-key suffix marking this run as a "
+                             "fresh observation (CI passes the workflow "
+                             "run id); without it re-runs dedupe")
     args = parser.parse_args(argv)
 
     grid = FULL_GRID if args.mode == "full" else SMOKE_GRID
@@ -251,6 +259,14 @@ def main(argv: list[str] | None = None) -> int:
         write_report(args.output, name="micro_coding", mode=args.mode,
                      results=rows)
         print(f"\nwrote {args.output}")
+
+    if args.store:
+        from repro.expt.store import ResultsStore
+
+        payload = build_report("micro_coding", args.mode, rows)
+        appended = ResultsStore(args.store).ingest_bench_report(
+            payload, run_label=args.run_label)
+        print(f"\nappended {appended} rows to store {args.store}")
 
     if args.check:
         if not args.baseline.exists():

@@ -60,6 +60,7 @@ from repro.interfaces import Broadcast
 from repro.messages import hotstuff as hs_messages
 from repro.messages.client import RequestBundle
 from repro.perf import (
+    build_report,
     find_regressions,
     host_fingerprint,
     load_report,
@@ -674,6 +675,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="fail on >tolerance regression vs the baseline")
     parser.add_argument("--tolerance", type=float, default=0.30)
+    parser.add_argument("--store", type=Path, default=None,
+                        help="also append this run's rows to the "
+                             "longitudinal JSONL results store")
+    parser.add_argument("--run-label", default=None,
+                        help="store-key suffix marking this run as a "
+                             "fresh observation (CI passes the workflow "
+                             "run id); without it re-runs dedupe")
     args = parser.parse_args(argv)
 
     repeats = args.repeats if args.repeats is not None \
@@ -685,6 +693,14 @@ def main(argv: list[str] | None = None) -> int:
         write_report(args.output, name="sim_eventloop", mode=args.mode,
                      results=rows)
         print(f"\nwrote {args.output}")
+
+    if args.store:
+        from repro.expt.store import ResultsStore
+
+        payload = build_report("sim_eventloop", args.mode, rows)
+        appended = ResultsStore(args.store).ingest_bench_report(
+            payload, run_label=args.run_label)
+        print(f"\nappended {appended} rows to store {args.store}")
 
     if args.check:
         return check_against_baseline(rows, args.baseline, args.tolerance)

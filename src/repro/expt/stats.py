@@ -1,0 +1,121 @@
+"""Lazily computed statistics over store rows.
+
+Everything here is dependency-light on purpose (pure Python + math):
+the store is consumed in CI containers that install only the dev
+requirements, so no scipy/pandas.
+
+* :func:`bootstrap_ci` — percentile-bootstrap confidence interval for a
+  statistic of a small sample (trial repetitions are 1-10 runs, where
+  normal-theory intervals are junk);
+* :func:`mann_whitney_u` — two-sided Mann-Whitney U rank test with tie
+  correction and normal approximation, the pairwise cross-protocol
+  comparison FnF-BFT-style grids want (rank statistics are robust to
+  the heavy-tailed throughput noise a shared host produces);
+* :func:`speedup` / :func:`geometric_mean` — machine-independent
+  ratios vs a named baseline (geometric, so aggregating a grid of
+  ratios is symmetric in which protocol is the baseline).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else math.nan
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (NaN for an empty/invalid set)."""
+    usable = [v for v in values if v > 0 and not math.isnan(v)]
+    if not usable:
+        return math.nan
+    return math.exp(sum(math.log(v) for v in usable) / len(usable))
+
+
+def bootstrap_ci(values: Sequence[float],
+                 statistic: Callable[[Sequence[float]], float] = mean,
+                 confidence: float = 0.95, resamples: int = 2000,
+                 seed: int = 0) -> tuple[float, float]:
+    """Percentile-bootstrap CI for ``statistic`` of ``values``.
+
+    Deterministic for a given ``seed`` so rendered reports are
+    reproducible from the same store.  With fewer than two values the
+    interval degenerates to the point estimate.
+    """
+    values = [float(v) for v in values if not math.isnan(v)]
+    if not values:
+        return (math.nan, math.nan)
+    if len(values) == 1:
+        return (values[0], values[0])
+    rng = random.Random(seed)
+    count = len(values)
+    stats = sorted(
+        statistic([values[rng.randrange(count)] for _ in range(count)])
+        for _ in range(resamples))
+    alpha = (1.0 - confidence) / 2.0
+    lo_idx = max(0, min(resamples - 1, int(alpha * resamples)))
+    hi_idx = max(0, min(resamples - 1, int((1.0 - alpha) * resamples) - 1))
+    return (stats[lo_idx], stats[hi_idx])
+
+
+def speedup(values: Sequence[float], baseline: Sequence[float]) -> float:
+    """Mean-over-mean throughput ratio vs a baseline sample (NaN-safe)."""
+    numerator = mean([v for v in values if not math.isnan(v)])
+    denominator = mean([v for v in baseline if not math.isnan(v)])
+    if math.isnan(numerator) or not denominator \
+            or math.isnan(denominator):
+        return math.nan
+    return numerator / denominator
+
+
+def _rank(pooled: Sequence[float]) -> tuple[list[float], float]:
+    """Midranks of the pooled sample plus the tie-correction term."""
+    order = sorted(range(len(pooled)), key=lambda i: pooled[i])
+    ranks = [0.0] * len(pooled)
+    tie_term = 0.0
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) \
+                and pooled[order[j + 1]] == pooled[order[i]]:
+            j += 1
+        midrank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = midrank
+        ties = j - i + 1
+        if ties > 1:
+            tie_term += ties ** 3 - ties
+        i = j + 1
+    return ranks, tie_term
+
+
+def mann_whitney_u(sample_a: Sequence[float], sample_b: Sequence[float]
+                   ) -> tuple[float, float]:
+    """Two-sided Mann-Whitney U test: ``(U of sample_a, p-value)``.
+
+    Normal approximation with tie correction — adequate at the sample
+    sizes experiment grids produce (>= 3 repetitions per cell); with
+    degenerate input (an empty side, or all values tied) the p-value is
+    1.0, i.e. "no evidence of a difference", never a crash.
+    """
+    a = [float(v) for v in sample_a if not math.isnan(v)]
+    b = [float(v) for v in sample_b if not math.isnan(v)]
+    n_a, n_b = len(a), len(b)
+    if not n_a or not n_b:
+        return (math.nan, 1.0)
+    ranks, tie_term = _rank(a + b)
+    rank_sum_a = sum(ranks[:n_a])
+    u_a = rank_sum_a - n_a * (n_a + 1) / 2.0
+    total = n_a + n_b
+    mean_u = n_a * n_b / 2.0
+    variance = (n_a * n_b / 12.0) * (
+        (total + 1) - tie_term / (total * (total - 1)))
+    if variance <= 0:
+        return (u_a, 1.0)
+    z = (u_a - mean_u) / math.sqrt(variance)
+    # Two-sided p from the standard normal survival function.
+    p = math.erfc(abs(z) / math.sqrt(2.0))
+    return (u_a, min(1.0, max(0.0, p)))

@@ -19,6 +19,14 @@ Usage::
     python -m repro.harness.cli calibrate --protocol hotstuff \
         --duration 2 --output calibration_hotstuff.json
 
+    # Execute a declarative trial matrix (resumable, parallel) and
+    # render a cross-protocol report from the longitudinal store:
+    python -m repro.harness.cli expt run \
+        --config benchmarks/experiments/smoke.yaml \
+        --store artifacts/expt-smoke/store.jsonl
+    python -m repro.harness.cli expt report \
+        --store artifacts/expt-smoke/store.jsonl
+
 Set ``REPRO_FULL=1`` for the paper-scale grids.  ``run-live`` prints the
 same metrics schema the simulated experiments use, so a live localhost
 run is directly comparable with a simulated one.
@@ -692,6 +700,175 @@ def trace_command(argv: list[str]) -> int:
     return 0
 
 
+def _expt_run(argv: list[str]) -> int:
+    """``expt run``: execute a declarative trial matrix, locally parallel."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments expt run",
+        description="Expand a YAML/JSON experiment config into concrete "
+                    "trials and execute them in parallel, one "
+                    "standard_report per trial.  Re-invocations resume: "
+                    "trials whose result file exists and validates are "
+                    "skipped; raising trials retry with the same seed.")
+    parser.add_argument("--config", required=True, metavar="FILE",
+                        help="experiment config (.yaml/.yml/.json)")
+    parser.add_argument("--results-dir", default=None, metavar="DIR",
+                        help="per-trial result files land here (default "
+                             "artifacts/expt/<name>/results)")
+    parser.add_argument("--store", default=None, metavar="FILE",
+                        help="also append the trial results to this "
+                             "longitudinal JSONL store")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel worker processes (default: "
+                             "min(trials, cpu count); 0 = inline serial)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="retries per raising trial, same seed "
+                             "(default 2)")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="re-run every trial even when a valid "
+                             "result file exists")
+    parser.add_argument("--json", action="store_true",
+                        help="print the run summary as JSON")
+    args = parser.parse_args(argv)
+
+    from repro.errors import ConfigError
+    from repro.expt import load_config, run_experiment
+    from repro.expt.store import ResultsStore
+
+    try:
+        config = load_config(args.config)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    results_dir = args.results_dir or f"artifacts/expt/{config.name}/results"
+    print(f"experiment {config.name}: {len(config.trials)} trials "
+          f"-> {results_dir}")
+    summary = run_experiment(
+        config, results_dir, jobs=args.jobs, retries=args.retries,
+        resume=not args.no_resume, progress=print)
+    if args.store:
+        appended = ResultsStore(args.store).ingest_results_dir(results_dir)
+        summary["store"] = args.store
+        summary["store_rows_appended"] = appended
+        print(f"store: appended {appended} trial rows to {args.store}")
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"executed {len(summary['executed'])}, "
+              f"resumed past {len(summary['skipped'])}, "
+              f"failed {len(summary['failed'])} "
+              f"({summary['elapsed_s']:.1f}s)")
+    if summary["failed"]:
+        for trial_id, error in summary["failed"].items():
+            print(f"FAIL: {trial_id}: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _expt_report(argv: list[str]) -> int:
+    """``expt report``: render a store as markdown/HTML."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments expt report",
+        description="Render cross-protocol comparison tables (bootstrap "
+                    "confidence intervals, speedups and rank tests vs a "
+                    "named baseline) and throughput-vs-n curves from a "
+                    "longitudinal results store.")
+    parser.add_argument("--store", required=True, metavar="FILE",
+                        help="the JSONL results store")
+    parser.add_argument("--baseline", default="pbft",
+                        choices=("leopard", "pbft", "hotstuff"),
+                        help="baseline protocol for speedups/rank tests "
+                             "(default pbft, the paper's BFT-SMaRt "
+                             "stand-in)")
+    parser.add_argument("--markdown", default=None, metavar="FILE",
+                        help="write the markdown report here "
+                             "(default: print to stdout)")
+    parser.add_argument("--html", default=None, metavar="FILE",
+                        help="also write a standalone HTML report "
+                             "(tables + inline SVG scaling curves)")
+    args = parser.parse_args(argv)
+
+    from repro.expt.report import render_html, render_markdown
+    from repro.expt.store import ResultsStore
+
+    store = ResultsStore(args.store)
+    if not store.path.exists():
+        print(f"error: no store at {args.store}", file=sys.stderr)
+        return 2
+    markdown = render_markdown(store, baseline=args.baseline)
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write(markdown + "\n")
+        print(f"markdown report written to {args.markdown}")
+    else:
+        print(markdown)
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_html(store, baseline=args.baseline) + "\n")
+        print(f"html report written to {args.html}")
+    return 0
+
+
+def _expt_ingest(argv: list[str]) -> int:
+    """``expt ingest``: fold artifacts into a store."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments expt ingest",
+        description="Append artifacts to a longitudinal store: trial "
+                    "result files, repro.perf benchmark reports "
+                    "(BENCH_micro_coding.json / BENCH_sim_eventloop"
+                    ".json), or CALIBRATION_presets.json.  Ingestion "
+                    "is lossless (bench rows keep the original row "
+                    "verbatim, host fingerprints are preserved) and "
+                    "idempotent unless --run-label marks a fresh "
+                    "longitudinal observation.")
+    parser.add_argument("--store", required=True, metavar="FILE")
+    parser.add_argument("--run-label", default=None, metavar="LABEL",
+                        help="key suffix distinguishing this ingestion "
+                             "from earlier ones of the same artifact "
+                             "(CI passes the workflow run id)")
+    parser.add_argument("paths", nargs="+", metavar="PATH",
+                        help="artifact files, or directories of trial "
+                             "result files")
+    args = parser.parse_args(argv)
+
+    import os
+
+    from repro.expt.store import ResultsStore
+
+    store = ResultsStore(args.store)
+    total = 0
+    for path in args.paths:
+        if os.path.isdir(path):
+            appended = store.ingest_results_dir(path)
+        else:
+            try:
+                appended = store.ingest_artifact(
+                    path, run_label=args.run_label)
+            except (ValueError, OSError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        print(f"{path}: appended {appended} rows")
+        total += appended
+    print(f"store {args.store}: {total} rows appended")
+    return 0
+
+
+def expt_command(argv: list[str]) -> int:
+    """The ``expt`` subcommand family: run / report / ingest."""
+    if argv and argv[0] == "run":
+        return _expt_run(argv[1:])
+    if argv and argv[0] == "report":
+        return _expt_report(argv[1:])
+    if argv and argv[0] == "ingest":
+        return _expt_ingest(argv[1:])
+    print("usage: expt {run,report,ingest} ...\n"
+          "  run     execute a declarative trial matrix (parallel, "
+          "resumable)\n"
+          "  report  render markdown/HTML tables + curves from a store\n"
+          "  ingest  fold BENCH_*/CALIBRATION_*/trial artifacts into a "
+          "store", file=sys.stderr)
+    return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the requested experiments (or the live cluster) and report."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
@@ -701,6 +878,8 @@ def main(argv: list[str] | None = None) -> int:
         return calibrate_command(argv[1:])
     if argv and argv[0] == "trace":
         return trace_command(argv[1:])
+    if argv and argv[0] == "expt":
+        return expt_command(argv[1:])
 
     from repro.harness.experiments import ALL_EXPERIMENTS, full_scale
 
@@ -713,7 +892,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments", nargs="*",
         help="experiment ids (e.g. fig9 table3), 'all', 'run-live', "
-             "'calibrate', or 'trace'")
+             "'calibrate', 'trace', or 'expt'")
     parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit")
     parser.add_argument(
@@ -753,6 +932,8 @@ def main(argv: list[str] | None = None) -> int:
               "--duration S (see calibrate --help)")
         print("request-lifecycle tracing: trace --backend {sim,live} "
               "[--processes] [--chrome FILE] (see trace --help)")
+        print("experiment service: expt run --config FILE | expt report "
+              "--store FILE | expt ingest (see expt --help)")
         print(f"paper-scale grids: {'ON' if full_scale() else 'off'} "
               f"(set REPRO_FULL=1 to enable)")
         return 0

@@ -16,6 +16,7 @@ missing plumbing:
 
 from repro.perf.counters import PerfCounters, Timer, throughput_mbps
 from repro.perf.report import (
+    build_report,
     compare_throughput,
     find_regressions,
     host_fingerprint,
@@ -28,6 +29,7 @@ __all__ = [
     "PerfCounters",
     "Timer",
     "throughput_mbps",
+    "build_report",
     "compare_throughput",
     "find_regressions",
     "host_fingerprint",

@@ -70,10 +70,14 @@ def select_gate_metric(baseline: dict[str, Any]) -> tuple[str, str]:
                        f"current {current!r})")
 
 
-def write_report(path: str | Path, name: str, mode: str,
-                 results: list[dict[str, Any]],
+def build_report(name: str, mode: str, results: list[dict[str, Any]],
                  extra: dict[str, Any] | None = None) -> dict[str, Any]:
-    """Write a schema-versioned benchmark report; returns the payload."""
+    """The schema-versioned report payload (what write_report persists).
+
+    Split out so callers that stream results elsewhere — the
+    experiment service's longitudinal store ingests bench rows without
+    requiring an ``--output`` file — build the identical document.
+    """
     payload: dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "name": name,
@@ -84,6 +88,14 @@ def write_report(path: str | Path, name: str, mode: str,
     }
     if extra:
         payload.update(extra)
+    return payload
+
+
+def write_report(path: str | Path, name: str, mode: str,
+                 results: list[dict[str, Any]],
+                 extra: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Write a schema-versioned benchmark report; returns the payload."""
+    payload = build_report(name, mode, results, extra)
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=False)
                           + "\n")
     return payload

@@ -1,0 +1,118 @@
+"""CLI-level tests for the ``expt`` subcommand family.
+
+These drive the acceptance path: ``expt run`` on a config executes the
+trials and appends to a store, a re-invocation after deleting one
+result file re-runs exactly that trial, and ``expt report`` renders the
+cross-protocol tables from a store that also holds ingested legacy
+artifact rows.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.expt.store import ResultsStore
+from repro.harness.cli import main
+
+
+def write_config(tmp_path, name="cliexp"):
+    config = tmp_path / f"{name}.json"
+    config.write_text(json.dumps({
+        "name": name,
+        "defaults": {"duration": 0.4, "warmup": 0.1, "rate": 2000.0,
+                     "bundle_size": 10, "datablock_size": 10},
+        "matrix": {"protocol": ["leopard", "pbft"],
+                   "backend": [{"backend": "sim", "n": 4}]},
+    }))
+    return config
+
+
+class TestExptRun:
+    def test_run_executes_and_fills_store(self, tmp_path, capsys):
+        config = write_config(tmp_path)
+        results = tmp_path / "results"
+        store_path = tmp_path / "store.jsonl"
+        assert main(["expt", "run", "--config", str(config),
+                     "--results-dir", str(results),
+                     "--store", str(store_path), "--jobs", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "2 trials" in out
+        assert "executed 2" in out
+        assert len(list(results.glob("*.json"))) == 2
+        rows = ResultsStore(store_path).rows(kind="trial")
+        assert {r["protocol"] for r in rows} == {"leopard", "pbft"}
+        assert all(r["metrics"]["throughput_rps"] > 0 for r in rows)
+
+    def test_reinvocation_resumes_and_reruns_deleted(self, tmp_path,
+                                                     capsys):
+        config = write_config(tmp_path)
+        results = tmp_path / "results"
+        argv = ["expt", "run", "--config", str(config),
+                "--results-dir", str(results), "--jobs", "0"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        # Nothing to do on a clean re-invocation.
+        assert main(argv) == 0
+        assert "resumed past 2" in capsys.readouterr().out
+        # Deleting one result re-runs exactly that trial.
+        victims = sorted(results.glob("pbft*.json"))
+        assert len(victims) == 1
+        victims[0].unlink()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "executed 1, resumed past 1" in out
+        assert victims[0].exists()
+
+    def test_bad_config_is_usage_error(self, tmp_path, capsys):
+        config = tmp_path / "bad.json"
+        config.write_text(json.dumps({"name": "bad", "matrix": {
+            "protocol": ["raft"], "backend": ["sim"]}}))
+        assert main(["expt", "run", "--config", str(config)]) == 2
+        assert "unknown protocol" in capsys.readouterr().err
+
+
+class TestExptReportAndIngest:
+    def test_report_from_mixed_store(self, tmp_path, capsys):
+        # The acceptance criterion: a store holding executed trials AND
+        # ingested legacy rows renders one cross-protocol report.
+        config = write_config(tmp_path)
+        store_path = tmp_path / "store.jsonl"
+        assert main(["expt", "run", "--config", str(config),
+                     "--results-dir", str(tmp_path / "results"),
+                     "--store", str(store_path), "--jobs", "0"]) == 0
+        assert main(["expt", "ingest", "--store", str(store_path),
+                     "benchmarks/BENCH_micro_coding.json",
+                     "benchmarks/BENCH_sim_eventloop.json",
+                     "benchmarks/CALIBRATION_presets.json"]) == 0
+        capsys.readouterr()
+        md_path = tmp_path / "report.md"
+        html_path = tmp_path / "report.html"
+        assert main(["expt", "report", "--store", str(store_path),
+                     "--markdown", str(md_path),
+                     "--html", str(html_path)]) == 0
+        text = md_path.read_text()
+        assert "Cross-protocol comparison" in text
+        assert "leopard" in text and "pbft" in text
+        assert "95% CI" in text
+        assert "Ingested benchmark artifacts" in text
+        assert "Calibration presets" in text
+        assert html_path.read_text().startswith("<!doctype html>")
+
+    def test_ingest_directory_of_results(self, tmp_path, capsys):
+        config = write_config(tmp_path)
+        results = tmp_path / "results"
+        assert main(["expt", "run", "--config", str(config),
+                     "--results-dir", str(results), "--jobs", "0"]) == 0
+        store_path = tmp_path / "store.jsonl"
+        assert main(["expt", "ingest", "--store", str(store_path),
+                     str(results)]) == 0
+        assert "2 rows appended" in capsys.readouterr().out
+
+    def test_report_without_store_errors(self, tmp_path, capsys):
+        assert main(["expt", "report", "--store",
+                     str(tmp_path / "missing.jsonl")]) == 2
+        assert "no store" in capsys.readouterr().err
+
+    def test_usage_without_subcommand(self, capsys):
+        assert main(["expt"]) == 2
+        assert "run" in capsys.readouterr().err

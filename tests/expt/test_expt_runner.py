@@ -1,0 +1,277 @@
+"""Runner robustness tests: resume, retry-with-same-seed, corrupt results.
+
+Every test drives :func:`run_experiment` through the inline path with an
+injectable ``execute`` callable, so failures are scripted and no
+subprocess pools or real protocol runs are involved.  One integration
+test at the bottom runs a single real simulated trial end to end.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.expt.config import expand
+from repro.expt.runner import (
+    execute_trial,
+    result_path,
+    run_experiment,
+    validate_result,
+    write_result,
+)
+
+
+def tiny_config(repeats: int = 1):
+    return expand({
+        "name": "unit",
+        "repeats": repeats,
+        "defaults": {"duration": 0.1, "warmup": 0.0},
+        "matrix": {
+            "protocol": ["leopard", "pbft"],
+            "backend": [{"backend": "sim", "n": 4}],
+        },
+    })
+
+
+def fake_result(trial_spec: dict, throughput: float = 1234.0) -> dict:
+    """A structurally valid trial_result document without running anything."""
+    return {
+        "schema": 1,
+        "kind": "trial_result",
+        "experiment": trial_spec["experiment"],
+        "trial": dict(trial_spec),
+        "host": "testhost/x",
+        "recorded_at": 1.0,
+        "elapsed_s": 0.01,
+        "report": {
+            "schema": 6,
+            "throughput_rps": throughput,
+            "latency_s": {"mean": 0.01, "p50": 0.01, "p99": 0.02},
+            "acked_bundles": 3,
+        },
+    }
+
+
+class TestRunResume:
+    def test_all_trials_execute_and_persist(self, tmp_path):
+        cfg = tiny_config()
+        seen = []
+
+        def execute(spec):
+            seen.append(spec["trial_id"])
+            return fake_result(spec)
+
+        summary = run_experiment(cfg, tmp_path, execute=execute)
+        assert sorted(seen) == sorted(t.trial_id for t in cfg.trials)
+        assert summary["failed"] == {}
+        assert len(summary["executed"]) == 2
+        for trial in cfg.trials:
+            assert validate_result(
+                result_path(tmp_path, trial.trial_id), trial)
+
+    def test_resume_skips_valid_results(self, tmp_path):
+        cfg = tiny_config()
+        run_experiment(cfg, tmp_path, execute=lambda s: fake_result(s))
+        seen = []
+        summary = run_experiment(
+            cfg, tmp_path,
+            execute=lambda s: seen.append(s) or fake_result(s))
+        assert seen == []
+        assert len(summary["skipped"]) == 2
+        assert summary["executed"] == []
+
+    def test_deleting_one_result_reruns_exactly_that_trial(self, tmp_path):
+        cfg = tiny_config()
+        run_experiment(cfg, tmp_path, execute=lambda s: fake_result(s))
+        victim = cfg.trials[0].trial_id
+        result_path(tmp_path, victim).unlink()
+        seen = []
+
+        def execute(spec):
+            seen.append(spec["trial_id"])
+            return fake_result(spec)
+
+        summary = run_experiment(cfg, tmp_path, execute=execute)
+        assert seen == [victim]
+        assert summary["executed"] == [victim]
+        assert len(summary["skipped"]) == 1
+
+    def test_partial_file_from_killed_run_is_reexecuted(self, tmp_path):
+        # A run killed mid-write leaves a truncated file: it must fail
+        # validation and be re-run, not resumed past.
+        cfg = tiny_config()
+        run_experiment(cfg, tmp_path, execute=lambda s: fake_result(s))
+        victim = cfg.trials[1]
+        path = result_path(tmp_path, victim.trial_id)
+        full = path.read_text()
+        path.write_text(full[:len(full) // 2])
+        seen = []
+        run_experiment(cfg, tmp_path,
+                       execute=lambda s: seen.append(s["trial_id"])
+                       or fake_result(s))
+        assert seen == [victim.trial_id]
+        assert validate_result(path, victim)
+
+    def test_corrupt_json_is_reexecuted(self, tmp_path):
+        cfg = tiny_config()
+        run_experiment(cfg, tmp_path, execute=lambda s: fake_result(s))
+        victim = cfg.trials[0]
+        result_path(tmp_path, victim.trial_id).write_text("{]")
+        summary = run_experiment(cfg, tmp_path,
+                                 execute=lambda s: fake_result(s))
+        assert summary["executed"] == [victim.trial_id]
+
+    def test_reseeded_config_invalidates_stale_result(self, tmp_path):
+        # Changing base_seed reseeds every trial; old results must not
+        # be silently resumed past.
+        cfg = tiny_config()
+        run_experiment(cfg, tmp_path, execute=lambda s: fake_result(s))
+        doc = {"name": "unit", "base_seed": 99,
+               "defaults": {"duration": 0.1, "warmup": 0.0},
+               "matrix": {"protocol": ["leopard", "pbft"],
+                          "backend": [{"backend": "sim", "n": 4}]}}
+        reseeded = expand(doc)
+        summary = run_experiment(reseeded, tmp_path,
+                                 execute=lambda s: fake_result(s))
+        assert summary["skipped"] == []
+        assert len(summary["executed"]) == 2
+
+    def test_no_resume_reruns_everything(self, tmp_path):
+        cfg = tiny_config()
+        run_experiment(cfg, tmp_path, execute=lambda s: fake_result(s))
+        summary = run_experiment(cfg, tmp_path, resume=False,
+                                 execute=lambda s: fake_result(s))
+        assert len(summary["executed"]) == 2
+
+
+class TestRetry:
+    def test_raising_trial_retried_bounded_with_same_seed(self, tmp_path):
+        cfg = tiny_config()
+        victim = cfg.trials[0].trial_id
+        calls: list[tuple[str, int]] = []
+
+        def flaky(spec):
+            calls.append((spec["trial_id"], spec["seed"]))
+            if spec["trial_id"] == victim and len(
+                    [c for c in calls if c[0] == victim]) < 3:
+                raise OSError("address already in use")
+            return fake_result(spec)
+
+        summary = run_experiment(cfg, tmp_path, retries=2, execute=flaky)
+        victim_calls = [c for c in calls if c[0] == victim]
+        assert len(victim_calls) == 3            # initial + 2 retries
+        assert len({seed for _, seed in victim_calls}) == 1
+        assert summary["failed"] == {}
+        assert summary["attempts"][victim] == 3
+
+    def test_permanently_failing_trial_reported_failed(self, tmp_path):
+        cfg = tiny_config()
+
+        def broken(spec):
+            if spec["trial_id"] == cfg.trials[0].trial_id:
+                raise RuntimeError("boom")
+            return fake_result(spec)
+
+        summary = run_experiment(cfg, tmp_path, retries=1, execute=broken)
+        assert list(summary["failed"]) == [cfg.trials[0].trial_id]
+        assert "boom" in summary["failed"][cfg.trials[0].trial_id]
+        assert summary["attempts"][cfg.trials[0].trial_id] == 2
+        # The healthy trial still completed.
+        assert cfg.trials[1].trial_id in summary["executed"]
+
+    def test_zero_retries_means_one_attempt(self, tmp_path):
+        cfg = tiny_config()
+        calls = []
+
+        def broken(spec):
+            calls.append(spec["trial_id"])
+            raise RuntimeError("down")
+
+        summary = run_experiment(cfg, tmp_path, retries=0, execute=broken)
+        assert len(calls) == 2                    # one attempt per trial
+        assert len(summary["failed"]) == 2
+
+
+class TestValidateResult:
+    def test_rejects_wrong_trial_id_or_seed(self, tmp_path):
+        cfg = tiny_config()
+        trial = cfg.trials[0]
+        doc = fake_result(trial.to_dict())
+        path = write_result(tmp_path, doc)
+        assert validate_result(path, trial)
+        other = cfg.trials[1]
+        assert validate_result(path, other) is None
+        tampered = dict(trial.to_dict(), seed=trial.seed + 1)
+        assert validate_result(path, tampered) is None
+
+    def test_rejects_missing_report_fields(self, tmp_path):
+        cfg = tiny_config()
+        doc = fake_result(cfg.trials[0].to_dict())
+        del doc["report"]["throughput_rps"]
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps(doc))
+        assert validate_result(path) is None
+
+    def test_rejects_wrong_envelope(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"kind": "something_else"}))
+        assert validate_result(path) is None
+
+    def test_write_is_atomic_no_tmp_left_behind(self, tmp_path):
+        cfg = tiny_config()
+        write_result(tmp_path, fake_result(cfg.trials[0].to_dict()))
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestRealTrial:
+    def test_one_simulated_trial_end_to_end(self, tmp_path):
+        # A real n=4 leopard sim trial through the actual execute_trial:
+        # small bundles so commits land inside the short window.
+        cfg = expand({
+            "name": "real",
+            "defaults": {"duration": 0.5, "warmup": 0.1, "rate": 2000.0,
+                         "bundle_size": 10, "datablock_size": 10},
+            "matrix": {"protocol": ["leopard"],
+                       "backend": [{"backend": "sim", "n": 4}]},
+        })
+        summary = run_experiment(cfg, tmp_path, jobs=0,
+                                 execute=execute_trial)
+        assert summary["failed"] == {}
+        doc = validate_result(
+            result_path(tmp_path, cfg.trials[0].trial_id), cfg.trials[0])
+        assert doc is not None
+        assert doc["report"]["throughput_rps"] > 0
+        assert doc["host"]
+
+    def test_deterministic_given_seed(self, tmp_path):
+        cfg = expand({
+            "name": "det",
+            "defaults": {"duration": 0.4, "warmup": 0.1,
+                         "bundle_size": 10, "datablock_size": 10},
+            "matrix": {"protocol": ["leopard"],
+                       "backend": [{"backend": "sim", "n": 4}]},
+        })
+        spec = cfg.trials[0].to_dict()
+        first = execute_trial(spec)
+        second = execute_trial(spec)
+        assert first["report"]["throughput_rps"] == \
+            second["report"]["throughput_rps"]
+        assert first["report"]["events_processed"] == \
+            second["report"]["events_processed"]
+
+
+@pytest.mark.slow
+class TestParallelPool:
+    def test_pool_path_runs_trials(self, tmp_path):
+        # The real ProcessPoolExecutor path with the real execute_trial.
+        cfg = expand({
+            "name": "pool",
+            "defaults": {"duration": 0.3, "warmup": 0.1,
+                         "bundle_size": 10, "datablock_size": 10},
+            "matrix": {"protocol": ["leopard", "pbft"],
+                       "backend": [{"backend": "sim", "n": 4}]},
+        })
+        summary = run_experiment(cfg, tmp_path, jobs=2)
+        assert summary["failed"] == {}
+        assert len(summary["executed"]) == 2

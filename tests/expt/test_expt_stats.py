@@ -1,0 +1,111 @@
+"""Sanity tests for the dependency-light store statistics."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.expt.stats import (
+    bootstrap_ci,
+    geometric_mean,
+    mann_whitney_u,
+    mean,
+    speedup,
+)
+
+
+class TestMeans:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert math.isnan(mean([]))
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == 4.0
+        assert math.isnan(geometric_mean([]))
+        # Non-positive values are excluded, not fatal.
+        assert geometric_mean([4.0, 0.0, -1.0]) == 4.0
+
+    def test_geometric_mean_baseline_symmetry(self):
+        # geomean(ratios) * geomean(inverse ratios) == 1: aggregating a
+        # grid of speedups is symmetric in which side is the baseline.
+        ratios = [1.5, 0.8, 2.0, 1.1]
+        forward = geometric_mean(ratios)
+        backward = geometric_mean([1.0 / r for r in ratios])
+        assert forward * backward == 0.9999999999999999 or \
+            abs(forward * backward - 1.0) < 1e-12
+
+
+class TestBootstrapCI:
+    def test_contains_the_mean_for_a_real_sample(self):
+        rng = random.Random(1)
+        values = [rng.gauss(100.0, 5.0) for _ in range(20)]
+        lo, hi = bootstrap_ci(values)
+        assert lo <= mean(values) <= hi
+        assert lo < hi
+
+    def test_deterministic(self):
+        values = [3.0, 4.0, 5.0, 7.0]
+        assert bootstrap_ci(values) == bootstrap_ci(values)
+
+    def test_degenerate_samples(self):
+        assert bootstrap_ci([5.0]) == (5.0, 5.0)
+        lo, hi = bootstrap_ci([])
+        assert math.isnan(lo) and math.isnan(hi)
+
+    def test_identical_values_collapse(self):
+        assert bootstrap_ci([2.0, 2.0, 2.0]) == (2.0, 2.0)
+
+    def test_wider_noise_wider_interval(self):
+        rng = random.Random(2)
+        tight = [rng.gauss(100.0, 1.0) for _ in range(15)]
+        loose = [rng.gauss(100.0, 20.0) for _ in range(15)]
+        t_lo, t_hi = bootstrap_ci(tight)
+        l_lo, l_hi = bootstrap_ci(loose)
+        assert (l_hi - l_lo) > (t_hi - t_lo)
+
+
+class TestSpeedup:
+    def test_ratio_of_means(self):
+        assert speedup([200.0, 200.0], [100.0]) == 2.0
+
+    def test_nan_safe(self):
+        assert math.isnan(speedup([], [100.0]))
+        assert math.isnan(speedup([100.0], []))
+        assert math.isnan(speedup([100.0], [0.0]))
+
+
+class TestMannWhitney:
+    def test_clearly_separated_samples_small_p(self):
+        a = [100.0, 101.0, 99.0, 102.0, 98.0]
+        b = [10.0, 11.0, 9.0, 12.0, 8.0]
+        _u, p = mann_whitney_u(a, b)
+        assert p < 0.05
+
+    def test_identical_samples_large_p(self):
+        a = [1.0, 2.0, 3.0, 4.0, 5.0]
+        _u, p = mann_whitney_u(a, list(a))
+        assert p > 0.5
+
+    def test_all_tied_is_p_one(self):
+        u, p = mann_whitney_u([5.0, 5.0], [5.0, 5.0])
+        assert p == 1.0
+        assert not math.isnan(u)
+
+    def test_empty_side_is_p_one(self):
+        _u, p = mann_whitney_u([], [1.0, 2.0])
+        assert p == 1.0
+
+    def test_symmetry(self):
+        a = [10.0, 12.0, 9.0]
+        b = [20.0, 22.0, 19.0]
+        _, p_ab = mann_whitney_u(a, b)
+        _, p_ba = mann_whitney_u(b, a)
+        assert abs(p_ab - p_ba) < 1e-12
+
+    def test_u_statistic_matches_definition(self):
+        # U = number of (a, b) pairs with a > b (plus half-ties).
+        a = [3.0, 5.0]
+        b = [1.0, 4.0]
+        u, _ = mann_whitney_u(a, b)
+        wins = sum(1 for x in a for y in b if x > y)
+        assert u == wins
