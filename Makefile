@@ -11,9 +11,13 @@
 # the chaos smoke (a scripted partition/heal/crash/restart scenario per
 # protocol plus one faulted live-vs-sim degradation-gap point), the
 # trace smoke (request lifecycles recorded on both backends, exported as
-# validated Chrome trace_event JSON), and the experiment-service smoke
+# validated Chrome trace_event JSON), the experiment-service smoke
 # (the committed 6-trial matrix through `expt run`, legacy artifacts
-# ingested into the longitudinal store, cross-protocol report rendered).
+# ingested into the longitudinal store, cross-protocol report rendered),
+# and the recovery smoke (crash + restart per protocol on both
+# deployment modes, gated on verified catch-up and ledger-prefix
+# re-convergence; the --processes legs must restore from the durable
+# on-disk snapshot).
 # Reports land in artifacts/ (CI uploads them on every run).
 
 PYTHON ?= python
@@ -21,10 +25,14 @@ export PYTHONPATH := src
 
 LIVE_PROTOCOLS := leopard pbft hotstuff
 SMOKE_ARGS := --duration 3 --rate 2000 --bundle-size 100 --min-committed 1
+# The crash-recover scenario restarts the victim at t=2.2; it needs a
+# longer run than the other smokes to complete a verified catch-up.
+RECOVERY_ARGS := --duration 4 --rate 2000 --bundle-size 100 \
+	--min-committed 1
 
 .PHONY: lint test bench-micro bench-micro-full bench-sim bench-sim-full \
 	live-smoke live-smoke-all calibrate-smoke chaos-smoke \
-	calibrate-faulted trace-smoke expt-smoke check
+	calibrate-faulted trace-smoke expt-smoke recovery-smoke check
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -151,6 +159,30 @@ expt-smoke:
 		--markdown artifacts/expt-smoke/report.md \
 		--html artifacts/expt-smoke/report.html
 
+# Recovery smoke: SIGKILL-equivalent crash + restart per protocol on
+# both deployment modes; --require-recovery fails the target unless the
+# restarted replica completed a verified catch-up (non-zero ledger
+# segments fetched) and its executed prefix re-converged with the
+# quorum.  The --processes legs additionally require the respawned
+# child to restore from its durable on-disk snapshot rather than
+# seed-rebuilding.
+recovery-smoke:
+	@mkdir -p artifacts
+	@for proto in $(LIVE_PROTOCOLS); do \
+		echo "== recovery-smoke $$proto (in-process) =="; \
+		$(PYTHON) -m repro.harness.cli run-live --protocol $$proto \
+			--scenario crash-recover --require-recovery \
+			$(RECOVERY_ARGS) \
+			--output artifacts/recovery_$${proto}_in-process.json \
+			|| exit 1; \
+		echo "== recovery-smoke $$proto (processes) =="; \
+		$(PYTHON) -m repro.harness.cli run-live --protocol $$proto \
+			--processes --scenario crash-recover --require-recovery \
+			$(RECOVERY_ARGS) \
+			--output artifacts/recovery_$${proto}_processes.json \
+			|| exit 1; \
+	done
+
 # (n, rate, payload) reconciliation grid; --apply-presets folds the
 # combined cost scale back into benchmarks/CALIBRATION_presets.json,
 # keyed by this host's fingerprint (commit the file to re-baseline).
@@ -161,4 +193,4 @@ calibrate-sweep:
 		--output artifacts/calibration_sweep_leopard.json
 
 check: lint test bench-micro bench-sim live-smoke-all calibrate-smoke \
-	chaos-smoke calibrate-faulted trace-smoke expt-smoke
+	chaos-smoke calibrate-faulted trace-smoke expt-smoke recovery-smoke

@@ -23,10 +23,16 @@ from typing import Hashable
 
 from repro.baselines.hotstuff.config import HotStuffConfig
 from repro.core.mempool import Mempool
+from repro.core.recovery import ExecutionLog, RecoveryManager
 from repro.crypto.hashing import digest as sha_digest
 from repro.interfaces import Broadcast, Effect, Executed, Send, SetTimer
 from repro.messages.client import Ack, RequestBundle
 from repro.messages.hotstuff import HSBlock, HSNewView, HSVote, QuorumCert
+from repro.messages.recovery import (
+    LedgerSegment,
+    StateRequest,
+    StateSnapshot,
+)
 
 GENESIS_DIGEST = sha_digest(b"hotstuff-genesis")
 
@@ -52,6 +58,19 @@ class HotStuffReplica:
         self.executed_height = 0
         self.total_executed = 0
         self._last_commit_marker = 0
+        self.exec_log = ExecutionLog()
+        #: Out-of-chain blocks held while catching up, replayed after the
+        #: transferred prefix installs (capped so a byzantine flood of
+        #: future blocks cannot balloon memory).
+        self._pending_blocks: dict[int, tuple[HSBlock, bool]] = {}
+        self.recovery = RecoveryManager(
+            replica_id, config.n, (config.n - 1) // 3,
+            local_tip=lambda: self.executed_height,
+            make_snapshot=self._make_snapshot,
+            entries_between=self.exec_log.entries_between,
+            install=self._install_recovered,
+        )
+        self._recover_on_start = False
 
     # ------------------------------------------------------------------
 
@@ -72,6 +91,9 @@ class HotStuffReplica:
         if self.is_leader:
             effects.append(SetTimer(
                 "propose", self.config.idle_repropose_delay))
+        if self._recover_on_start:
+            self._recover_on_start = False
+            effects.extend(self.recovery.begin(now))
         return effects
 
     def on_timer(self, key: Hashable, now: float) -> list[Effect]:
@@ -80,6 +102,8 @@ class HotStuffReplica:
             return self._maybe_propose(now)
         if key == "progress":
             return self._on_progress_timer(now)
+        if isinstance(key, tuple) and key[0] == "rcv":
+            return self.recovery.on_timer(key, now)
         return []
 
     def on_message(self, sender: int, msg, now: float) -> list[Effect]:
@@ -92,7 +116,85 @@ class HotStuffReplica:
             return self._on_vote(sender, msg, now)
         if isinstance(msg, HSNewView):
             return self._on_new_view(sender, msg, now)
+        if isinstance(msg, (StateRequest, StateSnapshot, LedgerSegment)):
+            return self._on_recovery_msg(sender, msg, now)
         return []
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+
+    def begin_recovery(self) -> None:
+        """Arm catch-up: the next ``start()`` solicits state from peers."""
+        self._recover_on_start = True
+
+    def _make_snapshot(self) -> StateSnapshot:
+        return StateSnapshot(self.executed_height,
+                             self.exec_log.state_digest())
+
+    def _digest_at(self, height: int) -> bytes | None:
+        """The chain digest at ``height``: live block, recovered entry,
+        or genesis — ``None`` when that history is simply missing."""
+        if height == 0:
+            return GENESIS_DIGEST
+        block = self.blocks.get(height)
+        if block is not None:
+            return block.digest()
+        return self.exec_log.digest_of(height)
+
+    def _install_recovered(self, entries) -> None:
+        self.exec_log.install(entries)
+        target = self.exec_log.last_executed
+        self.executed_height = max(self.executed_height, target)
+        self.committed_height = max(self.committed_height, target)
+        for height in [h for h in self._pending_blocks
+                       if h <= self.executed_height]:
+            del self._pending_blocks[height]
+
+    def restore_entries(self, entries) -> int:
+        """Reload a durable snapshot tail (process respawn, pre-boot)."""
+        before = self.exec_log.last_executed
+        self._install_recovered(entries)
+        return self.exec_log.last_executed - before
+
+    def _on_recovery_msg(self, sender: int, msg, now: float
+                         ) -> list[Effect]:
+        if isinstance(msg, StateRequest):
+            return self.recovery.on_request(sender, msg, now)
+        was_complete = self.recovery.complete
+        if isinstance(msg, StateSnapshot):
+            effects = self.recovery.on_snapshot(sender, msg, now)
+        else:
+            effects = self.recovery.on_segment(sender, msg, now)
+        if self.recovery.complete and not was_complete:
+            effects.extend(self._replay_pending(now))
+        return effects
+
+    def _defer_block(self, block: HSBlock, vote: bool, now: float
+                     ) -> list[Effect]:
+        """Hold an out-of-chain block: we are behind, not it."""
+        if block.height <= self.executed_height + 1 \
+                or len(self._pending_blocks) >= 1024:
+            return []
+        self._pending_blocks[block.height] = (block, vote)
+        return self.recovery.note_gap(now)
+
+    def _replay_pending(self, now: float) -> list[Effect]:
+        effects: list[Effect] = []
+        for height in sorted(self._pending_blocks):
+            held = self._pending_blocks.pop(height, None)
+            if held is None or height <= self.executed_height:
+                continue
+            block, vote = held
+            effects.extend(self._accept_block(block, now, vote=vote))
+        return effects
+
+    def recovery_summary(self) -> dict:
+        """Catch-up counters plus the executed tail (report section)."""
+        info = self.recovery.summary()
+        info["last_executed"] = self.executed_height
+        info["exec_tail"] = self.exec_log.tail()
+        return info
 
     # ------------------------------------------------------------------
     # Leader side
@@ -114,8 +216,9 @@ class HotStuffReplica:
         if self.mempool.total_requests == 0:
             return [SetTimer("propose", self.config.idle_repropose_delay)]
         height = self._proposed_height + 1
-        parent = (self.blocks[height - 1].digest() if height > 1
-                  else GENESIS_DIGEST)
+        parent = self._digest_at(height - 1)
+        if parent is None:
+            return []  # missing parent history: cannot extend the chain
         spans = self.mempool.take(self.config.batch_size)
         block = HSBlock(
             height=height,
@@ -164,21 +267,26 @@ class HotStuffReplica:
     def _accept_block(self, block: HSBlock, now: float, vote: bool = False
                       ) -> list[Effect]:
         height = block.height
-        if height in self.blocks:
+        if height in self.blocks or height <= self.executed_height:
             return []
         if height > 1:
-            parent = self.blocks.get(height - 1)
-            if parent is None or parent.digest() != block.parent_digest:
-                return []  # out-of-chain proposal (no gaps with our model)
+            parent_digest = self._digest_at(height - 1)
+            if parent_digest is None:
+                # Out-of-chain because *we* lack history (post-restart):
+                # hold the block and solicit a state transfer.
+                return self._defer_block(block, vote, now)
+            if parent_digest != block.parent_digest:
+                return []  # genuinely out-of-chain proposal
         justify = block.justify
         if justify is not None:
             if justify.signer_count < self.config.quorum:
                 return []
-            expected = (self.blocks[justify.height].digest()
-                        if justify.height in self.blocks
-                        else GENESIS_DIGEST)
-            if justify.height > 0 and justify.block_digest != expected:
-                return []
+            if justify.height > 0:
+                expected = self._digest_at(justify.height)
+                if expected is None:
+                    return self._defer_block(block, vote, now)
+                if justify.block_digest != expected:
+                    return []
             self.qcs.setdefault(justify.height, justify)
             self._qc_height = max(self._qc_height, justify.height)
         self.blocks[height] = block
@@ -211,6 +319,8 @@ class HotStuffReplica:
             self.executed_height += 1
             executed_heights.append(self.executed_height)
             block = self.blocks[self.executed_height]
+            self.exec_log.append(self.executed_height, block.digest(),
+                                 block.request_count)
             executed += block.request_count
             if self.is_leader:
                 for span in block.spans:

@@ -21,9 +21,15 @@ from typing import Hashable
 
 from repro.baselines.pbft.config import PbftConfig
 from repro.core.mempool import Mempool
+from repro.core.recovery import ExecutionLog, RecoveryManager
 from repro.interfaces import Broadcast, Effect, Executed, Send, SetTimer
 from repro.messages.client import Ack, RequestBundle
 from repro.messages.pbft import Commit, Prepare, PrePrepare
+from repro.messages.recovery import (
+    LedgerSegment,
+    StateRequest,
+    StateSnapshot,
+)
 
 
 @dataclass
@@ -51,6 +57,15 @@ class PbftReplica:
         self.next_sn = 1
         self.executed_sn = 0
         self.total_executed = 0
+        self.exec_log = ExecutionLog()
+        self.recovery = RecoveryManager(
+            replica_id, config.n, (config.n - 1) // 3,
+            local_tip=lambda: self.executed_sn,
+            make_snapshot=self._make_snapshot,
+            entries_between=self.exec_log.entries_between,
+            install=self._install_recovered,
+        )
+        self._recover_on_start = False
 
     @property
     def is_leader(self) -> bool:
@@ -63,11 +78,18 @@ class PbftReplica:
         return self.config.leader_of(self.view)
 
     def start(self, now: float) -> list[Effect]:
-        """Arm the leader's proposal timer."""
-        return [SetTimer("propose", self.config.proposal_interval)]
+        """Arm the leader's proposal timer (and catch-up after restart)."""
+        effects: list[Effect] = [
+            SetTimer("propose", self.config.proposal_interval)]
+        if self._recover_on_start:
+            self._recover_on_start = False
+            effects.extend(self.recovery.begin(now))
+        return effects
 
     def on_timer(self, key: Hashable, now: float) -> list[Effect]:
         """Leader proposal tick."""
+        if isinstance(key, tuple) and key[0] == "rcv":
+            return self.recovery.on_timer(key, now)
         if key != "propose":
             return []
         effects: list[Effect] = [
@@ -103,7 +125,57 @@ class PbftReplica:
             return self._on_prepare(sender, msg, now)
         if isinstance(msg, Commit):
             return self._on_commit(sender, msg, now)
+        if isinstance(msg, (StateRequest, StateSnapshot, LedgerSegment)):
+            return self._on_recovery_msg(sender, msg, now)
         return []
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+
+    def begin_recovery(self) -> None:
+        """Arm catch-up: the next ``start()`` solicits state from peers."""
+        self._recover_on_start = True
+
+    def _make_snapshot(self) -> StateSnapshot:
+        return StateSnapshot(self.executed_sn, self.exec_log.state_digest())
+
+    def _install_recovered(self, entries) -> None:
+        self.exec_log.install(entries)
+        self.executed_sn = self.exec_log.last_executed
+        for sn in [sn for sn in self.instances if sn <= self.executed_sn]:
+            del self.instances[sn]
+        for sn in [sn for sn in self._early_votes
+                   if sn <= self.executed_sn]:
+            del self._early_votes[sn]
+        self.next_sn = max(self.next_sn, self.executed_sn + 1)
+
+    def restore_entries(self, entries) -> int:
+        """Reload a durable snapshot tail (process respawn, pre-boot)."""
+        before = self.exec_log.last_executed
+        self._install_recovered(entries)
+        return self.exec_log.last_executed - before
+
+    def _on_recovery_msg(self, sender: int, msg, now: float
+                         ) -> list[Effect]:
+        if isinstance(msg, StateRequest):
+            return self.recovery.on_request(sender, msg, now)
+        was_complete = self.recovery.complete
+        if isinstance(msg, StateSnapshot):
+            effects = self.recovery.on_snapshot(sender, msg, now)
+        else:
+            effects = self.recovery.on_segment(sender, msg, now)
+        if self.recovery.complete and not was_complete:
+            # Committed instances above the installed prefix may now run.
+            effects.extend(self._execute(now))
+        return effects
+
+    def recovery_summary(self) -> dict:
+        """Catch-up counters plus the executed tail (report section)."""
+        info = self.recovery.summary()
+        info["last_executed"] = self.executed_sn
+        info["exec_tail"] = self.exec_log.tail()
+        return info
 
     def _admit(self, block: PrePrepare, now: float) -> list[Effect]:
         if block.sn in self.instances or block.sn <= self.executed_sn:
@@ -171,6 +243,8 @@ class PbftReplica:
             self.executed_sn += 1
             executed_sns.append(self.executed_sn)
             block = instance.block
+            self.exec_log.append(
+                self.executed_sn, block.digest(), block.request_count)
             executed += block.request_count
             if self.is_leader:
                 for span in block.spans:
@@ -181,6 +255,12 @@ class PbftReplica:
         if executed > 0:
             self.total_executed += executed
             effects.insert(0, Executed(executed, info=tuple(executed_sns)))
+        if (self.executed_sn + 1) not in self.instances and any(
+                i.committed and i.block.sn > self.executed_sn + 1
+                for i in self.instances.values()):
+            # A committed instance sits above a hole we never admitted:
+            # history passed us by — solicit a state transfer.
+            effects.extend(self.recovery.note_gap(now))
         return effects
 
     def _buffer_early(self, sender: int, msg) -> None:

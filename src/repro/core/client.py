@@ -11,6 +11,7 @@ honest replica is reached.
 
 from __future__ import annotations
 
+import random
 from typing import Hashable
 
 from repro.core.config import LeopardConfig
@@ -47,12 +48,18 @@ class LeopardClient:
             replicas increase throughput", since other replicas cannot
             de-duplicate each other's copies).
         client_timeout: how long to wait for an ack before re-submitting.
+            Retries back off exponentially with deterministic per-client
+            jitter (seeded on the node id), so a stalled cluster sees a
+            decaying — not synchronized — retry wave.
+        max_retries: re-submissions per bundle before giving up (bounds
+            duplicate load in long sim workloads).
         trace_phases: emit the Table IV "response to the client" phase.
     """
 
     def __init__(self, node_id: int, config: LeopardConfig, rate: float,
                  bundle_size: int = 500, stop_at: float = 0.0,
                  resubmit: bool = False, client_timeout: float = 4.0,
+                 max_retries: int = 5,
                  trace_phases: bool = False, fanout: int = 1) -> None:
         if rate <= 0:
             raise ValueError("client rate must be positive")
@@ -65,6 +72,8 @@ class LeopardClient:
         self.stop_at = stop_at
         self.resubmit = resubmit
         self.client_timeout = client_timeout
+        self.max_retries = max_retries
+        self._rng = random.Random((node_id + 1) * 0x9E3779B1)
         self.trace_phases = trace_phases
         self.fanout = fanout
         self.submit_interval = bundle_size / rate
@@ -115,11 +124,20 @@ class LeopardClient:
             self.next_bundle_id += 1
         return effects
 
+    def _retry_delay(self, attempt: int) -> float:
+        """Jittered exponential backoff for re-submission ``attempt``."""
+        return (self.client_timeout * (1.5 ** attempt)
+                * (0.75 + 0.5 * self._rng.random()))
+
     def _resubmit(self, bundle_id: int, now: float) -> list[Effect]:
         entry = self._outstanding.get(bundle_id)
         if entry is None or entry[0] <= 0:
             return []
         remaining, submitted_at, attempt = entry
+        if attempt >= self.max_retries:
+            # Retry budget exhausted: stop chasing this bundle.
+            del self._outstanding[bundle_id]
+            return []
         attempt += 1
         entry[2] = attempt
         self.resubmissions += 1
@@ -129,8 +147,10 @@ class LeopardClient:
             self.node_id, bundle_id, remaining, self.config.payload_size,
             submitted_at, timeout_flagged=True)
         return [
+            Trace("retransmit", {"bundle_id": bundle_id,
+                                 "attempt": attempt, "count": remaining}),
             Send(target, bundle),
-            SetTimer(("timeout", bundle_id), self.client_timeout),
+            SetTimer(("timeout", bundle_id), self._retry_delay(attempt)),
         ]
 
     def on_message(self, sender: int, msg, now: float) -> list[Effect]:

@@ -104,6 +104,45 @@ class Ledger:
             self.last_executed = next_sn
         return result
 
+    def segment_entries(self, start: int, end: int):
+        """Executed positions with ``start < sn <= end`` (recovery serve).
+
+        Returns backend-neutral :class:`repro.messages.recovery.SegmentEntry`
+        projections of the executed log.
+        """
+        from repro.messages.recovery import SegmentEntry
+        return [SegmentEntry(entry.sn, entry.block_digest,
+                             entry.request_count)
+                for entry in self.log if start < entry.sn <= end]
+
+    def install_entries(self, entries) -> int:
+        """Install a verified transferred prefix (recovery catch-up).
+
+        Installed positions carry no datablock links — the payload below
+        the catch-up target is summarized by the checkpoint, not
+        replayed — so they never gate execution or garbage collection.
+        Confirmed blocks at or below the new tip are dropped (already
+        covered by the transfer).  Returns positions installed.
+        """
+        installed = 0
+        for entry in entries:
+            if entry.sn <= self.last_executed:
+                continue
+            self.log.append(ExecutedBlock(
+                entry.sn, entry.digest, (), entry.request_count))
+            self.last_executed = entry.sn
+            self._confirmed.pop(entry.sn, None)
+            installed += 1
+        for sn in [sn for sn in self._confirmed
+                   if sn <= self.last_executed]:
+            del self._confirmed[sn]
+        return installed
+
+    def tail(self, count: int = 32) -> list[tuple[int, str]]:
+        """Trailing ``(sn, digest_hex)`` pairs (convergence checking)."""
+        return [(entry.sn, entry.block_digest.hex())
+                for entry in self.log[-count:]]
+
     def collect_garbage(self, checkpoint_sn: int) -> int:
         """Drop datablocks linked by executed blocks ≤ ``checkpoint_sn``.
 

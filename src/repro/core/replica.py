@@ -31,6 +31,7 @@ from repro.core.config import LeopardConfig
 from repro.core.datablock_pool import DatablockPool, ReadyTracker
 from repro.core.ledger import Ledger
 from repro.core.mempool import Mempool
+from repro.core.recovery import RecoveryManager
 from repro.core.retrieval import RetrievalManager
 from repro.core.viewchange import ViewChangeManager
 from repro.crypto.keys import KeyRegistry
@@ -59,6 +60,12 @@ from repro.messages.leopard import (
     TimeoutMsg,
     Vote,
     ViewChangeMsg,
+    checkpoint_payload,
+)
+from repro.messages.recovery import (
+    LedgerSegment,
+    StateRequest,
+    StateSnapshot,
 )
 
 
@@ -85,6 +92,15 @@ class LeopardReplica:
         self.ledger = Ledger(self.pool, replica_id)
         self.vc = ViewChangeManager(
             config.n, config.f, replica_id, registry, self.scheme)
+        self.recovery = RecoveryManager(
+            replica_id, config.n, config.f,
+            local_tip=lambda: self.ledger.last_executed,
+            make_snapshot=self._make_snapshot,
+            entries_between=self.ledger.segment_entries,
+            install=self._install_recovered,
+            verify_proof=self._verify_checkpoint_proof,
+        )
+        self._recover_on_start = False
 
         self.next_sn = 1
         self.datablock_counter = 1
@@ -141,12 +157,16 @@ class LeopardReplica:
     # ------------------------------------------------------------------
 
     def start(self, now: float) -> list[Effect]:
-        """Arm the recurring timers."""
-        return [
+        """Arm the recurring timers (and catch-up, after a restart)."""
+        effects: list[Effect] = [
             SetTimer("gen", self.config.generation_interval),
             SetTimer("propose", self.config.proposal_interval),
             SetTimer("progress", self.config.progress_timeout),
         ]
+        if self._recover_on_start:
+            self._recover_on_start = False
+            effects.extend(self.recovery.begin(now))
+        return effects
 
     def on_timer(self, key: Hashable, now: float) -> list[Effect]:
         """Dispatch a timer firing."""
@@ -158,6 +178,8 @@ class LeopardReplica:
             return self._on_progress_timer(now)
         if isinstance(key, tuple) and key[0] == "retr":
             return self._on_retrieval_timer(key[1], now)
+        if isinstance(key, tuple) and key[0] == "rcv":
+            return self.recovery.on_timer(key, now)
         return []
 
     def on_message(self, sender: int, msg, now: float) -> list[Effect]:
@@ -188,7 +210,59 @@ class LeopardReplica:
             return self._on_viewchange_msg(sender, msg, now)
         if isinstance(msg, NewViewMsg):
             return self._on_new_view(sender, msg, now)
+        if isinstance(msg, (StateRequest, StateSnapshot, LedgerSegment)):
+            return self._on_recovery_msg(sender, msg, now)
         return []
+
+    # ------------------------------------------------------------------
+    # Crash recovery (state transfer + catch-up)
+    # ------------------------------------------------------------------
+
+    def begin_recovery(self) -> None:
+        """Arm catch-up: the next ``start()`` solicits state from peers."""
+        self._recover_on_start = True
+
+    def _make_snapshot(self) -> StateSnapshot:
+        return StateSnapshot(self.ledger.last_executed,
+                             self.ledger.state_digest(),
+                             self.checkpoints.latest_proof)
+
+    def _verify_checkpoint_proof(self, proof: CheckpointProof) -> bool:
+        return self.scheme.verify(
+            proof.signature,
+            checkpoint_payload(proof.sn, proof.state_digest))
+
+    def _install_recovered(self, entries) -> None:
+        self.ledger.install_entries(entries)
+        self.store.advance_watermark(self.ledger.last_executed)
+        self.next_sn = max(self.next_sn, self.ledger.last_executed + 1)
+
+    def restore_entries(self, entries) -> int:
+        """Reload a durable snapshot tail (process respawn, pre-boot)."""
+        return self.ledger.install_entries(entries)
+
+    def _on_recovery_msg(self, sender: int, msg, now: float
+                         ) -> list[Effect]:
+        if isinstance(msg, StateRequest):
+            return self.recovery.on_request(sender, msg, now)
+        was_complete = self.recovery.complete
+        if isinstance(msg, StateSnapshot):
+            effects = self.recovery.on_snapshot(sender, msg, now)
+        else:
+            effects = self.recovery.on_segment(sender, msg, now)
+        if self.recovery.complete and not was_complete:
+            anchor = self.recovery.anchor
+            if anchor is not None:
+                effects.extend(self._adopt_checkpoint(anchor, now))
+            effects.extend(self._try_execute(now))
+        return effects
+
+    def recovery_summary(self) -> dict:
+        """Catch-up counters plus the executed tail (report section)."""
+        info = self.recovery.summary()
+        info["last_executed"] = self.ledger.last_executed
+        info["exec_tail"] = self.ledger.tail()
+        return info
 
     # ------------------------------------------------------------------
     # Datablock preparation (Algorithm 1)
@@ -517,7 +591,7 @@ class LeopardReplica:
         proof = self.checkpoints.on_share(self.node_id, share)
         if proof is None:
             return []
-        return [Broadcast(proof)] + self._adopt_checkpoint(proof)
+        return [Broadcast(proof)] + self._adopt_checkpoint(proof, now)
 
     def _on_checkpoint_share(self, sender: int, share: CheckpointShare,
                              now: float) -> list[Effect]:
@@ -526,17 +600,24 @@ class LeopardReplica:
         proof = self.checkpoints.on_share(sender, share)
         if proof is None:
             return []
-        return [Broadcast(proof)] + self._adopt_checkpoint(proof)
+        return [Broadcast(proof)] + self._adopt_checkpoint(proof, now)
 
     def _on_checkpoint_proof(self, sender: int, proof: CheckpointProof,
                              now: float) -> list[Effect]:
-        return self._adopt_checkpoint(proof)
+        return self._adopt_checkpoint(proof, now)
 
-    def _adopt_checkpoint(self, proof: CheckpointProof) -> list[Effect]:
+    def _adopt_checkpoint(self, proof: CheckpointProof, now: float
+                          ) -> list[Effect]:
         if not self.checkpoints.on_proof(proof):
             return []
         self.store.advance_watermark(proof.sn)
         self.ledger.collect_garbage(proof.sn)
+        if self.checkpoints.stable_sn > self.ledger.last_executed \
+                and not self.ledger.is_confirmed(
+                    self.ledger.last_executed + 1):
+            # The cluster checkpointed past us and the next position is
+            # not even confirmed locally: we missed history — catch up.
+            return self.recovery.note_gap(now)
         return []
 
     # ------------------------------------------------------------------
@@ -706,7 +787,8 @@ class LeopardReplica:
         # Adopt the best checkpoint carried by the view-change set.
         for vc_msg in new_view_msg.view_changes:
             if vc_msg.checkpoint is not None:
-                effects.extend(self._adopt_checkpoint(vc_msg.checkpoint))
+                effects.extend(
+                    self._adopt_checkpoint(vc_msg.checkpoint, now))
         # Redo agreement for carried blocks; fill gaps with dummies.
         max_sn = self.store.low_watermark
         for block in new_view_msg.redo:

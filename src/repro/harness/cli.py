@@ -100,6 +100,23 @@ def _render_live_report(report: dict) -> str:
                      f"scalar_fallbacks="
                      f"{queue.get('scalar_fallbacks', 0)}")
         lines.append(line)
+    # Schema-tolerant: pre-schema-7 artifacts carry no recovery section.
+    recovery = report.get("recovery")
+    if recovery:
+        recovering = {rid: info for rid, info
+                      in sorted(recovery.get("replicas", {}).items())
+                      if info.get("rounds", 0)}
+        per_replica = ", ".join(
+            f"{rid}:{'done' if info.get('complete') else 'INCOMPLETE'}"
+            f"(+{info.get('installed_entries', 0)} entries, "
+            f"{info.get('segments_fetched', 0)} segments)"
+            for rid, info in recovering.items())
+        lines.append(
+            f"  recovery: catch-ups=[{per_replica or '-'}] "
+            f"snapshots_persisted="
+            f"{recovery.get('snapshots_persisted', 0)} "
+            f"restored_from_disk="
+            f"{recovery.get('restored_from_disk') or []}")
     # Schema-tolerant: committed schema-4 artifacts have no timeseries.
     series = report.get("timeseries")
     if series and series.get("intervals"):
@@ -156,10 +173,17 @@ def run_live_command(argv: list[str]) -> int:
     parser.add_argument("--min-committed", type=int, default=None,
                         help="exit non-zero unless at least this many "
                              "requests committed (smoke gating)")
+    parser.add_argument("--require-recovery", action="store_true",
+                        help="exit non-zero unless at least one replica "
+                             "completed a verified catch-up (non-zero "
+                             "segments fetched) AND its executed ledger "
+                             "prefix re-converged with the quorum "
+                             "(crash-recovery smoke gating)")
     parser.add_argument("--scenario", default=None, metavar="SPEC",
                         help="chaos scenario to run against the cluster: "
                              "a builtin name (smoke, partition-heal, "
-                             "crash-restart, slow-replica), a scenario "
+                             "crash-restart, crash-recover, "
+                             "slow-replica), a scenario "
                              "file path, or inline 'at T op args' text")
     parser.add_argument("--json", action="store_true",
                         help="print the full report as JSON")
@@ -222,6 +246,44 @@ def run_live_command(argv: list[str]) -> int:
             return 1
         print(f"live smoke OK: {committed} requests committed "
               f">= {args.min_committed}")
+
+    if args.require_recovery:
+        from repro.core.recovery import check_convergence
+
+        recovery = report.get("recovery") or {}
+        recovering = {rid: info for rid, info
+                      in recovery.get("replicas", {}).items()
+                      if info.get("rounds", 0)}
+        if not recovering:
+            print("FAIL: no replica performed a catch-up round "
+                  "(recovery section empty)", file=sys.stderr)
+            return 1
+        for rid, info in sorted(recovering.items()):
+            if not info.get("complete"):
+                print(f"FAIL: replica {rid} catch-up incomplete "
+                      f"({info.get('rounds', 0)} rounds, "
+                      f"{info.get('solicits', 0)} solicits)",
+                      file=sys.stderr)
+                return 1
+            if not info.get("segments_fetched", 0):
+                print(f"FAIL: replica {rid} completed without fetching "
+                      "any ledger segments", file=sys.stderr)
+                return 1
+            converged, detail = check_convergence(report, int(rid))
+            if not converged:
+                print(f"FAIL: replica {rid} did not re-converge: "
+                      f"{detail}", file=sys.stderr)
+                return 1
+        if args.processes and not recovery.get("restored_from_disk"):
+            print("FAIL: respawned replica did not restore from its "
+                  "durable snapshot", file=sys.stderr)
+            return 1
+        recovered = ", ".join(sorted(recovering))
+        print(f"recovery smoke OK: replica(s) {recovered} caught up "
+              f"and re-converged"
+              + (f" (restored from disk: "
+                 f"{recovery.get('restored_from_disk')})"
+                 if args.processes else ""))
     return 0
 
 

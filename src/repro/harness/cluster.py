@@ -175,11 +175,17 @@ class Cluster:
             event_queue=self.sim.queue.occupancy(),
             faults=self.faults_summary(),
             timeseries=self.timeseries_section(),
+            recovery=self.recovery_section(),
         )
         if self.tracer is not None and getattr(self.tracer, "enabled",
                                                False):
             report["trace"] = self.tracer.to_jsonable()
         return report
+
+    def recovery_section(self) -> dict | None:
+        """The report's ``recovery`` section (``None`` for a clean run)."""
+        from repro.core.recovery import recovery_section
+        return recovery_section(self.replicas)
 
     def timeseries_section(self) -> dict | None:
         """Rendered interval curve (``None`` without a collector)."""
@@ -220,11 +226,15 @@ class Cluster:
         self._refresh_fault(replica_id)
 
     def restart_replica(self, replica_id: int) -> None:
-        """Replace a crashed replica's core with one rebuilt from genesis.
+        """Replace a crashed replica's core and arm catch-up.
 
         The simulated analogue of killing and respawning a process: the
         node keeps its id, NIC and CPU lanes, but hosts a fresh core with
-        empty state, cleared timers and an honest behaviour.
+        empty state, cleared timers and an honest behaviour.  The fresh
+        core begins recovery on boot — it solicits peer snapshots,
+        installs the checkpoint-anchored prefix, and replays forward into
+        live agreement (:mod:`repro.core.recovery`); recovery traffic
+        flows through the modelled NICs like any other message.
         """
         if self.rebuild_replica is None:
             raise ConfigError(
@@ -242,6 +252,8 @@ class Cluster:
         node._timer_generation.clear()
         if hasattr(core, "backlog_probe"):
             core.backlog_probe = node._backlog_probe
+        if hasattr(core, "begin_recovery"):
+            core.begin_recovery()
         if self.tracer is not None:
             node.install_tracer(self.tracer)
         node.boot()

@@ -13,8 +13,14 @@ launches **one OS process per replica** instead:
   spec — key material is dealt deterministically from the seed, so no
   secrets cross process boundaries — binds its listener at its published
   port, serves until the spec's absolute stop time, then writes a JSON
-  summary (executed requests, per-class byte counters, transport health)
-  and exits 0;
+  summary (executed requests, per-class byte counters, transport health,
+  recovery counters) and exits 0;
+* each child also persists a **durable state snapshot** (its executed
+  ledger tail) every :data:`SNAPSHOT_PERIOD` seconds via atomic
+  tmp-then-replace writes; a chaos-respawned child finds its
+  predecessor's snapshot at the same path, restores the executed prefix
+  from disk *before* booting, and then catches up the rest over the
+  wire through :class:`repro.core.recovery.RecoveryManager`;
 * rendezvous needs no barrier: every outbound link is a reconnecting
   :class:`repro.net.transport.PeerConnection`, so frames sent before a
   peer has bound simply wait in the bounded queue and flow on connect;
@@ -64,6 +70,42 @@ POLL_INTERVAL = 0.25
 #: before declaring the deployment failed.  Generous: on a loaded CI
 #: host, n python interpreters importing numpy can take a while.
 BOOT_TIMEOUT = 30.0
+
+#: Seconds between durable state snapshots in each replica child.
+SNAPSHOT_PERIOD = 0.5
+
+#: Executed-tail length persisted per snapshot (matches the in-core
+#: :data:`repro.core.recovery.ExecutionLog.TAIL_LIMIT` retention).
+SNAPSHOT_TAIL = 4096
+
+
+def _snapshot_state(core, saved_at: float) -> dict | None:
+    """Project a core's executed tail into a JSON-durable snapshot.
+
+    Uses the recovery manager's own serve-side callbacks, so the persisted
+    entries are byte-for-byte what the replica would send a catching-up
+    peer over the wire.
+    """
+    recovery = getattr(core, "recovery", None)
+    if recovery is None:
+        return None
+    tip = recovery.local_tip()
+    entries = recovery.entries_between(max(0, tip - SNAPSHOT_TAIL), tip)
+    return {
+        "last_executed": tip,
+        "entries": [[entry.sn, entry.digest.hex(), entry.request_count]
+                    for entry in entries],
+        "saved_at": saved_at,
+    }
+
+
+def _restore_state(core, snapshot: dict) -> int:
+    """Reload a durable snapshot into a freshly built core (pre-boot)."""
+    from repro.messages.recovery import SegmentEntry
+
+    entries = [SegmentEntry(int(sn), bytes.fromhex(digest), int(count))
+               for sn, digest, count in snapshot.get("entries", [])]
+    return core.restore_entries(entries)
 
 
 def pick_free_ports(count: int, host: str = "127.0.0.1") -> list[int]:
@@ -251,6 +293,24 @@ def run_replica_from_spec(spec: dict) -> dict:
         datablock_size=int(spec["datablock_size"]))
     context = proto.make_context(config, int(spec["seed"]))
     core = proto.make_replica(node_id, config, context)
+    # Durable crash-recovery: a snapshot file left by a predecessor
+    # process (this child is a chaos respawn) is reloaded *before* boot,
+    # so the replica restarts from its persisted executed prefix instead
+    # of seed-rebuilding — then catches up the rest over the wire.
+    snapshot_path = spec.get("snapshot_path")
+    snapshot_period = float(spec.get("snapshot_period") or 0.0)
+    restored_from_disk = False
+    if snapshot_path and Path(snapshot_path).exists():
+        try:
+            snapshot = json.loads(Path(snapshot_path).read_text())
+        except (OSError, ValueError):
+            snapshot = None  # torn write at SIGKILL: fall back to wire
+        if snapshot and hasattr(core, "restore_entries"):
+            _restore_state(core, snapshot)
+            restored_from_disk = True
+        if hasattr(core, "begin_recovery"):
+            core.begin_recovery()
+    snapshots_persisted = 0
     metrics = MetricsCollector(warmup=float(spec["warmup"]),
                                timeseries=TimeSeries())
     if hasattr(core, "attach_perf"):
@@ -279,6 +339,26 @@ def run_replica_from_spec(spec: dict) -> dict:
                           backlog_s=router.backlog_seconds(),
                           queue_depth=router.queued_bytes())
 
+    async def snapshot_loop() -> None:
+        # Durability loop: atomic tmp-then-replace writes, so a SIGKILL
+        # mid-write leaves the previous complete snapshot, never a torn
+        # one.  The written entries come from the same serve-side
+        # callbacks that answer wire fetches.
+        nonlocal snapshots_persisted
+        target = Path(snapshot_path)
+        tmp = target.with_suffix(".snap.tmp")
+        while True:
+            await asyncio.sleep(snapshot_period)
+            state = _snapshot_state(core, clock())
+            if state is None:
+                return
+            try:
+                tmp.write_text(json.dumps(state))
+                tmp.replace(target)
+            except OSError:
+                continue  # disk hiccup: keep the previous snapshot
+            snapshots_persisted += 1
+
     async def serve() -> float:
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
@@ -291,6 +371,8 @@ def run_replica_from_spec(spec: dict) -> dict:
         node.boot()
         sampler = loop.create_task(sample_loop(metrics.timeseries)) \
             if metrics.timeseries is not None else None
+        snapshotter = loop.create_task(snapshot_loop()) \
+            if snapshot_path and snapshot_period > 0 else None
         remaining = stop_at_unix - time.time()
         if remaining > 0:
             try:
@@ -298,10 +380,12 @@ def run_replica_from_spec(spec: dict) -> dict:
             except asyncio.TimeoutError:
                 pass
         stopped_at = clock()
-        if sampler is not None:
-            sampler.cancel()
+        for task in (sampler, snapshotter):
+            if task is None:
+                continue
+            task.cancel()
             try:
-                await sampler
+                await task
             except asyncio.CancelledError:
                 pass
         await node.shutdown()
@@ -329,6 +413,10 @@ def run_replica_from_spec(spec: dict) -> dict:
         if metrics.timeseries is not None else None,
         "perf": metrics.perf.snapshot(),
         "trace": tracer.to_jsonable() if tracer is not None else None,
+        "recovery": core.recovery_summary()
+        if hasattr(core, "recovery_summary") else None,
+        "snapshots_persisted": snapshots_persisted,
+        "restored_from_disk": restored_from_disk,
     }
 
 
@@ -587,6 +675,12 @@ def run_live_processes(n: int = 4, client_count: int = 1,
                     "fault": fault_specs.get(replica_id),
                     "trace_capacity": tracer.capacity
                     if tracer is not None else None,
+                    # Stable path across respawns: a chaos-restarted
+                    # child finds its predecessor's snapshot here and
+                    # restores from disk instead of seed-rebuilding.
+                    "snapshot_path":
+                        str(tmpdir / f"replica-{replica_id}.snapshot.json"),
+                    "snapshot_period": SNAPSHOT_PERIOD,
                 }
                 spec_path = tmpdir / f"replica-{replica_id}.spec.json"
                 spec_path.write_text(json.dumps(spec))
@@ -693,6 +787,8 @@ def _stub_summary(replica_id: int, protocol: str) -> dict:
         "decode_errors": 0, "handler_errors": 0,
         "reconnects": 0, "backoff_retries": 0,
         "timeseries": None, "perf": None, "trace": None,
+        "recovery": None, "snapshots_persisted": 0,
+        "restored_from_disk": False,
     }
 
 
@@ -746,6 +842,24 @@ def _merge_report(*, protocol: str, n: int, metrics: MetricsCollector,
     # children boot before it and are stopped after it, so commits only
     # happen inside it.
     duration = max(elapsed - warmup, 0.0)
+    recovery_replicas: dict[str, dict] = {}
+    snapshots_persisted = 0
+    restored_from_disk: list[int] = []
+    for replica_id, summary in sorted(summaries.items()):
+        snapshots_persisted += summary.get("snapshots_persisted", 0)
+        if summary.get("restored_from_disk"):
+            restored_from_disk.append(replica_id)
+        if summary.get("recovery") is not None:
+            recovery_replicas[str(replica_id)] = summary["recovery"]
+    recovery = None
+    if (snapshots_persisted or restored_from_disk
+            or any(info.get("rounds", 0)
+                   for info in recovery_replicas.values())):
+        recovery = {
+            "replicas": recovery_replicas,
+            "snapshots_persisted": snapshots_persisted,
+            "restored_from_disk": restored_from_disk,
+        }
     report = standard_report(
         backend="live",
         protocol=protocol,
@@ -758,6 +872,7 @@ def _merge_report(*, protocol: str, n: int, metrics: MetricsCollector,
         events_per_sec=events / elapsed if elapsed > 0 else 0.0,
         faults=faults,
         timeseries=timeseries,
+        recovery=recovery,
     )
     report["transport"] = transport
     report["deployment"] = {

@@ -1,0 +1,104 @@
+"""Recovery traffic: state solicitation, snapshots, ledger segments.
+
+A rebooted replica catches up in two phases (``repro.core.recovery``):
+it broadcasts a :class:`StateRequest` with an empty range to solicit
+:class:`StateSnapshot` replies (each peer's executed tip plus, for
+Leopard, its latest threshold-signed ``CheckpointProof`` — the paper's
+Algorithm 4 certificate, which is what makes a single honest snapshot
+sufficient to anchor safety), then fetches the executed-prefix window as
+:class:`LedgerSegment` ranges from individual peers.
+
+All three messages ride the ``recovery`` message class: control-plane
+CPU lane in the simulator, ordinary frames on the live transport, and
+the usual size-parity invariant (``len(encode(...)) == size_bytes()``)
+so simulated recovery costs match the bytes a live catch-up moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.messages.base import HASH_SIZE, HEADER_SIZE, VOTE_SIZE
+from repro.messages.leopard import CheckpointProof
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentEntry:
+    """One executed log position as transferred during catch-up.
+
+    The backend-neutral projection of an executed block: enough to
+    extend a recovering replica's ledger prefix (serial number, the
+    digest safety compares across replicas, and the request count so
+    installed prefixes keep byte-honest execution totals).
+    """
+
+    sn: int
+    digest: bytes
+    request_count: int
+
+    #: Encoded size of one entry: u64 sn + 32-byte digest + u32 count.
+    WIRE_SIZE = 44
+
+
+@dataclass(frozen=True, slots=True)
+class StateRequest:
+    """Solicit recovery state from a peer.
+
+    An empty range (``start_sn == end_sn == 0``) asks for a
+    :class:`StateSnapshot`; a non-empty range asks for the
+    :class:`LedgerSegment` covering ``(start_sn, end_sn]``.
+    """
+
+    start_sn: int
+    end_sn: int
+
+    msg_class = "recovery"
+
+    def size_bytes(self) -> int:
+        """Envelope plus the two range bounds."""
+        return HEADER_SIZE + 16
+
+
+@dataclass(frozen=True, slots=True)
+class StateSnapshot:
+    """A peer's recovery snapshot: executed tip + latest checkpoint.
+
+    Attributes:
+        last_executed: the sender's executed-prefix tip.
+        state_digest: the sender's current ledger state digest.
+        checkpoint: the sender's latest stable ``CheckpointProof``
+            (Leopard only; ``None`` for the baselines, which anchor on
+            f+1 matching segment copies instead).
+    """
+
+    last_executed: int
+    state_digest: bytes
+    checkpoint: CheckpointProof | None = None
+
+    msg_class = "recovery"
+
+    def size_bytes(self) -> int:
+        """Envelope, tip, digest, and the optional certificate."""
+        size = HEADER_SIZE + 8 + HASH_SIZE + 1
+        if self.checkpoint is not None:
+            size += 8 + HASH_SIZE + VOTE_SIZE
+        return size
+
+
+@dataclass(frozen=True, slots=True)
+class LedgerSegment:
+    """A contiguous run of executed log entries starting above ``start_sn``.
+
+    Peers serve at most their retained window (the serve-from-checkpoint
+    cap): a truncated reply still carries whatever suffix of the
+    requested range the sender holds.
+    """
+
+    start_sn: int
+    entries: tuple[SegmentEntry, ...]
+
+    msg_class = "recovery"
+
+    def size_bytes(self) -> int:
+        """Envelope plus the packed entries."""
+        return HEADER_SIZE + 8 + SegmentEntry.WIRE_SIZE * len(self.entries)

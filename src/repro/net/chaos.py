@@ -309,6 +309,14 @@ BUILTIN_SCENARIOS: dict[str, str] = {
         at 1.0 crash victim
         at 3.0 restart victim
     """,
+    # Crash/restart-only (so it runs under --processes too) with the
+    # restart early enough that the victim must *catch up* over the wire
+    # and re-converge — gated by the recovery report section, not just by
+    # cluster-level commits (see repro.core.recovery.check_convergence).
+    "crash-recover": """
+        at 1.0 crash victim
+        at 2.2 restart victim
+    """,
     "slow-replica": """
         at 1.0 fault victim delay_send delay=0.05
         at 3.0 unfault victim

@@ -234,11 +234,14 @@ class LiveCluster:
     async def restart_replica(self, replica_id: int) -> None:
         """Boot a fresh core for a crashed replica on its original port.
 
-        Real crash-recovery semantics: the replacement core starts from
-        protocol genesis (key material re-dealt deterministically from
-        the shared context), binds the *same* address, and the surviving
+        Real crash-recovery semantics: the replacement core is rebuilt
+        empty (key material re-dealt deterministically from the shared
+        context), binds the *same* address, and begins recovery on boot —
+        soliciting peer snapshots over real sockets, installing the
+        checkpoint-anchored prefix and replaying forward into live
+        agreement (:mod:`repro.core.recovery`) — while the surviving
         peers' reconnecting outbound links deliver their queued frames to
-        it — no cluster-wide reconfiguration happens.
+        it.  No cluster-wide reconfiguration happens.
         """
         if replica_id >= self.n:
             raise ConfigError("only replicas can be restarted")
@@ -252,6 +255,8 @@ class LiveCluster:
         core = self._spec.make_replica(replica_id, self.config, self.context)
         if hasattr(core, "attach_perf"):
             core.attach_perf(self.metrics.perf)
+        if hasattr(core, "begin_recovery"):
+            core.begin_recovery()
         self.replicas[replica_id] = core
         router = Router(core.node_id, self.address_book, host=address[0],
                         port=address[1], shaper=self.shaper)
@@ -365,6 +370,7 @@ class LiveCluster:
             events_per_sec=events / elapsed if elapsed > 0 else 0.0,
             faults=self.faults_summary(),
             timeseries=self.timeseries_section(),
+            recovery=self.recovery_section(),
         )
         report["transport"] = transport_summary(
             [node.router for node in self.nodes.values()])
@@ -373,6 +379,11 @@ class LiveCluster:
         if self.tracer is not None and self.tracer.enabled:
             report["trace"] = self.tracer.to_jsonable()
         return report
+
+    def recovery_section(self) -> dict | None:
+        """The report's ``recovery`` section (``None`` for a clean run)."""
+        from repro.core.recovery import recovery_section
+        return recovery_section(self.replicas)
 
     def timeseries_section(self) -> dict | None:
         """The schema-5 ``timeseries`` section for this run (live clock)."""

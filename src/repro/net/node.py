@@ -181,6 +181,8 @@ class LiveNode:
         elif effect.kind == "phase":
             self.metrics.record_phase(
                 effect.data["phase"], effect.data["duration"], now)
+        elif effect.kind == "retransmit":
+            self.metrics.record_retransmission()
         # Other trace kinds are diagnostics; ignored, as in SimNode.
 
     async def kill(self) -> None:

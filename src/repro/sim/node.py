@@ -391,6 +391,8 @@ class SimNode:
         elif effect.kind == "phase":
             self.metrics.record_phase(
                 effect.data["phase"], effect.data["duration"], now)
+        elif effect.kind == "retransmit":
+            self.metrics.record_retransmission()
         # Unknown trace kinds are allowed and ignored: cores may emit extra
         # diagnostics that only specific tests look at.
 

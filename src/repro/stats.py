@@ -260,6 +260,13 @@ class MetricsCollector:
     #: the warmup cut: the interval curve must show ramp-up and faults
     #: the headline aggregates deliberately ignore.
     timeseries: object | None = None
+    #: Client bundles re-sent after an ack timeout (never warmup-gated:
+    #: a retransmission is a liveness event, not a steady-state sample).
+    retransmissions: int = 0
+
+    def record_retransmission(self, count: int = 1) -> None:
+        """Record client bundle retransmissions."""
+        self.retransmissions += count
 
     def record_execution(self, node_id: int, count: int, now: float) -> None:
         """Record ``count`` requests executed at ``node_id``."""
@@ -330,8 +337,12 @@ class MetricsCollector:
 #: ``event_queue`` section (``waves``, ``wave_events``,
 #: ``wave_receivers``, ``wave_slabs``, ``wave_pending``,
 #: ``scalar_fallbacks`` — both scheduler backends emit the keys, the
-#: scalar engines always report zeros).
-REPORT_SCHEMA = 6
+#: scalar engines always report zeros); v7 added ``recovery`` (crash
+#: recovery: per-replica catch-up counters and executed-tail digests,
+#: durable-snapshot counts in ``--processes`` mode; ``None`` for runs
+#: with no recovery activity) and ``retransmissions`` (client bundles
+#: re-sent after an ack timeout).
+REPORT_SCHEMA = 7
 
 
 def standard_report(*, backend: str, protocol: str, n: int,
@@ -342,7 +353,8 @@ def standard_report(*, backend: str, protocol: str, n: int,
                     events_per_sec: float = 0.0,
                     event_queue: dict | None = None,
                     faults: dict | None = None,
-                    timeseries: dict | None = None) -> dict:
+                    timeseries: dict | None = None,
+                    recovery: dict | None = None) -> dict:
     """The run report shared by the simulated and live backends.
 
     Args:
@@ -375,6 +387,11 @@ def standard_report(*, backend: str, protocol: str, n: int,
             (:meth:`repro.obs.timeseries.TimeSeries.section`) — the
             dip-and-recovery curve for chaos/calibration runs; ``None``
             when the run attached no collector, key always emitted.
+        recovery: crash-recovery section
+            (:func:`repro.core.recovery.recovery_section`): per-replica
+            catch-up counters plus executed-tail digests, and the
+            durable-snapshot counters in ``--processes`` mode; ``None``
+            when no replica recovered, key always emitted.
 
     Identical keys from both backends make a live localhost run directly
     comparable with a simulated one of the same shape.
@@ -394,6 +411,8 @@ def standard_report(*, backend: str, protocol: str, n: int,
         "event_queue": event_queue,
         "faults": faults,
         "timeseries": timeseries,
+        "recovery": recovery,
+        "retransmissions": metrics.retransmissions,
         "latency_s": {
             "mean": metrics.mean_latency(),
             "p50": metrics.latency_percentile(50),

@@ -54,6 +54,12 @@ from repro.messages.leopard import (
     Vote,
 )
 from repro.messages.pbft import Commit, Prepare, PrePrepare
+from repro.messages.recovery import (
+    LedgerSegment,
+    SegmentEntry,
+    StateRequest,
+    StateSnapshot,
+)
 
 #: Upper bound on one frame; protects stream readers from garbage lengths.
 MAX_FRAME_BYTES = 256 * 1024 * 1024
@@ -586,6 +592,54 @@ def _dec_hsnewview(r: _Reader) -> HSNewView:
     return HSNewView(view=view, high_qc=high_qc)
 
 
+# -- Recovery ----------------------------------------------------------------
+
+
+def _enc_state_request(w: _Writer, msg: StateRequest) -> None:
+    w.u64(msg.start_sn)
+    w.u64(msg.end_sn)
+
+
+def _dec_state_request(r: _Reader) -> StateRequest:
+    return StateRequest(start_sn=r.u64(), end_sn=r.u64())
+
+
+def _enc_state_snapshot(w: _Writer, msg: StateSnapshot) -> None:
+    w.u64(msg.last_executed)
+    w.hash32(msg.state_digest)
+    if msg.checkpoint is None:
+        w.u8(0)
+    else:
+        w.u8(1)
+        _w_nested(w, _enc_checkpoint_proof, msg.checkpoint)
+
+
+def _dec_state_snapshot(r: _Reader) -> StateSnapshot:
+    last_executed = r.u64()
+    state_digest = r.hash32()
+    checkpoint = _read_nested(r, _dec_checkpoint_proof) \
+        if r.u8() == 1 else None
+    return StateSnapshot(last_executed=last_executed,
+                         state_digest=state_digest, checkpoint=checkpoint)
+
+
+def _enc_ledger_segment(w: _Writer, msg: LedgerSegment) -> None:
+    w.u64(msg.start_sn)
+    w.u32(len(msg.entries))
+    for entry in msg.entries:
+        w.u64(entry.sn)
+        w.hash32(entry.digest)
+        w.u32(entry.request_count)
+
+
+def _dec_ledger_segment(r: _Reader) -> LedgerSegment:
+    start_sn = r.u64()
+    entries = tuple(
+        SegmentEntry(sn=r.u64(), digest=r.hash32(), request_count=r.u32())
+        for _ in range(r.u32()))
+    return LedgerSegment(start_sn=start_sn, entries=entries)
+
+
 # ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
@@ -613,6 +667,9 @@ _REGISTRY: dict[int, tuple[type, Callable, Callable]] = {
     30: (HSBlock, _enc_hsblock, _dec_hsblock),
     31: (HSVote, _enc_hsvote, _dec_hsvote),
     32: (HSNewView, _enc_hsnewview, _dec_hsnewview),
+    40: (StateRequest, _enc_state_request, _dec_state_request),
+    41: (StateSnapshot, _enc_state_snapshot, _dec_state_snapshot),
+    42: (LedgerSegment, _enc_ledger_segment, _dec_ledger_segment),
 }
 
 _TAG_BY_TYPE: dict[type, int] = {

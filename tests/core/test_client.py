@@ -123,6 +123,69 @@ class TestResubmission:
         assert client.on_timer(("timeout", 99), 1.0) == []
 
 
+class TestRetransmissionBackoff:
+    """Satellite: capped, jittered-backoff request retransmission."""
+
+    def test_retransmit_trace_carries_attempt_and_count(self, config):
+        client = make_client(config, resubmit=True, client_timeout=0.5)
+        client.on_timer("submit", 0.0)
+        effects = client.on_timer(("timeout", 1), 0.5)
+        traces = [e for e in effects if isinstance(e, Trace)
+                  and e.kind == "retransmit"]
+        assert traces[0].data == {
+            "bundle_id": 1, "attempt": 1, "count": 100}
+
+    def test_retry_timer_backs_off_with_jitter(self, config):
+        client = make_client(config, resubmit=True, client_timeout=0.5)
+        client.on_timer("submit", 0.0)
+        delays = []
+        now = 0.5
+        for _ in range(3):
+            effects = client.on_timer(("timeout", 1), now)
+            timer = next(e for e in effects if isinstance(e, SetTimer))
+            delays.append(timer.delay)
+            now += timer.delay
+        # Each retry waits ~1.5x longer; jitter stays within +/-25%.
+        for attempt, delay in enumerate(delays, start=1):
+            nominal = 0.5 * 1.5 ** attempt
+            assert nominal * 0.75 <= delay <= nominal * 1.25
+        assert delays[2] > delays[0]
+
+    def test_jitter_is_deterministic_per_client(self, config):
+        first = make_client(config, resubmit=True, client_timeout=0.5)
+        second = make_client(config, resubmit=True, client_timeout=0.5)
+        assert [first._retry_delay(a) for a in range(1, 4)] \
+            == [second._retry_delay(a) for a in range(1, 4)]
+
+    def test_retry_budget_caps_resubmissions(self, config):
+        client = make_client(config, resubmit=True, client_timeout=0.5,
+                             max_retries=2)
+        client.on_timer("submit", 0.0)
+        assert client.on_timer(("timeout", 1), 0.5) != []
+        assert client.on_timer(("timeout", 1), 1.5) != []
+        # Budget exhausted: the bundle is abandoned, not retried forever.
+        assert client.on_timer(("timeout", 1), 3.0) == []
+        assert client.resubmissions == 2
+        assert client.on_timer(("timeout", 1), 5.0) == []  # fully dropped
+
+    def test_default_budget_is_five(self, config):
+        assert make_client(config).max_retries == 5
+
+    def test_each_retry_rotates_target(self, config):
+        client = make_client(config, resubmit=True, client_timeout=0.5)
+        client.on_timer("submit", 0.0)
+        targets = []
+        now = 0.5
+        for _ in range(2):
+            effects = client.on_timer(("timeout", 1), now)
+            targets.append(next(e.dest for e in effects
+                                if isinstance(e, Send)))
+            now += 2.0
+        assert client.primary not in targets
+        assert len(set(targets)) == 2  # rotation, not a fixed fallback
+        assert client._view_leader_guess not in targets  # leader-avoiding
+
+
 class TestAssignment:
     def test_covers_all_non_leaders(self):
         targets = {assign_replica(key, 7, leader=1) for key in range(100)}

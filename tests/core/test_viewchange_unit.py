@@ -143,3 +143,157 @@ class TestNewView:
         assert not manager.in_viewchange
         assert manager.target_view is None
         assert manager.completed_viewchanges == 1
+
+
+class TestNewViewEdgeCases:
+    """Satellite: malformed / duplicate inputs to new-view validation."""
+
+    def _quorum(self, managers, registry4, view=2, instances=None):
+        return [managers[sender].make_viewchange_msg(
+            view, None, (instances or {}).get(sender, []))
+            for sender in range(3)]
+
+    def test_duplicate_vc_senders_rejected(self, managers, registry4):
+        """2f+1 messages from only 2 distinct signers are not a quorum —
+        a faulty leader cannot pad its certificate with duplicates."""
+        from repro.messages.leopard import NewViewMsg
+        vcs = self._quorum(managers, registry4)
+        padded = [vcs[0], vcs[1], vcs[0]]
+        unsigned = NewViewMsg(2, tuple(padded), (),
+                              signature=registry4.plain_sign(2, b""))
+        signature = registry4.plain_sign(2, unsigned.canonical_bytes())
+        forged = NewViewMsg(2, tuple(padded), (), signature)
+        assert not managers[3].validate_new_view(
+            2, forged, expected_leader=2)
+
+    def test_forged_entry_inside_embedded_vc_rejected(
+            self, managers, registry4):
+        """A notarized entry whose certificate does not verify poisons
+        the whole new-view, even when the outer signature is honest."""
+        from repro.core.viewchange import NotarizedEntry
+        from repro.crypto.threshold import ThresholdSignature
+        from repro.messages.leopard import NewViewMsg, ViewChangeMsg
+
+        block = BFTblock(1, 3, (b"x" * 32,))
+        bad_entry = (NotarizedEntry(block, ThresholdSignature(1)),)
+        unsigned = ViewChangeMsg(2, None, bad_entry,
+                                 signature=registry4.plain_sign(0, b""))
+        bad_vc = ViewChangeMsg(2, None, bad_entry, registry4.plain_sign(
+            0, unsigned.canonical_bytes()))
+        vcs = [bad_vc] + self._quorum(managers, registry4)[1:]
+        unsigned_nv = NewViewMsg(2, tuple(vcs), (),
+                                 signature=registry4.plain_sign(2, b""))
+        new_view = NewViewMsg(2, tuple(vcs), (), registry4.plain_sign(
+            2, unsigned_nv.canonical_bytes()))
+        assert not managers[3].validate_new_view(
+            2, new_view, expected_leader=2)
+
+    def test_tampered_redo_breaks_signature(self, managers, registry4):
+        from repro.messages.leopard import NewViewMsg
+        instance = notarized_instance(registry4, 2)
+        vcs = self._quorum(managers, registry4,
+                           instances={0: [instance]})
+        new_view = managers[2].build_new_view(2, vcs)
+        tampered = NewViewMsg(
+            new_view.new_view, new_view.view_changes,
+            new_view.redo[:-1] + (BFTblock(2, 2, (b"evil" * 8,)),),
+            new_view.signature)
+        assert not managers[3].validate_new_view(
+            2, tampered, expected_leader=2)
+
+    def test_reset_is_idempotent_for_trigger_state(self, managers):
+        manager = managers[0]
+        manager.on_timeout(1, managers[1].make_timeout(1))
+        manager.on_timeout(1, managers[1].make_timeout(3))
+        manager.in_viewchange = True
+        manager.target_view = 2
+        manager.reset_for_view(2)
+        state = (manager.in_viewchange, manager.target_view,
+                 manager._timeout_senders)
+        manager.reset_for_view(2)
+        # Trigger state is unchanged by the repeat; only the completion
+        # counter (an odometer, not state) advances.
+        assert (manager.in_viewchange, manager.target_view,
+                manager._timeout_senders) == state
+        assert 1 not in manager._timeout_senders  # below view: pruned
+        assert 3 in manager._timeout_senders  # future view: kept
+
+    def test_checkpoint_gc_drops_stale_entries_from_redo(
+            self, managers, registry4):
+        """A replica that checkpointed (and GC'd below) sn 2 competes
+        with a laggard still carrying notarized sn 1: the redo schedule
+        must start above the highest stable checkpoint."""
+        from repro.crypto.threshold import ThresholdSignature
+        from repro.messages.leopard import CheckpointProof
+
+        stale = notarized_instance(registry4, 1, links=(b"a" * 32,))
+        fresh = notarized_instance(registry4, 3, links=(b"b" * 32,))
+        proof = CheckpointProof(2, b"s" * 32, ThresholdSignature(1))
+        vcs = [
+            managers[0].make_viewchange_msg(2, proof, [fresh]),
+            managers[1].make_viewchange_msg(2, None, [stale]),
+            managers[2].make_viewchange_msg(2, None, []),
+        ]
+        new_view = managers[2].build_new_view(2, vcs)
+        assert [b.sn for b in new_view.redo] == [3]
+        assert new_view.redo[0].links == (b"b" * 32,)
+
+    def test_checkpoint_only_quorum_has_empty_redo(
+            self, managers, registry4):
+        """Everything notarized is already below the stable checkpoint:
+        nothing to redo, and the schedule says so explicitly."""
+        from repro.crypto.threshold import ThresholdSignature
+        from repro.messages.leopard import CheckpointProof
+
+        old = notarized_instance(registry4, 2, links=(b"c" * 32,))
+        proof = CheckpointProof(5, b"s" * 32, ThresholdSignature(1))
+        vcs = [
+            managers[0].make_viewchange_msg(2, proof, [old]),
+            managers[1].make_viewchange_msg(2, None, [old]),
+            managers[2].make_viewchange_msg(2, None, []),
+        ]
+        new_view = managers[2].build_new_view(2, vcs)
+        assert new_view.redo == ()
+        assert managers[3].validate_new_view(
+            2, new_view, expected_leader=2)
+
+
+class TestRedoScheduleProperties:
+    """Hypothesis: the redo schedule is always a contiguous, gap-free
+    range above the highest checkpoint, whatever the vc mix."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(checkpoint_sn=st.integers(min_value=0, max_value=6),
+           sns=st.lists(st.integers(min_value=1, max_value=10),
+                        unique=True, max_size=5))
+    @settings(max_examples=25, deadline=None)
+    def test_redo_contiguous_above_checkpoint(self, registry4,
+                                              checkpoint_sn, sns):
+        from repro.crypto.threshold import ThresholdSignature
+        from repro.messages.leopard import CheckpointProof
+
+        managers = [ViewChangeManager(4, 1, i, registry4, registry4.scheme)
+                    for i in range(4)]
+        proof = (CheckpointProof(checkpoint_sn, b"s" * 32,
+                                 ThresholdSignature(1))
+                 if checkpoint_sn else None)
+        instances = [notarized_instance(registry4, sn) for sn in sns]
+        vcs = [
+            managers[0].make_viewchange_msg(2, proof, instances),
+            managers[1].make_viewchange_msg(2, None, []),
+            managers[2].make_viewchange_msg(2, None, []),
+        ]
+        new_view = managers[2].build_new_view(2, vcs)
+        redo_sns = [b.sn for b in new_view.redo]
+        expected_top = max([sn for sn in sns if sn > checkpoint_sn],
+                           default=checkpoint_sn)
+        assert redo_sns == list(range(checkpoint_sn + 1, expected_top + 1))
+        for block in new_view.redo:
+            if block.sn in sns:
+                assert not block.is_dummy()
+            else:
+                assert block.is_dummy()
+        assert managers[3].validate_new_view(
+            2, new_view, expected_leader=2)

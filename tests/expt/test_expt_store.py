@@ -122,6 +122,59 @@ class TestTrialIngestion:
         assert row["source"].endswith("good.json")
 
 
+class TestReportSchemaCompat:
+    """Satellite: schema-6 rows (pre-recovery) and schema-7 rows
+    (recovery + retransmissions sections) must coexist in one store."""
+
+    def schema7_doc(self, trial_id: str = "t7",
+                    recorded_at: float = 300.0) -> dict:
+        doc = trial_doc(trial_id, recorded_at=recorded_at,
+                        throughput=750.0)
+        doc["report"]["schema"] = 7
+        doc["report"]["retransmissions"] = 3
+        doc["report"]["recovery"] = {
+            "replicas": {"3": {"rounds": 1, "complete": True,
+                               "segments_fetched": 2,
+                               "installed_entries": 40}},
+            "snapshots_persisted": 12,
+            "restored_from_disk": [3],
+        }
+        return doc
+
+    def test_schema7_report_ingests(self, tmp_path):
+        store = ResultsStore(tmp_path / "s.jsonl")
+        assert store.ingest_trial_result(self.schema7_doc())
+        row = store.rows(kind="trial")[0]
+        assert row["report_schema"] == 7
+        assert row["metrics"]["throughput_rps"] == 750.0
+
+    def test_mixed_schemas_coexist_with_provenance(self, tmp_path):
+        store = ResultsStore(tmp_path / "s.jsonl")
+        assert store.ingest_trial_result(trial_doc("t6"))
+        assert store.ingest_trial_result(self.schema7_doc("t7"))
+        by_schema = {row["report_schema"]: row
+                     for row in store.rows(kind="trial")}
+        assert set(by_schema) == {6, 7}
+        # The longitudinal report layer compares these rows on the same
+        # flattened metrics regardless of which schema produced them.
+        assert set(by_schema[6]["metrics"]) == set(by_schema[7]["metrics"])
+
+    def test_new_sections_do_not_leak_into_metrics(self, tmp_path):
+        store = ResultsStore(tmp_path / "s.jsonl")
+        store.ingest_trial_result(self.schema7_doc())
+        metrics = store.rows(kind="trial")[0]["metrics"]
+        assert "recovery" not in metrics
+        assert "retransmissions" not in metrics
+
+    def test_schema6_doc_without_recovery_keys_still_ingests(
+            self, tmp_path):
+        doc = trial_doc("legacy")
+        assert "recovery" not in doc["report"]
+        store = ResultsStore(tmp_path / "s.jsonl")
+        assert store.ingest_trial_result(doc)
+        assert store.rows(kind="trial")[0]["report_schema"] == 6
+
+
 class TestLegacyBackCompat:
     """The committed artifacts must ingest losslessly."""
 

@@ -49,7 +49,7 @@ class TestRunLiveCli:
             "--rate", "1000", "--bundle-size", "50", "--json"]) == 0
         report = json.loads(capsys.readouterr().out)
         assert report["backend"] == "live"
-        assert report["schema"] == 6
+        assert report["schema"] == 7
         assert report["events_processed"] > 0
         assert report["sim_events_per_sec"] > 0
 

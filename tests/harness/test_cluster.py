@@ -106,6 +106,26 @@ class TestSimChaos:
         assert faults["restarts"] == 1
         assert faults["shaping"] is None  # live-only section
 
+    def test_crash_recover_scenario_catches_up_on_sim(self):
+        """Tentpole: recovery traffic rides the modelled NICs — the
+        restarted simulated replica must re-converge with the quorum."""
+        from repro.core.recovery import assert_replica_converged
+        from repro.net.chaos import load_scenario, schedule_scenario_sim
+
+        cluster = self._cluster()
+        resolved = schedule_scenario_sim(
+            cluster, load_scenario("crash-recover"))
+        victim = resolved.events[0].args["node"]
+        cluster.run(4.0)
+        report = cluster.report()
+        recovery = report["recovery"]
+        assert recovery is not None
+        info = recovery["replicas"][str(victim)]
+        assert info["rounds"] > 0
+        assert info["complete"], "simulated victim never caught up"
+        assert info["segments_fetched"] > 0
+        assert_replica_converged(report, victim)
+
     def test_shape_events_rejected_on_sim(self):
         from repro.net.chaos import load_scenario, schedule_scenario_sim
 

@@ -100,6 +100,52 @@ def test_schema6_event_queue_renders_wave_counters():
     assert "scalar_fallbacks=3" in text
 
 
+def test_pre_schema7_report_renders_without_recovery_line():
+    report = json.loads(
+        (DATA / "chaos_leopard_schema4.json").read_text())
+    assert "recovery" not in report
+    text = _render_live_report(report)
+    assert "recovery:" not in text  # absent section renders as absent
+
+
+def test_schema7_report_renders_recovery_line():
+    # The schema-4 fixture upgraded with the schema-7 section must grow
+    # exactly the new catch-up summary line.
+    report = json.loads(
+        (DATA / "chaos_leopard_schema4.json").read_text())
+    report["schema"] = 7
+    report["recovery"] = {
+        "replicas": {
+            "2": {"rounds": 0, "complete": False,
+                  "installed_entries": 0, "segments_fetched": 0},
+            "3": {"rounds": 1, "complete": True,
+                  "installed_entries": 30, "segments_fetched": 2},
+        },
+        "snapshots_persisted": 27,
+        "restored_from_disk": [3],
+    }
+    text = _render_live_report(report)
+    assert "recovery: catch-ups=[3:done(+30 entries, 2 segments)]" in text
+    assert "snapshots_persisted=27" in text
+    assert "restored_from_disk=[3]" in text
+    assert "2:" not in text.split("recovery:")[1].splitlines()[0]
+
+
+def test_schema7_incomplete_recovery_renders_loudly():
+    report = json.loads(
+        (DATA / "chaos_leopard_schema4.json").read_text())
+    report["schema"] = 7
+    report["recovery"] = {
+        "replicas": {"1": {"rounds": 3, "complete": False,
+                           "installed_entries": 5,
+                           "segments_fetched": 1}},
+        "snapshots_persisted": 0,
+        "restored_from_disk": [],
+    }
+    text = _render_live_report(report)
+    assert "1:INCOMPLETE(+5 entries, 1 segments)" in text
+
+
 GENERATED = sorted(ARTIFACTS.glob("chaos_*.json")) \
     if ARTIFACTS.is_dir() else []
 

@@ -38,7 +38,7 @@ class TestTracedSimRun:
         cluster.run(1.5)
         report = cluster.report()
 
-        assert report["schema"] == 6
+        assert report["schema"] == 7
         assert report["trace"]["events"]
         json.dumps(report)  # the whole report must stay serializable
 
@@ -71,7 +71,7 @@ class TestTracedSimRun:
         cluster.run(0.5)
         report = cluster.report()
         assert "trace" not in report
-        assert report["schema"] == 6
+        assert report["schema"] == 7
         assert "timeseries" in report  # curve ships even without tracing
         for node in cluster.sim.nodes.values():
             assert not isinstance(node.core, TracedCore)

@@ -56,7 +56,7 @@ class TestSimulation:
         cluster = build_leopard_cluster(4, seed=0, warmup=0.0)
         cluster.run(0.3)
         report = cluster.report()
-        assert report["schema"] == 6
+        assert report["schema"] == 7
         assert report["events_processed"] > 0
         assert report["sim_events_per_sec"] > 0
 

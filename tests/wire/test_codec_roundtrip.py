@@ -32,6 +32,12 @@ from repro.messages.leopard import (
     Vote,
 )
 from repro.messages.pbft import Commit, Prepare, PrePrepare
+from repro.messages.recovery import (
+    LedgerSegment,
+    SegmentEntry,
+    StateRequest,
+    StateSnapshot,
+)
 from repro.wire import CodecError, decode, encode, registered_message_types
 from repro.wire.codec import LENGTH_PREFIX
 
@@ -101,6 +107,13 @@ CORPUS = [
     HSVote(7, DIGEST, 2),
     HSNewView(3, QuorumCert(DIGEST, 2, 3)),
     HSNewView(3, None),
+    StateRequest(0, 0),  # snapshot solicitation
+    StateRequest(64, 96),
+    StateSnapshot(120, DIGEST, CheckpointProof(100, DIGEST2, TSIG)),
+    StateSnapshot(0, bytes(32)),  # fresh replica, no checkpoint yet
+    LedgerSegment(64, (SegmentEntry(65, DIGEST, 200),
+                       SegmentEntry(66, DIGEST2, 150))),
+    LedgerSegment(10, ()),  # truncated-empty reply (serve cap)
 ]
 
 
@@ -137,11 +150,11 @@ class TestRoundTrip:
         """Every Message-shaped class in repro.messages has a codec."""
         import inspect
 
-        from repro.messages import client, hotstuff, leopard, pbft
+        from repro.messages import client, hotstuff, leopard, pbft, recovery
 
         registered = set(registered_message_types())
         missing = []
-        for module in (client, hotstuff, leopard, pbft):
+        for module in (client, hotstuff, leopard, pbft, recovery):
             for _, cls in inspect.getmembers(module, inspect.isclass):
                 if cls.__module__ != module.__name__:
                     continue
